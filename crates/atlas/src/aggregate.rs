@@ -1,0 +1,484 @@
+//! Aggregation of campaign results into the paper's tables and figures.
+
+use crate::campaign::ProbeResult;
+use crate::fleet::Fleet;
+use locator::{InterceptorLocation, LocationTestResult, PerResolver, ResolverKey, Transparency};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One row of Table 4.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Probes whose IPv4 queries to this resolver were intercepted.
+    pub intercepted_v4: u32,
+    /// Probes that produced a v4 answer for this resolver at all.
+    pub total_v4: u32,
+    /// Probes whose IPv6 queries were intercepted.
+    pub intercepted_v6: u32,
+    /// Probes that produced a v6 answer.
+    pub total_v6: u32,
+}
+
+/// Table 4: interception per public resolver, v4 vs v6.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table4 {
+    /// Per-resolver rows.
+    pub rows: PerResolver<Table4Row>,
+    /// The "All Intercepted" row: probes intercepted on all four.
+    pub all_intercepted: Table4Row,
+    /// Probes that experienced any interception at all (the paper's "220").
+    pub any_intercepted: u32,
+    /// Probes that responded to at least one experiment.
+    pub responding: u32,
+}
+
+/// Builds Table 4 from campaign results.
+pub fn table4(results: &[ProbeResult]) -> Table4 {
+    let mut t = Table4 { responding: results.len() as u32, ..Table4::default() };
+    for r in results {
+        if r.report.matrix.any_intercepted() {
+            t.any_intercepted += 1;
+        }
+        let mut v4_all = true;
+        let mut v6_all = true;
+        let mut v4_any_answer = true;
+        let mut v6_any_answer = true;
+        for key in ResolverKey::ALL {
+            let row = t.rows.get_mut(key);
+            match r.report.matrix.v4.get(key) {
+                LocationTestResult::Standard => {
+                    row.total_v4 += 1;
+                    v4_all = false;
+                }
+                LocationTestResult::NonStandard { .. } => {
+                    row.total_v4 += 1;
+                    row.intercepted_v4 += 1;
+                }
+                LocationTestResult::Timeout | LocationTestResult::NotTested => {
+                    v4_all = false;
+                    v4_any_answer = false;
+                }
+            }
+            match r.report.matrix.v6.get(key) {
+                LocationTestResult::Standard => {
+                    row.total_v6 += 1;
+                    v6_all = false;
+                }
+                LocationTestResult::NonStandard { .. } => {
+                    row.total_v6 += 1;
+                    row.intercepted_v6 += 1;
+                }
+                LocationTestResult::Timeout | LocationTestResult::NotTested => {
+                    v6_all = false;
+                    v6_any_answer = false;
+                }
+            }
+        }
+        if v4_any_answer {
+            t.all_intercepted.total_v4 += 1;
+            if v4_all {
+                t.all_intercepted.intercepted_v4 += 1;
+            }
+        }
+        if v6_any_answer {
+            t.all_intercepted.total_v6 += 1;
+            if v6_all {
+                t.all_intercepted.intercepted_v6 += 1;
+            }
+        }
+    }
+    t
+}
+
+impl fmt::Display for Table4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 4: Number of intercepted probes per public resolver")?;
+        writeln!(f, "{:<16} {:>13} {:>8} | {:>13} {:>8}", "", "Intercepted", "Total", "Intercepted", "Total")?;
+        writeln!(f, "{:<16} {:>22} | {:>22}", "", "Resolver IPv4", "Resolver IPv6")?;
+        for (key, row) in self.rows.iter() {
+            writeln!(
+                f,
+                "{:<16} {:>13} {:>8} | {:>13} {:>8}",
+                key.display_name(),
+                row.intercepted_v4,
+                row.total_v4,
+                row.intercepted_v6,
+                row.total_v6
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<16} {:>13} {:>8} | {:>13} {:>8}",
+            "All Intercepted",
+            self.all_intercepted.intercepted_v4,
+            self.all_intercepted.total_v4,
+            self.all_intercepted.intercepted_v6,
+            self.all_intercepted.total_v6
+        )?;
+        writeln!(f, "(any interception: {} of {} responding probes)", self.any_intercepted, self.responding)
+    }
+}
+
+/// Table 5: version.bind strings of CPE-classified probes, grouped the way
+/// the paper groups them (`*` marking version numbers).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table5 {
+    /// Pattern → probe count, descending.
+    pub groups: Vec<(String, u32)>,
+    /// Total CPE-classified probes.
+    pub total_cpe: u32,
+}
+
+/// Normalizes a version string to the paper's wildcard pattern.
+pub fn table5_pattern(s: &str) -> String {
+    if s.starts_with("dnsmasq-pi-hole") {
+        "dnsmasq-pi-hole-*".into()
+    } else if s.starts_with("dnsmasq") {
+        "dnsmasq-*".into()
+    } else if s.starts_with("unbound") {
+        "unbound*".into()
+    } else if s.ends_with("-RedHat") {
+        "*-RedHat".into()
+    } else if s.ends_with("-Debian") {
+        "*-Debian".into()
+    } else if s.starts_with("PowerDNS Recursor") {
+        "PowerDNS Recursor*".into()
+    } else if s.starts_with("Q9-") {
+        "Q9-*".into()
+    } else {
+        s.into()
+    }
+}
+
+/// Builds Table 5 from campaign results.
+pub fn table5(results: &[ProbeResult]) -> Table5 {
+    let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+    let mut total = 0;
+    for r in results {
+        if r.report.location != Some(InterceptorLocation::Cpe) {
+            continue;
+        }
+        total += 1;
+        let Some(cpe) = &r.report.cpe else { continue };
+        let Some(text) = cpe.cpe_response.text() else { continue };
+        *counts.entry(table5_pattern(text)).or_insert(0) += 1;
+    }
+    let mut groups: Vec<(String, u32)> = counts.into_iter().collect();
+    groups.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    Table5 { groups, total_cpe: total }
+}
+
+impl fmt::Display for Table5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 5: Strings sent in response to version.bind (CPE interceptors)")?;
+        writeln!(f, "{:<28} {:>8}", "version.bind Response", "# Probes")?;
+        for (pattern, count) in &self.groups {
+            writeln!(f, "{:<28} {:>8}", pattern, count)?;
+        }
+        writeln!(f, "(total CPE-classified probes: {})", self.total_cpe)
+    }
+}
+
+/// One bar of Figure 3: an organization's intercepted probes split by
+/// transparency.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Figure3Bar {
+    /// Organization name.
+    pub org: String,
+    /// AS number.
+    pub asn: u32,
+    /// Fully transparent probes.
+    pub transparent: u32,
+    /// All-error probes.
+    pub status_modified: u32,
+    /// Mixed probes.
+    pub both: u32,
+}
+
+impl Figure3Bar {
+    /// Total intercepted probes in this bar.
+    pub fn total(&self) -> u32 {
+        self.transparent + self.status_modified + self.both
+    }
+}
+
+/// Figure 3: intercepted probes per top-N organization.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Figure3 {
+    /// Bars, descending by total.
+    pub bars: Vec<Figure3Bar>,
+}
+
+/// Builds Figure 3 (top `n` organizations).
+pub fn figure3(fleet: &Fleet, results: &[ProbeResult], n: usize) -> Figure3 {
+    let mut by_org: BTreeMap<usize, Figure3Bar> = BTreeMap::new();
+    for r in results {
+        if !r.report.intercepted {
+            continue;
+        }
+        let org = &fleet.config.orgs[r.probe.org];
+        let bar = by_org.entry(r.probe.org).or_insert_with(|| Figure3Bar {
+            org: org.name.clone(),
+            asn: org.asn,
+            ..Figure3Bar::default()
+        });
+        match r.report.transparency {
+            Some(Transparency::Transparent) | None => bar.transparent += 1,
+            Some(Transparency::StatusModified) => bar.status_modified += 1,
+            Some(Transparency::Both) => bar.both += 1,
+        }
+    }
+    let mut bars: Vec<Figure3Bar> = by_org.into_values().collect();
+    bars.sort_by(|a, b| b.total().cmp(&a.total()).then(a.org.cmp(&b.org)));
+    bars.truncate(n);
+    Figure3 { bars }
+}
+
+impl fmt::Display for Figure3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 3: Intercepted probes per top-{} organizations", self.bars.len())?;
+        writeln!(
+            f,
+            "{:<20} {:>6} {:>12} {:>16} {:>6}",
+            "Organization (AS)", "Total", "Transparent", "Status Modified", "Both"
+        )?;
+        for bar in &self.bars {
+            writeln!(
+                f,
+                "{:<20} {:>6} {:>12} {:>16} {:>6}",
+                format!("{} ({})", bar.org, bar.asn),
+                bar.total(),
+                bar.transparent,
+                bar.status_modified,
+                bar.both
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One bar of Figure 4: interception location split for a country or org.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Figure4Bar {
+    /// Country code or organization name.
+    pub label: String,
+    /// CPE-located interceptions.
+    pub cpe: u32,
+    /// Within-ISP interceptions.
+    pub within_isp: u32,
+    /// Beyond/unknown.
+    pub beyond_unknown: u32,
+}
+
+impl Figure4Bar {
+    /// Total intercepted probes in this bar.
+    pub fn total(&self) -> u32 {
+        self.cpe + self.within_isp + self.beyond_unknown
+    }
+}
+
+/// Figure 4: interception location per top-N countries and organizations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Figure4 {
+    /// Country bars, descending.
+    pub countries: Vec<Figure4Bar>,
+    /// Organization bars, descending.
+    pub orgs: Vec<Figure4Bar>,
+    /// Fleet-wide totals.
+    pub total: Figure4Bar,
+}
+
+/// Builds Figure 4 (top `n` in each panel).
+pub fn figure4(fleet: &Fleet, results: &[ProbeResult], n: usize) -> Figure4 {
+    let mut countries: BTreeMap<String, Figure4Bar> = BTreeMap::new();
+    let mut orgs: BTreeMap<String, Figure4Bar> = BTreeMap::new();
+    let mut total = Figure4Bar { label: "all".into(), ..Figure4Bar::default() };
+    for r in results {
+        let Some(location) = r.report.location else { continue };
+        let org = &fleet.config.orgs[r.probe.org];
+        for bar in [
+            countries.entry(org.country.clone()).or_insert_with(|| Figure4Bar {
+                label: org.country.clone(),
+                ..Figure4Bar::default()
+            }),
+            orgs.entry(org.name.clone()).or_insert_with(|| Figure4Bar {
+                label: org.name.clone(),
+                ..Figure4Bar::default()
+            }),
+            &mut total,
+        ] {
+            match location {
+                InterceptorLocation::Cpe => bar.cpe += 1,
+                InterceptorLocation::WithinIsp => bar.within_isp += 1,
+                InterceptorLocation::BeyondOrUnknown => bar.beyond_unknown += 1,
+            }
+        }
+    }
+    let sort = |map: BTreeMap<String, Figure4Bar>| {
+        let mut bars: Vec<Figure4Bar> = map.into_values().collect();
+        bars.sort_by(|a, b| b.total().cmp(&a.total()).then(a.label.cmp(&b.label)));
+        bars.truncate(n);
+        bars
+    };
+    Figure4 { countries: sort(countries), orgs: sort(orgs), total }
+}
+
+impl fmt::Display for Figure4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 4: Interception location (CPE / within ISP / beyond-unknown)")?;
+        for (title, bars) in
+            [("countries", &self.countries), ("organizations", &self.orgs)]
+        {
+            writeln!(f, "-- top {} {title} --", bars.len())?;
+            writeln!(
+                f,
+                "{:<20} {:>6} {:>6} {:>12} {:>15}",
+                "", "Total", "CPE", "Within ISP", "Beyond/Unknown"
+            )?;
+            for bar in bars.iter() {
+                writeln!(
+                    f,
+                    "{:<20} {:>6} {:>6} {:>12} {:>15}",
+                    bar.label,
+                    bar.total(),
+                    bar.cpe,
+                    bar.within_isp,
+                    bar.beyond_unknown
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "overall: {} CPE, {} within ISP, {} beyond/unknown (of {})",
+            self.total.cpe,
+            self.total.within_isp,
+            self.total.beyond_unknown,
+            self.total.total()
+        )
+    }
+}
+
+/// Detector accuracy against simulator ground truth — something the paper
+/// could not compute on the real Internet.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccuracyStats {
+    /// Probes where the verdict matched the expected output.
+    pub matches_expected: u32,
+    /// Probes where it did not.
+    pub mismatches: u32,
+    /// Intercepted probes correctly flagged as intercepted.
+    pub true_positives: u32,
+    /// Clean probes incorrectly flagged.
+    pub false_positives: u32,
+    /// Intercepted probes missed.
+    pub false_negatives: u32,
+    /// Clean probes correctly cleared.
+    pub true_negatives: u32,
+}
+
+/// Computes accuracy from campaign results.
+pub fn accuracy(results: &[ProbeResult]) -> AccuracyStats {
+    let mut stats = AccuracyStats::default();
+    for r in results {
+        if r.report.location == r.expected {
+            stats.matches_expected += 1;
+        } else {
+            stats.mismatches += 1;
+        }
+        match (r.truth.intercepted(), r.report.intercepted) {
+            (true, true) => stats.true_positives += 1,
+            (true, false) => stats.false_negatives += 1,
+            (false, true) => stats.false_positives += 1,
+            (false, false) => stats.true_negatives += 1,
+        }
+    }
+    stats
+}
+
+impl fmt::Display for AccuracyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Detector accuracy vs simulator ground truth")?;
+        writeln!(
+            f,
+            "  location verdict matches expected: {} / {}",
+            self.matches_expected,
+            self.matches_expected + self.mismatches
+        )?;
+        writeln!(
+            f,
+            "  interception detection: TP {}, FN {}, FP {}, TN {}",
+            self.true_positives, self.false_negatives, self.false_positives, self.true_negatives
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use crate::fleet::{generate, FleetConfig};
+
+    fn campaign() -> (Fleet, Vec<ProbeResult>) {
+        let fleet = generate(FleetConfig { size: 800, ..FleetConfig::default() });
+        let results = run_campaign(&fleet, 8);
+        (fleet, results)
+    }
+
+    #[test]
+    fn table5_pattern_grouping() {
+        assert_eq!(table5_pattern("dnsmasq-2.85"), "dnsmasq-*");
+        assert_eq!(table5_pattern("dnsmasq-pi-hole-2.87"), "dnsmasq-pi-hole-*");
+        assert_eq!(table5_pattern("unbound 1.9.0"), "unbound*");
+        assert_eq!(table5_pattern("9.11.4-RedHat"), "*-RedHat");
+        assert_eq!(table5_pattern("9.11.5-Debian"), "*-Debian");
+        assert_eq!(table5_pattern("PowerDNS Recursor 4.1.11"), "PowerDNS Recursor*");
+        assert_eq!(table5_pattern("Q9-U-2.1"), "Q9-*");
+        assert_eq!(table5_pattern("huuh?"), "huuh?");
+        assert_eq!(table5_pattern("Windows NS"), "Windows NS");
+    }
+
+    #[test]
+    fn small_campaign_aggregates_consistently() {
+        let (fleet, results) = campaign();
+        let t4 = table4(&results);
+        assert_eq!(t4.responding as usize, results.len());
+        // Any-intercepted never exceeds per-resolver sums.
+        let max_per_resolver =
+            t4.rows.iter().map(|(_, r)| r.intercepted_v4).max().unwrap_or(0);
+        assert!(t4.any_intercepted >= max_per_resolver);
+        assert!(t4.all_intercepted.intercepted_v4 <= max_per_resolver);
+
+        let t5 = table5(&results);
+        let sum: u32 = t5.groups.iter().map(|(_, n)| n).sum();
+        assert!(sum <= t5.total_cpe + 1);
+
+        let f3 = figure3(&fleet, &results, 15);
+        let f3_total: u32 = f3.bars.iter().map(|b| b.total()).sum();
+        assert!(f3_total <= t4.any_intercepted);
+
+        let f4 = figure4(&fleet, &results, 15);
+        assert_eq!(f4.total.total(), t4.any_intercepted);
+
+        let acc = accuracy(&results);
+        assert_eq!(
+            acc.matches_expected + acc.mismatches,
+            results.len() as u32
+        );
+        // No false positives: clean paths never look intercepted.
+        assert_eq!(acc.false_positives, 0);
+    }
+
+    #[test]
+    fn displays_render() {
+        let (fleet, results) = campaign();
+        let t4 = format!("{}", table4(&results));
+        assert!(t4.contains("Cloudflare DNS"));
+        let t5 = format!("{}", table5(&results));
+        assert!(t5.contains("version.bind"));
+        let f3 = format!("{}", figure3(&fleet, &results, 15));
+        assert!(f3.contains("Transparent"));
+        let f4 = format!("{}", figure4(&fleet, &results, 15));
+        assert!(f4.contains("Within ISP"));
+    }
+}

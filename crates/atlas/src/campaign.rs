@@ -1,0 +1,134 @@
+//! The measurement campaign: runs the three-step technique from every
+//! responding probe, in parallel, deterministically.
+
+use crate::fleet::{scenario_for, Fleet, ProbeSpec};
+use crossbeam::thread;
+use interception::{GroundTruth, SimTransport};
+use locator::{HijackLocator, ProbeReport};
+
+/// The outcome of measuring one probe.
+#[derive(Debug, Clone)]
+pub struct ProbeResult {
+    /// The probe that was measured.
+    pub probe: ProbeSpec,
+    /// The locator's report.
+    pub report: ProbeReport,
+    /// Simulator ground truth.
+    pub truth: GroundTruth,
+    /// What the technique was expected to conclude.
+    pub expected: Option<locator::InterceptorLocation>,
+}
+
+/// Runs the full campaign. Results come back ordered by probe id; the
+/// computation is embarrassingly parallel and each probe's world is seeded
+/// independently, so thread count does not affect the outcome.
+pub fn run_campaign(fleet: &Fleet, threads: usize) -> Vec<ProbeResult> {
+    let responding: Vec<&ProbeSpec> = fleet.responding().collect();
+    let threads = threads.max(1);
+    let chunk = responding.len().div_ceil(threads);
+    if chunk == 0 {
+        return Vec::new();
+    }
+    let mut results: Vec<Option<ProbeResult>> = vec![None; responding.len()];
+    thread::scope(|scope| {
+        for (slot_chunk, probe_chunk) in
+            results.chunks_mut(chunk).zip(responding.chunks(chunk))
+        {
+            scope.spawn(move |_| {
+                for (slot, probe) in slot_chunk.iter_mut().zip(probe_chunk) {
+                    *slot = Some(measure_probe(fleet, probe));
+                }
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+    results.into_iter().flatten().collect()
+}
+
+/// Measures a single probe.
+pub fn measure_probe(fleet: &Fleet, probe: &ProbeSpec) -> ProbeResult {
+    let scenario = scenario_for(fleet, probe);
+    let built = scenario.build();
+    let config = built.locator_config();
+    let truth = built.truth.clone();
+    let expected = built.expected;
+    let mut transport = SimTransport::new(built);
+    let report = HijackLocator::new(config).run(&mut transport);
+    ProbeResult { probe: probe.clone(), report, truth, expected }
+}
+
+/// Measures a single probe while archiving every query/response byte —
+/// the raw dataset a real measurement study publishes.
+pub fn measure_probe_archived(
+    fleet: &Fleet,
+    probe: &ProbeSpec,
+) -> (ProbeResult, crate::raw::RawMeasurement) {
+    let scenario = scenario_for(fleet, probe);
+    let built = scenario.build();
+    let config = built.locator_config();
+    let truth = built.truth.clone();
+    let expected = built.expected;
+    let mut recording = crate::raw::RecordingTransport::new(SimTransport::new(built));
+    let report = HijackLocator::new(config).run(&mut recording);
+    (
+        ProbeResult { probe: probe.clone(), report, truth, expected },
+        recording.into_measurement(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{generate, FleetConfig};
+
+    fn tiny_campaign(threads: usize) -> Vec<ProbeResult> {
+        let fleet = generate(FleetConfig { size: 120, ..FleetConfig::default() });
+        run_campaign(&fleet, threads)
+    }
+
+    #[test]
+    fn campaign_measures_every_responding_probe() {
+        let fleet = generate(FleetConfig { size: 120, ..FleetConfig::default() });
+        let results = run_campaign(&fleet, 4);
+        assert_eq!(results.len(), fleet.responding().count());
+        // Ordered by id.
+        for pair in results.windows(2) {
+            assert!(pair[0].probe.id < pair[1].probe.id);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let a = tiny_campaign(1);
+        let b = tiny_campaign(7);
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.probe.id, rb.probe.id);
+            assert_eq!(ra.report, rb.report);
+        }
+    }
+
+    #[test]
+    fn archived_measurement_matches_live_report() {
+        let fleet = generate(FleetConfig { size: 60, ..FleetConfig::default() });
+        let probe = fleet.responding().next().unwrap();
+        let live = measure_probe(&fleet, probe);
+        let (archived, measurement) = measure_probe_archived(&fleet, probe);
+        assert_eq!(live.report, archived.report);
+        assert_eq!(measurement.records.len() as u32, live.report.queries_sent);
+    }
+
+    #[test]
+    fn intercepted_truth_implies_detection_for_quota_probes() {
+        // Every interceptor the fleet plants is of a kind the technique
+        // detects (quota probes never time out), so truth and report agree
+        // on the binary question.
+        let fleet = generate(FleetConfig { size: 2_000, ..FleetConfig::default() });
+        let results = run_campaign(&fleet, 8);
+        for r in &results {
+            if r.truth.intercepted() {
+                assert!(r.report.intercepted, "probe {} flavor {:?}", r.probe.id, r.probe.flavor);
+            }
+        }
+    }
+}

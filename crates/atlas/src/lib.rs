@@ -1,0 +1,31 @@
+//! # atlas-sim
+//!
+//! A RIPE-Atlas-like measurement platform for the *Home is Where the
+//! Hijacking is* reproduction: a seeded probe-fleet generator with the
+//! Atlas population skew (Europe/NA heavy, Comcast prominent, "geek bias"
+//! Pi-holes), a parallel campaign runner that executes the three-step
+//! technique from every responding probe, and aggregators that regenerate
+//! the paper's Tables 4–5 and Figures 3–4 plus an accuracy analysis
+//! against simulator ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod campaign;
+mod chart;
+mod flavor;
+mod fleet;
+mod orgs;
+mod raw;
+
+pub use aggregate::{
+    accuracy, figure3, figure4, table4, table5, table5_pattern, AccuracyStats, Figure3,
+    Figure3Bar, Figure4, Figure4Bar, Table4, Table4Row, Table5,
+};
+pub use campaign::{measure_probe, measure_probe_archived, run_campaign, ProbeResult};
+pub use chart::{figure3_chart, figure4_chart};
+pub use flavor::{region_of_country, Flavor};
+pub use fleet::{generate, scenario_for, Fleet, FleetConfig, ProbeSpec};
+pub use orgs::{default_catalog, OrgSpec};
+pub use raw::{RawMeasurement, RawQueryRecord, RecordingTransport, ReplayTransport};

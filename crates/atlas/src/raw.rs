@@ -1,0 +1,195 @@
+//! Raw measurement records: collection/analysis separation.
+//!
+//! Real measurement studies collect once (RIPE Atlas hands back raw DNS
+//! responses) and analyze many times offline. [`RecordingTransport`] wraps
+//! any transport and archives every query and its raw response bytes;
+//! [`ReplayTransport`] re-runs the locator against an archive with no
+//! network (or simulator) at all. Because the locator is deterministic,
+//! replayed analysis reproduces the original report bit for bit — and
+//! archives can be re-analyzed with *improved* analysis code later, the
+//! workflow the paper's artifact evaluation would want.
+
+use dns_wire::{Message, Question};
+use locator::{QueryOptions, QueryOutcome, QueryTransport};
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+
+/// One archived query/response pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawQueryRecord {
+    /// Server the query was sent to.
+    pub server: IpAddr,
+    /// QNAME in presentation form.
+    pub qname: String,
+    /// QTYPE wire value.
+    pub qtype: u16,
+    /// QCLASS wire value.
+    pub qclass: u16,
+    /// Raw response bytes; `None` for a timeout.
+    pub response: Option<Vec<u8>>,
+}
+
+impl RawQueryRecord {
+    fn matches(&self, server: IpAddr, q: &Question) -> bool {
+        self.server == server
+            && self.qname == q.qname.to_string()
+            && self.qtype == q.qtype.to_u16()
+            && self.qclass == q.qclass.to_u16()
+    }
+}
+
+/// An archive of one probe's measurement.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawMeasurement {
+    /// Records in query order.
+    pub records: Vec<RawQueryRecord>,
+}
+
+/// Wraps a live transport, archiving everything that passes through.
+pub struct RecordingTransport<T> {
+    inner: T,
+    /// The archive being built.
+    pub measurement: RawMeasurement,
+}
+
+impl<T> RecordingTransport<T> {
+    /// Starts recording over `inner`.
+    pub fn new(inner: T) -> RecordingTransport<T> {
+        RecordingTransport { inner, measurement: RawMeasurement::default() }
+    }
+
+    /// Finishes, returning the archive.
+    pub fn into_measurement(self) -> RawMeasurement {
+        self.measurement
+    }
+}
+
+impl<T: QueryTransport> QueryTransport for RecordingTransport<T> {
+    fn query(&mut self, server: IpAddr, question: Question, opts: QueryOptions) -> QueryOutcome {
+        let outcome = self.inner.query(server, question.clone(), opts);
+        let response = match &outcome {
+            QueryOutcome::Response(m) => m.encode().ok(),
+            QueryOutcome::Timeout => None,
+        };
+        self.measurement.records.push(RawQueryRecord {
+            server,
+            qname: question.qname.to_string(),
+            qtype: question.qtype.to_u16(),
+            qclass: question.qclass.to_u16(),
+            response,
+        });
+        outcome
+    }
+}
+
+/// Replays an archive. Queries must arrive in the archived order with the
+/// archived parameters (the locator is deterministic, so they do); any
+/// divergence yields a timeout and is counted in `mismatches`.
+pub struct ReplayTransport {
+    records: Vec<RawQueryRecord>,
+    cursor: usize,
+    /// Queries that did not match the archive (0 on a faithful replay).
+    pub mismatches: u32,
+}
+
+impl ReplayTransport {
+    /// Opens an archive for replay.
+    pub fn new(measurement: RawMeasurement) -> ReplayTransport {
+        ReplayTransport { records: measurement.records, cursor: 0, mismatches: 0 }
+    }
+
+    /// True when every archived record was consumed.
+    pub fn exhausted(&self) -> bool {
+        self.cursor == self.records.len()
+    }
+}
+
+impl QueryTransport for ReplayTransport {
+    fn query(&mut self, server: IpAddr, question: Question, _opts: QueryOptions) -> QueryOutcome {
+        let Some(record) = self.records.get(self.cursor) else {
+            self.mismatches += 1;
+            return QueryOutcome::Timeout;
+        };
+        if !record.matches(server, &question) {
+            self.mismatches += 1;
+            return QueryOutcome::Timeout;
+        }
+        self.cursor += 1;
+        match &record.response {
+            Some(bytes) => match Message::parse(bytes) {
+                Ok(m) => QueryOutcome::Response(m),
+                Err(_) => QueryOutcome::Timeout,
+            },
+            None => QueryOutcome::Timeout,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interception::{HomeScenario, SimTransport};
+    use locator::HijackLocator;
+
+    fn record_probe(scenario: HomeScenario) -> (locator::ProbeReport, RawMeasurement) {
+        let built = scenario.build();
+        let config = built.locator_config();
+        let mut recording = RecordingTransport::new(SimTransport::new(built));
+        let report = HijackLocator::new(config.clone()).run(&mut recording);
+        (report, recording.into_measurement())
+    }
+
+    #[test]
+    fn replay_reproduces_the_live_report() {
+        for scenario in [HomeScenario::clean(), HomeScenario::xb6_case_study()] {
+            let config = scenario.build().locator_config();
+            let (live_report, archive) = record_probe(scenario);
+            let mut replay = ReplayTransport::new(archive);
+            let replayed_report = HijackLocator::new(config).run(&mut replay);
+            assert_eq!(replayed_report, live_report);
+            assert_eq!(replay.mismatches, 0);
+            assert!(replay.exhausted());
+        }
+    }
+
+    #[test]
+    fn archives_survive_json() {
+        let (_, archive) = record_probe(HomeScenario::xb6_case_study());
+        let json = serde_json::to_string(&archive).unwrap();
+        let back: RawMeasurement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, archive);
+        assert!(!back.records.is_empty());
+    }
+
+    #[test]
+    fn archive_length_matches_queries_sent() {
+        let (report, archive) = record_probe(HomeScenario::isp_middlebox());
+        assert_eq!(archive.records.len() as u32, report.queries_sent);
+    }
+
+    #[test]
+    fn diverging_replay_counts_mismatches() {
+        let (_, archive) = record_probe(HomeScenario::clean());
+        let mut replay = ReplayTransport::new(archive);
+        // Ask something the archive never saw.
+        let out = replay.query(
+            "203.0.113.1".parse().unwrap(),
+            dns_wire::Question::chaos_txt("id.server".parse().unwrap()),
+            locator::QueryOptions::default(),
+        );
+        assert!(out.is_timeout());
+        assert_eq!(replay.mismatches, 1);
+    }
+
+    #[test]
+    fn empty_archive_times_out_everything() {
+        let mut replay = ReplayTransport::new(RawMeasurement::default());
+        let out = replay.query(
+            "1.1.1.1".parse().unwrap(),
+            dns_wire::Question::chaos_txt("id.server".parse().unwrap()),
+            locator::QueryOptions::default(),
+        );
+        assert!(out.is_timeout());
+        assert!(replay.exhausted());
+    }
+}

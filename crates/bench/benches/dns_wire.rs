@@ -1,0 +1,74 @@
+//! Wire-format throughput: parse and build costs for the message shapes
+//! the technique sends and receives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dns_wire::{debug_queries, Message, Question, RData, RType, Rcode, Record};
+use std::net::Ipv4Addr;
+
+fn query_bytes() -> Vec<u8> {
+    debug_queries::version_bind_query(0x1234).encode().unwrap()
+}
+
+fn txt_response_bytes() -> Vec<u8> {
+    let q = Message::query(7, Question::chaos_txt("version.bind".parse().unwrap()));
+    Message::response_to(&q, Rcode::NoError)
+        .with_answer(Record::chaos_txt("version.bind".parse().unwrap(), "dnsmasq-2.85"))
+        .encode()
+        .unwrap()
+}
+
+fn compressed_response_bytes() -> Vec<u8> {
+    let name: dns_wire::Name = "a-rather-long-owner-name.example.com".parse().unwrap();
+    let q = Message::query(9, Question::new(name.clone(), RType::A));
+    let mut resp = Message::response_to(&q, Rcode::NoError);
+    for i in 0..8u8 {
+        resp.answers.push(Record::new(name.clone(), 60, RData::A(Ipv4Addr::new(10, 0, 0, i))));
+    }
+    resp.encode().unwrap()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dns_wire/parse");
+    for (label, bytes) in [
+        ("chaos_query", query_bytes()),
+        ("txt_response", txt_response_bytes()),
+        ("compressed_8_answers", compressed_response_bytes()),
+    ] {
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_function(label, |b| {
+            b.iter(|| Message::parse(std::hint::black_box(&bytes)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dns_wire/build");
+    group.bench_function("chaos_query", |b| {
+        b.iter(|| debug_queries::version_bind_query(std::hint::black_box(0x1234)).encode().unwrap())
+    });
+    group.bench_function("compressed_8_answers", |b| {
+        let name: dns_wire::Name = "a-rather-long-owner-name.example.com".parse().unwrap();
+        let q = Message::query(9, Question::new(name.clone(), RType::A));
+        let mut resp = Message::response_to(&q, Rcode::NoError);
+        for i in 0..8u8 {
+            resp.answers
+                .push(Record::new(name.clone(), 60, RData::A(Ipv4Addr::new(10, 0, 0, i))));
+        }
+        b.iter_batched(|| resp.clone(), |m| m.encode().unwrap(), BatchSize::SmallInput)
+    });
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let bytes = compressed_response_bytes();
+    c.bench_function("dns_wire/roundtrip_compressed", |b| {
+        b.iter(|| {
+            let m = Message::parse(std::hint::black_box(&bytes)).unwrap();
+            m.encode().unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_build, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Campaign scalability: wall time of the fleet survey as the probe count
+//! grows (the pilot study runs ~10k; these sizes keep criterion honest).
+
+use atlas_sim::{generate, run_campaign, FleetConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_fleet_sizes(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut group = c.benchmark_group("fleet/campaign");
+    group.sample_size(10);
+    for size in [250usize, 500, 1000, 2000] {
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let fleet = generate(FleetConfig { size, ..FleetConfig::default() });
+            b.iter(|| run_campaign(&fleet, threads))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fleet_generation(c: &mut Criterion) {
+    c.bench_function("fleet/generate_10k", |b| {
+        b.iter(|| generate(FleetConfig::default()))
+    });
+}
+
+criterion_group!(benches, bench_fleet_sizes, bench_fleet_generation);
+criterion_main!(benches);

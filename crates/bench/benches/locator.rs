@@ -1,0 +1,65 @@
+//! Cost of the technique itself: full three-step runs per scenario class,
+//! over both the scripted transport (algorithm-only cost) and the
+//! packet-level simulator (algorithm + world).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interception::{CpeModelKind, HomeScenario, MiddleboxSpec, SimTransport};
+use locator::{HijackLocator, LocatorConfig, MockTransport};
+
+fn config_with_cpe() -> LocatorConfig {
+    LocatorConfig {
+        cpe_public_v4: Some("73.22.1.5".parse().unwrap()),
+        ..LocatorConfig::default()
+    }
+}
+
+fn bench_algorithm_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locator/mock_transport");
+    group.bench_function("clean", |b| {
+        b.iter(|| {
+            let mut t = MockTransport::new();
+            t.standard_public_resolvers();
+            HijackLocator::new(config_with_cpe()).run(&mut t)
+        })
+    });
+    group.bench_function("cpe_interceptor", |b| {
+        b.iter(|| {
+            let mut t = MockTransport::new();
+            t.standard_public_resolvers();
+            t.intercept_all_v4_with_forwarder("dnsmasq-2.85");
+            t.cpe_version_bind("73.22.1.5".parse().unwrap(), "dnsmasq-2.85");
+            HijackLocator::new(config_with_cpe()).run(&mut t)
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locator/simulated_world");
+    group.sample_size(30);
+    let cases: Vec<(&str, HomeScenario)> = vec![
+        ("clean", HomeScenario::clean()),
+        ("xb6_cpe", HomeScenario::xb6_case_study()),
+        ("isp_middlebox", HomeScenario::isp_middlebox()),
+        ("appendix_a_confounder", HomeScenario {
+            cpe_model: CpeModelKind::OpenWanForwarder { version: "2.80".into() },
+            middlebox: Some(MiddleboxSpec::redirect_all_to_isp()),
+            ..HomeScenario::clean()
+        }),
+    ];
+    for (label, scenario) in cases {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                // Build + measure: one probe's full life, end to end.
+                let built = scenario.build();
+                let config = built.locator_config();
+                let mut transport = SimTransport::new(built);
+                HijackLocator::new(config).run(&mut transport)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm_only, bench_full_simulation);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Simulator substrate throughput: event-loop dispatch, NAT translation,
+//! and end-to-end packet delivery through a home topology.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use interception::{HomeScenario, SimTransport};
+use locator::{QueryOptions, QueryTransport};
+use netsim::{DnatRule, IpPacket, NatEngine, NatVerdict, SimTime};
+
+fn bench_nat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim/nat");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("masquerade_outbound", |b| {
+        let mut nat = NatEngine::new();
+        nat.masquerade_v4("73.22.1.5".parse().unwrap());
+        let pkt = IpPacket::udp_v4(
+            "192.168.1.100".parse().unwrap(),
+            "8.8.8.8".parse().unwrap(),
+            4000,
+            53,
+            Bytes::from_static(b"query"),
+        );
+        b.iter_batched(
+            || pkt.clone(),
+            |p| nat.outbound(p, SimTime::ZERO),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("dnat_plus_masquerade_roundtrip", |b| {
+        let mut nat = NatEngine::new();
+        nat.add_dnat(DnatRule::redirect_dns("75.75.75.75".parse().unwrap()));
+        nat.masquerade_v4("73.22.1.5".parse().unwrap());
+        let pkt = IpPacket::udp_v4(
+            "192.168.1.100".parse().unwrap(),
+            "8.8.8.8".parse().unwrap(),
+            4000,
+            53,
+            Bytes::from_static(b"query"),
+        );
+        b.iter_batched(
+            || pkt.clone(),
+            |p| {
+                let out = match nat.outbound(p, SimTime::ZERO) {
+                    NatVerdict::Forward(p) => p,
+                    NatVerdict::Local(p) => p,
+                };
+                let sport = out.udp_payload().unwrap().src_port;
+                let reply = IpPacket::udp_v4(
+                    "75.75.75.75".parse().unwrap(),
+                    "73.22.1.5".parse().unwrap(),
+                    53,
+                    sport,
+                    Bytes::from_static(b"reply"),
+                );
+                nat.inbound(reply, SimTime::ZERO)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_scenario_build(c: &mut Criterion) {
+    c.bench_function("netsim/build_home_scenario", |b| {
+        b.iter(|| HomeScenario::clean().build())
+    });
+}
+
+fn bench_query_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim/query_path");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("clean_roundtrip", |b| {
+        let mut transport = SimTransport::new(HomeScenario::clean().build());
+        let resolvers = locator::default_resolvers();
+        let q = resolvers[0].location_query();
+        b.iter(|| {
+            transport.query(resolvers[0].v4[0], q.clone(), QueryOptions::default())
+        })
+    });
+    group.bench_function("intercepted_roundtrip", |b| {
+        let mut transport = SimTransport::new(HomeScenario::xb6_case_study().build());
+        let resolvers = locator::default_resolvers();
+        let q = resolvers[0].location_query();
+        b.iter(|| {
+            transport.query(resolvers[0].v4[0], q.clone(), QueryOptions::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nat, bench_scenario_build, bench_query_path);
+criterion_main!(benches);

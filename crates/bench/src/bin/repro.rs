@@ -1,0 +1,361 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro --all                 # everything (default fleet: 10,000 probes)
+//! repro --table 4 --size 2000 # one artifact, smaller fleet
+//! repro --figure 3
+//! repro --case xb6            # §5 case-study packet trace
+//! repro --appendix a          # Appendix-A baseline comparison
+//! repro --json out.json       # machine-readable dump of the campaign
+//! ```
+
+use atlas_sim::{
+    accuracy, figure3, figure4, generate, run_campaign, table4, table5, Fleet, FleetConfig,
+    ProbeResult,
+};
+use interception::{CpeModelKind, HomeScenario, MiddleboxSpec, SimTransport};
+use locator::{
+    baseline, default_resolvers, describe_response, HijackLocator, QueryOptions,
+    QueryTransport,
+};
+use std::net::IpAddr;
+
+struct Args {
+    table: Option<u32>,
+    figure: Option<u32>,
+    case: Option<String>,
+    appendix: Option<String>,
+    all: bool,
+    size: usize,
+    seed: u64,
+    threads: usize,
+    json: Option<String>,
+    archives: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        table: None,
+        figure: None,
+        case: None,
+        appendix: None,
+        all: false,
+        size: 10_000,
+        seed: 0x41544C53,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        json: None,
+        archives: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_default()
+        };
+        match argv[i].as_str() {
+            "--table" => args.table = take(&mut i).parse().ok(),
+            "--figure" => args.figure = take(&mut i).parse().ok(),
+            "--case" => args.case = Some(take(&mut i)),
+            "--appendix" => args.appendix = Some(take(&mut i)),
+            "--all" => args.all = true,
+            "--size" => args.size = take(&mut i).parse().unwrap_or(10_000),
+            "--seed" => args.seed = take(&mut i).parse().unwrap_or(0x41544C53),
+            "--threads" => args.threads = take(&mut i).parse().unwrap_or(4),
+            "--json" => args.json = Some(take(&mut i)),
+            "--archives" => args.archives = Some(take(&mut i)),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--all] [--table N] [--figure N] [--case xb6] \
+                     [--appendix a] [--size N] [--seed N] [--threads N] [--json PATH] \
+                     [--archives PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+        i += 1;
+    }
+    if args.table.is_none()
+        && args.figure.is_none()
+        && args.case.is_none()
+        && args.appendix.is_none()
+    {
+        args.all = true;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let needs_campaign = args.all
+        || matches!(args.table, Some(4) | Some(5))
+        || args.figure.is_some()
+        || args.json.is_some()
+        || args.archives.is_some();
+
+    if args.all || args.table == Some(1) {
+        print_table1();
+    }
+    if args.all || args.table == Some(2) || args.table == Some(3) {
+        print_tables_2_and_3();
+    }
+
+    let campaign = needs_campaign.then(|| {
+        eprintln!(
+            "running campaign: {} probes, seed {}, {} threads…",
+            args.size, args.seed, args.threads
+        );
+        let fleet = generate(FleetConfig { size: args.size, seed: args.seed, ..FleetConfig::default() });
+        let started = std::time::Instant::now();
+        let results = run_campaign(&fleet, args.threads);
+        eprintln!(
+            "campaign done: {} probes measured in {:.1}s",
+            results.len(),
+            started.elapsed().as_secs_f64()
+        );
+        (fleet, results)
+    });
+
+    if let Some((fleet, results)) = &campaign {
+        if args.all || args.table == Some(4) {
+            println!("{}", table4(results));
+        }
+        if args.all || args.table == Some(5) {
+            println!("{}", table5(results));
+        }
+        if args.all || args.figure == Some(3) {
+            let fig = figure3(fleet, results, 15);
+            println!("{fig}");
+            println!("{}", atlas_sim::figure3_chart(&fig));
+        }
+        if args.all || args.figure == Some(4) {
+            let fig = figure4(fleet, results, 15);
+            println!("{fig}");
+            println!("{}", atlas_sim::figure4_chart(&fig));
+        }
+        if args.all {
+            println!("{}", accuracy(results));
+        }
+        if let Some(path) = &args.json {
+            write_json(path, fleet, results);
+        }
+        if let Some(path) = &args.archives {
+            write_archives(path, fleet, results);
+        }
+    }
+
+    if args.all || args.case.as_deref() == Some("xb6") {
+        print_xb6_case_study();
+    }
+    if args.all || args.appendix.as_deref() == Some("a") {
+        print_appendix_a();
+    }
+}
+
+/// Table 1: location queries and expected responses, measured live against
+/// the public resolver models over a clean path.
+fn print_table1() {
+    println!("Table 1: Location queries and expected responses (clean path)");
+    println!("{:<16} {:<10} {:<26} Example Response", "Public Resolver", "Type", "Location Query");
+    let mut transport = SimTransport::new(HomeScenario::clean().build());
+    for resolver in default_resolvers() {
+        let q = resolver.location_query();
+        let qtype = match q.qclass {
+            dns_wire::RClass::Chaos => "CHAOS TXT",
+            _ => "TXT",
+        };
+        let out = transport.query(resolver.v4[0], q.clone(), QueryOptions::default());
+        let response = out.response().map(describe_response).unwrap_or_else(|| "-".into());
+        println!(
+            "{:<16} {:<10} {:<26} {}",
+            resolver.key.display_name(),
+            qtype,
+            q.qname.to_string().trim_end_matches('.'),
+            response
+        );
+    }
+    println!();
+}
+
+/// Tables 2 and 3: the worked example of §3.4 — three probes (clean, ISP
+/// middlebox, CPE interceptor), their location-query answers and their
+/// version.bind answers.
+fn print_tables_2_and_3() {
+    // Probe 1053: clean. Probe 11992: ISP middlebox whose resolver answers
+    // CHAOS with NOTIMP. Probe 21823: unbound-based CPE interceptor.
+    let probes: Vec<(&str, HomeScenario)> = vec![
+        ("1053", HomeScenario::clean()),
+        ("11992", {
+            let mut s = HomeScenario::isp_middlebox();
+            s.isp.resolver_version = "NOTIMP".into();
+            s.cpe_model = CpeModelKind::OpenWanForwarderNxDomain;
+            s
+        }),
+        ("21823", HomeScenario {
+            cpe_model: CpeModelKind::UnboundInterceptor { version: "1.9.0".into() },
+            ..HomeScenario::clean()
+        }),
+    ];
+
+    let resolvers = default_resolvers();
+    let cloudflare = &resolvers[0];
+    let google = &resolvers[1];
+
+    println!("Table 2: Example responses to IPv4 location queries");
+    println!("{:<10} {:<20} {:<20}", "ProbeID", "Cloudflare DNS", "Google DNS");
+    let mut transports: Vec<(&str, SimTransport, IpAddr)> = probes
+        .into_iter()
+        .map(|(id, s)| {
+            let built = s.build();
+            let cpe_v4 = IpAddr::V4(built.addrs.cpe_public_v4);
+            (id, SimTransport::new(built), cpe_v4)
+        })
+        .collect();
+    for (id, transport, _) in &mut transports {
+        let cf = transport
+            .query(cloudflare.v4[0], cloudflare.location_query(), QueryOptions::default())
+            .response()
+            .map(describe_response)
+            .unwrap_or_else(|| "-".into());
+        let gg = transport
+            .query(google.v4[0], google.location_query(), QueryOptions::default())
+            .response()
+            .map(describe_response)
+            .unwrap_or_else(|| "-".into());
+        println!("{:<10} {:<20} {:<20}", id, cf, gg);
+    }
+    println!();
+
+    println!("Table 3: Example responses to IPv4 version.bind queries");
+    println!("{:<10} {:<20} {:<20} {:<20}", "ProbeID", "Cloudflare DNS", "Google DNS", "CPE Public IP");
+    for (id, transport, cpe_v4) in &mut transports {
+        if *id == "1053" {
+            // The clean probe was not intercepted, so step 2 never runs.
+            println!("{:<10} {:<20} {:<20} {:<20}", id, "-", "-", "-");
+            continue;
+        }
+        let vb = dns_wire::Question::chaos_txt(dns_wire::debug_queries::version_bind());
+        let mut ask = |server: IpAddr| -> String {
+            transport
+                .query(server, vb.clone(), QueryOptions::default())
+                .response()
+                .map(describe_response)
+                .unwrap_or_else(|| "-".into())
+        };
+        let cf = ask(cloudflare.v4[0]);
+        let gg = ask(google.v4[0]);
+        let cpe = ask(*cpe_v4);
+        println!("{:<10} {:<20} {:<20} {:<20}", id, cf, gg, cpe);
+    }
+    println!();
+}
+
+/// §5 case study: a packet-level trace of the XB6's DNAT interception.
+fn print_xb6_case_study() {
+    println!("Case study (§5): XB6 DNAT interception, packet by packet");
+    let mut built = HomeScenario::xb6_case_study().build();
+    built.sim.enable_trace();
+    let probe_v4 = built.addrs.probe_v4;
+    let mut transport = SimTransport::new(built);
+    let q = dns_wire::Question::new("example.com".parse().unwrap(), dns_wire::RType::A);
+    let out = transport.query("8.8.8.8".parse().unwrap(), q, QueryOptions::default());
+    for entry in transport.scenario.sim.trace() {
+        println!("  {:>10}  {:<18} {}", entry.at.to_string(), entry.node_name, entry.packet);
+    }
+    match out.response() {
+        Some(resp) => println!(
+            "probe {probe_v4} received {} — source spoofed as 8.8.8.8, answered by the ISP resolver",
+            describe_response(resp)
+        ),
+        None => println!("probe {probe_v4} received no answer"),
+    }
+    println!();
+}
+
+/// Appendix A: the naive A-record detector blames an innocent CPE; the
+/// version.bind comparison does not.
+fn print_appendix_a() {
+    println!("Appendix A: A-record baseline vs version.bind comparison");
+    let scenario = HomeScenario {
+        cpe_model: CpeModelKind::OpenWanForwarder { version: "2.80".into() },
+        middlebox: Some(MiddleboxSpec::redirect_all_to_isp()),
+        ..HomeScenario::clean()
+    };
+    let built = scenario.build();
+    let cpe_public: IpAddr = IpAddr::V4(built.addrs.cpe_public_v4);
+    let config = built.locator_config();
+    let mut transport = SimTransport::new(built);
+
+    let verdict = baseline::a_record_cpe_check(
+        &mut transport,
+        cpe_public,
+        "8.8.8.8".parse().unwrap(),
+        &"example.com".parse().unwrap(),
+        QueryOptions::default(),
+    );
+    println!("  ground truth       : ISP middlebox intercepts; CPE is innocent (port 53 open)");
+    println!("  A-record baseline  : {verdict:?}");
+    let report = HijackLocator::new(config).run(&mut transport);
+    println!(
+        "  three-step verdict : intercepted={}, location={}",
+        report.intercepted,
+        report.location.map(|l| l.to_string()).unwrap_or_else(|| "-".into())
+    );
+    println!();
+}
+
+/// Re-measures every intercepted probe with archival on, and writes one
+/// JSON-lines file of raw query/response records — the publishable dataset.
+fn write_archives(path: &str, fleet: &Fleet, results: &[ProbeResult]) {
+    #[derive(serde::Serialize)]
+    struct Line {
+        probe_id: u32,
+        asn: u32,
+        country: String,
+        measurement: atlas_sim::RawMeasurement,
+    }
+    let mut out = String::new();
+    let mut count = 0;
+    for r in results.iter().filter(|r| r.report.intercepted) {
+        let (_, measurement) = atlas_sim::measure_probe_archived(fleet, &r.probe);
+        let org = &fleet.config.orgs[r.probe.org];
+        let line = Line {
+            probe_id: r.probe.id,
+            asn: org.asn,
+            country: org.country.clone(),
+            measurement,
+        };
+        out.push_str(&serde_json::to_string(&line).expect("serializable"));
+        out.push('\n');
+        count += 1;
+    }
+    match std::fs::write(path, out) {
+        Ok(()) => eprintln!("wrote raw archives for {count} intercepted probes to {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+fn write_json(path: &str, fleet: &Fleet, results: &[ProbeResult]) {
+    #[derive(serde::Serialize)]
+    struct Dump<'a> {
+        table4: atlas_sim::Table4,
+        table5: atlas_sim::Table5,
+        figure3: atlas_sim::Figure3,
+        figure4: atlas_sim::Figure4,
+        accuracy: atlas_sim::AccuracyStats,
+        reports: Vec<&'a locator::ProbeReport>,
+    }
+    let dump = Dump {
+        table4: table4(results),
+        table5: table5(results),
+        figure3: figure3(fleet, results, 15),
+        figure4: figure4(fleet, results, 15),
+        accuracy: accuracy(results),
+        reports: results.iter().map(|r| &r.report).collect(),
+    };
+    match std::fs::write(path, serde_json::to_string_pretty(&dump).expect("serializable")) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}

@@ -1,0 +1,297 @@
+//! `hijack-scan` — run the three-step DNS-interception locator from this
+//! machine, against the real Internet.
+//!
+//! ```text
+//! hijack-scan                        # detect; step 2 skipped w/o --cpe-ip
+//! hijack-scan --cpe-ip 203.0.113.7   # full localization
+//! hijack-scan --no-v6 --timeout 3000
+//! hijack-scan --json                 # machine-readable report
+//! hijack-scan --ttl-scan             # §6 TTL extension (needs IP_TTL)
+//! ```
+//!
+//! The tool issues ~16 DNS queries (up to ~30 when interception is found):
+//! the location queries of paper Table 1, `version.bind` comparisons, and
+//! bogon queries. It requires no privileges — the paper's point.
+
+use locator::ttl_scan::{interpret, ttl_scan, TtlVerdict};
+use locator::{
+    default_resolvers, HijackLocator, LocatorConfig, QueryOptions, UdpTransport,
+};
+use std::net::IpAddr;
+use std::process::ExitCode;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    cpe_ip: Option<IpAddr>,
+    cpe_ip_v6: Option<IpAddr>,
+    timeout_ms: u64,
+    test_v6: bool,
+    json: bool,
+    run_ttl_scan: bool,
+    investigate: bool,
+    help: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            cpe_ip: None,
+            cpe_ip_v6: None,
+            timeout_ms: 5_000,
+            test_v6: true,
+            json: false,
+            run_ttl_scan: false,
+            investigate: false,
+            help: false,
+        }
+    }
+}
+
+/// Parses arguments; returns `Err` with a message on malformed input.
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cpe-ip" => {
+                i += 1;
+                let v = args.get(i).ok_or("--cpe-ip needs an address")?;
+                let ip: IpAddr = v.parse().map_err(|_| format!("invalid address {v}"))?;
+                if ip.is_ipv4() {
+                    opts.cpe_ip = Some(ip);
+                } else {
+                    opts.cpe_ip_v6 = Some(ip);
+                }
+            }
+            "--timeout" => {
+                i += 1;
+                let v = args.get(i).ok_or("--timeout needs milliseconds")?;
+                opts.timeout_ms = v.parse().map_err(|_| format!("invalid timeout {v}"))?;
+            }
+            "--no-v6" => opts.test_v6 = false,
+            "--json" => opts.json = true,
+            "--ttl-scan" => opts.run_ttl_scan = true,
+            "--investigate" => opts.investigate = true,
+            "--help" | "-h" => opts.help = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "\
+hijack-scan: locate transparent DNS interception (IMC'21 technique)
+
+options:
+  --cpe-ip <addr>   your router's public IP (enables step 2, CPE check);
+                    pass twice for both a v4 and a v6 address
+  --timeout <ms>    per-query timeout (default 5000)
+  --no-v6           skip IPv6 location queries
+  --json            print the full report as JSON
+  --ttl-scan        additionally run the TTL-scan hop localization (§6)
+  --investigate     run the full battery (three-step + DNSSEC-AD +
+                    NXDOMAIN-wildcard corroboration) and print a summary
+  -h, --help        this text";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let config = LocatorConfig {
+        cpe_public_v4: opts.cpe_ip,
+        cpe_public_v6: opts.cpe_ip_v6,
+        test_ipv6: opts.test_v6,
+        query_options: QueryOptions { timeout_ms: opts.timeout_ms, ttl: None },
+        ..LocatorConfig::default()
+    };
+    let mut transport = UdpTransport::default();
+    if opts.investigate {
+        let inv_config = locator::InvestigationConfig {
+            locator: config,
+            ttl_budget: opts.run_ttl_scan.then_some(20),
+            ..locator::InvestigationConfig::default()
+        };
+        let investigation = locator::Investigator::new(inv_config).run(&mut transport);
+        if opts.json {
+            match serde_json::to_string_pretty(&investigation) {
+                Ok(json) => println!("{json}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            print!("{}", investigation.report);
+            println!("summary: {}", investigation.summary);
+        }
+        return if investigation.report.intercepted {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let report = HijackLocator::new(config).run(&mut transport);
+
+    if opts.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print_human(&report, opts.cpe_ip.is_some() || opts.cpe_ip_v6.is_some());
+    }
+
+    if opts.run_ttl_scan {
+        run_ttl_extension(&mut transport, opts.timeout_ms);
+    }
+
+    if report.intercepted {
+        ExitCode::FAILURE // non-zero so scripts can alert on interception
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_human(report: &locator::ProbeReport, had_cpe_ip: bool) {
+    println!("step 1 — location queries ({} total queries sent):", report.queries_sent);
+    for (key, result) in report.matrix.v4.iter() {
+        println!("  {:<16} IPv4: {}", key.display_name(), describe(result));
+    }
+    for (key, result) in report.matrix.v6.iter() {
+        if !matches!(result, locator::LocationTestResult::NotTested) {
+            println!("  {:<16} IPv6: {}", key.display_name(), describe(result));
+        }
+    }
+    if !report.intercepted {
+        println!("\nno interception detected: your queries reach the resolvers you chose.");
+        return;
+    }
+    println!("\nINTERCEPTION DETECTED");
+    match &report.cpe {
+        Some(cpe) => {
+            println!("step 2 — version.bind comparison:");
+            println!("  CPE public IP : {}", cpe.cpe_response);
+            for (key, answer) in cpe.resolver_responses.iter() {
+                if let Some(a) = answer {
+                    println!("  via {:<12} : {a}", key.display_name());
+                }
+            }
+        }
+        None if !had_cpe_ip => {
+            println!("step 2 skipped: pass --cpe-ip <your router's public IP> to test the CPE.")
+        }
+        None => {}
+    }
+    if let Some(bogon) = &report.bogon {
+        println!("step 3 — bogon queries: v4 {:?}, v6 {:?}", bogon.v4, bogon.v6);
+    }
+    if let Some(location) = report.location {
+        println!("\nverdict: interceptor located at {location}");
+    }
+    if let Some(t) = report.transparency {
+        println!("transparency: {t}");
+    }
+}
+
+fn describe(result: &locator::LocationTestResult) -> String {
+    match result {
+        locator::LocationTestResult::Standard => "standard response".into(),
+        locator::LocationTestResult::NonStandard { observed } => {
+            format!("NON-STANDARD ({observed})")
+        }
+        locator::LocationTestResult::Timeout => "timeout".into(),
+        locator::LocationTestResult::NotTested => "not tested".into(),
+    }
+}
+
+fn run_ttl_extension(transport: &mut UdpTransport, timeout_ms: u64) {
+    println!("\nTTL scan (§6 extension; needs IP_TTL, best-effort):");
+    let opts = QueryOptions { timeout_ms: timeout_ms.min(2_000), ttl: None };
+    let resolvers = default_resolvers();
+    let mut baseline = None;
+    for resolver in &resolvers {
+        let result =
+            ttl_scan(transport, resolver.v4[0], &resolver.location_query(), 20, opts);
+        match result.first_response_ttl {
+            Some(ttl) => println!("  {:<16} first answer at TTL {ttl}", resolver.key.display_name()),
+            None => println!("  {:<16} no answer within 20 hops", resolver.key.display_name()),
+        }
+        match &baseline {
+            None => baseline = Some(result),
+            Some(base) => match interpret(&result, base) {
+                TtlVerdict::AnsweredByCpe => {
+                    println!("    -> answered at hop 1: your own router responds")
+                }
+                TtlVerdict::InterceptedAtHop { hops } => {
+                    println!("    -> answers {hops} hops out, earlier than the baseline")
+                }
+                TtlVerdict::Consistent | TtlVerdict::Inconclusive => {}
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn cpe_ip_routes_by_family() {
+        let o = parse(&args(&["--cpe-ip", "203.0.113.7"])).unwrap();
+        assert_eq!(o.cpe_ip, Some("203.0.113.7".parse().unwrap()));
+        assert_eq!(o.cpe_ip_v6, None);
+        let o = parse(&args(&["--cpe-ip", "2001:db8::7", "--cpe-ip", "203.0.113.7"])).unwrap();
+        assert_eq!(o.cpe_ip, Some("203.0.113.7".parse().unwrap()));
+        assert_eq!(o.cpe_ip_v6, Some("2001:db8::7".parse().unwrap()));
+    }
+
+    #[test]
+    fn flags() {
+        let o = parse(&args(&["--no-v6", "--json", "--ttl-scan", "--timeout", "1500"])).unwrap();
+        assert!(!o.test_v6);
+        assert!(o.json);
+        assert!(o.run_ttl_scan);
+        assert!(!o.investigate);
+        assert_eq!(o.timeout_ms, 1500);
+        assert!(parse(&args(&["--investigate"])).unwrap().investigate);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&args(&["--cpe-ip"])).is_err());
+        assert!(parse(&args(&["--cpe-ip", "not-an-ip"])).is_err());
+        assert!(parse(&args(&["--timeout", "soon"])).is_err());
+        assert!(parse(&args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_flag() {
+        assert!(parse(&args(&["--help"])).unwrap().help);
+        assert!(parse(&args(&["-h"])).unwrap().help);
+    }
+}

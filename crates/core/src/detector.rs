@@ -1,0 +1,502 @@
+//! The three-step interception locator (paper §3, Figure 2).
+//!
+//! 1. **Location queries** to each public resolver (both service addresses,
+//!    v4 and v6): a non-standard response means the query never reached the
+//!    real resolver — interception.
+//! 2. **`version.bind` comparison**: a CHAOS `version.bind` query to the
+//!    CPE's own public IP cannot legally travel further; if its answer is
+//!    string-identical to the answers "from" the intercepted public
+//!    resolvers, the CPE's DNS forwarder answered all of them — the CPE is
+//!    the interceptor.
+//! 3. **Bogon queries**: a DNS query addressed to unroutable space cannot
+//!    leave the AS; an answer proves an in-AS (ISP) interceptor.
+//!
+//! Plus the §4.1.2 transparency test: an `A` query for a whoami-style name
+//! reveals whether intercepted queries still resolve correctly.
+
+use crate::report::{
+    BogonEvidence, BogonOutcome, CpeEvidence, InterceptionMatrix, InterceptorLocation,
+    LocationTestResult, PerResolver, ProbeReport, Transparency, VersionBindAnswer,
+};
+use crate::resolvers::{default_resolvers, PublicResolver};
+use crate::transport::{QueryOptions, QueryOutcome, QueryTransport};
+use dns_wire::debug_queries;
+use dns_wire::{Message, Name, Question, RData, RType, Rcode};
+use std::net::IpAddr;
+
+/// Configuration for one locator run.
+#[derive(Debug, Clone)]
+pub struct LocatorConfig {
+    /// The public resolvers to study (defaults to the paper's four).
+    pub resolvers: Vec<PublicResolver>,
+    /// The CPE's public IPv4 address, if known. RIPE Atlas probes know
+    /// their public address; without it step 2 cannot run.
+    pub cpe_public_v4: Option<IpAddr>,
+    /// The CPE's public IPv6 address, if known.
+    pub cpe_public_v6: Option<IpAddr>,
+    /// IPv4 bogon address for step 3.
+    pub bogon_v4: IpAddr,
+    /// IPv6 bogon address for step 3.
+    pub bogon_v6: IpAddr,
+    /// A generic name under the experimenters' control, queried toward the
+    /// bogon addresses.
+    pub probe_domain: Name,
+    /// The whoami-style name for the transparency test.
+    pub whoami_domain: Name,
+    /// Per-query timeout.
+    pub query_options: QueryOptions,
+    /// Whether to issue IPv6 location queries at all (a probe without v6
+    /// connectivity sets this false, like the ~60% of Atlas probes that
+    /// only answered v4 experiments in Table 4).
+    pub test_ipv6: bool,
+    /// First transaction ID; subsequent queries increment it, keeping runs
+    /// deterministic.
+    pub initial_txid: u16,
+}
+
+impl Default for LocatorConfig {
+    fn default() -> Self {
+        LocatorConfig {
+            resolvers: default_resolvers(),
+            cpe_public_v4: None,
+            cpe_public_v6: None,
+            bogon_v4: IpAddr::V4(std::net::Ipv4Addr::new(198, 51, 100, 53)),
+            bogon_v6: IpAddr::V6("100::53".parse().expect("static address")),
+            probe_domain: "probe.dns-hijack-study.example".parse().expect("static name"),
+            whoami_domain: debug_queries::whoami_akamai(),
+            query_options: QueryOptions::default(),
+            test_ipv6: true,
+            initial_txid: 0x1000,
+        }
+    }
+}
+
+/// The paper's locator. Owns nothing but configuration and a transaction-ID
+/// counter; all I/O goes through the [`QueryTransport`] passed to each call.
+#[derive(Debug, Clone)]
+pub struct HijackLocator {
+    config: LocatorConfig,
+    txid: u16,
+    queries_sent: u32,
+}
+
+impl HijackLocator {
+    /// Creates a locator from configuration.
+    pub fn new(config: LocatorConfig) -> HijackLocator {
+        let txid = config.initial_txid;
+        HijackLocator { config, txid, queries_sent: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LocatorConfig {
+        &self.config
+    }
+
+    /// Runs the full three-step technique plus the transparency test.
+    pub fn run<T: QueryTransport>(&mut self, transport: &mut T) -> ProbeReport {
+        self.queries_sent = 0;
+        let matrix = self.step1_location_queries(transport);
+        let intercepted = matrix.any_intercepted();
+
+        let mut cpe = None;
+        let mut bogon = None;
+        let mut location = None;
+        let mut transparency = None;
+
+        if intercepted {
+            let evidence = self.step2_cpe_check(transport, &matrix);
+            let cpe_is_interceptor =
+                evidence.as_ref().map(|e| e.cpe_is_interceptor).unwrap_or(false);
+            cpe = evidence;
+            if cpe_is_interceptor {
+                location = Some(InterceptorLocation::Cpe);
+            } else {
+                let ev = self.step3_bogon_check(transport);
+                let answered = matches!(ev.v4, BogonOutcome::Answered { .. })
+                    || matches!(ev.v6, BogonOutcome::Answered { .. });
+                bogon = Some(ev);
+                location = Some(if answered {
+                    InterceptorLocation::WithinIsp
+                } else {
+                    InterceptorLocation::BeyondOrUnknown
+                });
+            }
+            transparency = self.transparency_check(transport, &matrix);
+        }
+
+        ProbeReport {
+            matrix,
+            intercepted,
+            cpe,
+            bogon,
+            location,
+            transparency,
+            queries_sent: self.queries_sent,
+        }
+    }
+
+    /// Step 1 (§3.1): location queries to every resolver, both service
+    /// addresses, both families.
+    pub fn step1_location_queries<T: QueryTransport>(
+        &mut self,
+        transport: &mut T,
+    ) -> InterceptionMatrix {
+        let mut matrix = InterceptionMatrix::default();
+        let resolvers = self.config.resolvers.clone();
+        for resolver in &resolvers {
+            *matrix.v4.get_mut(resolver.key) =
+                self.location_test(transport, resolver, &resolver.v4);
+            if self.config.test_ipv6 {
+                *matrix.v6.get_mut(resolver.key) =
+                    self.location_test(transport, resolver, &resolver.v6);
+            }
+        }
+        matrix
+    }
+
+    fn location_test<T: QueryTransport>(
+        &mut self,
+        transport: &mut T,
+        resolver: &PublicResolver,
+        addrs: &[IpAddr; 2],
+    ) -> LocationTestResult {
+        let mut saw_response = false;
+        for &addr in addrs {
+            let question = resolver.location_query();
+            match self.send(transport, addr, question) {
+                QueryOutcome::Response(msg) => {
+                    saw_response = true;
+                    if !resolver.is_standard_location_response(&msg) {
+                        return LocationTestResult::NonStandard {
+                            observed: describe_response(&msg),
+                        };
+                    }
+                }
+                QueryOutcome::Timeout => {}
+            }
+        }
+        if saw_response {
+            LocationTestResult::Standard
+        } else {
+            LocationTestResult::Timeout
+        }
+    }
+
+    /// Step 2 (§3.2): `version.bind` to the CPE's public IP and to each
+    /// public resolver; identical strings identify the CPE as interceptor.
+    ///
+    /// Returns `None` when the CPE's public address is unknown or the
+    /// interception was seen on a family for which no CPE address exists.
+    pub fn step2_cpe_check<T: QueryTransport>(
+        &mut self,
+        transport: &mut T,
+        matrix: &InterceptionMatrix,
+    ) -> Option<CpeEvidence> {
+        // Follow the paper: v4 is the primary lens; fall back to v6 only if
+        // interception was exclusively observed there.
+        let intercepted_v4 = matrix.intercepted_v4();
+        let (cpe_addr, intercepted, use_v4) = if !intercepted_v4.is_empty() {
+            (self.config.cpe_public_v4?, intercepted_v4, true)
+        } else {
+            (self.config.cpe_public_v6?, matrix.intercepted_v6(), false)
+        };
+
+        let cpe_response = self.version_bind_to(transport, cpe_addr);
+
+        let mut resolver_responses: PerResolver<Option<VersionBindAnswer>> =
+            PerResolver::default();
+        let resolvers = self.config.resolvers.clone();
+        for resolver in &resolvers {
+            let addr = if use_v4 { resolver.v4[0] } else { resolver.v6[0] };
+            let answer = self.version_bind_to(transport, addr);
+            *resolver_responses.get_mut(resolver.key) = Some(answer);
+        }
+
+        // Verdict: the CPE answered with a string, and every *intercepted*
+        // resolver produced the identical string.
+        let cpe_is_interceptor = match cpe_response.text() {
+            Some(cpe_text) => intercepted.iter().all(|&key| {
+                resolver_responses
+                    .get(key)
+                    .as_ref()
+                    .and_then(|a| a.text())
+                    .map(|t| t == cpe_text)
+                    .unwrap_or(false)
+            }),
+            None => false,
+        };
+
+        Some(CpeEvidence { cpe_response, resolver_responses, cpe_is_interceptor })
+    }
+
+    /// Step 3 (§3.3): bogon queries in both families.
+    pub fn step3_bogon_check<T: QueryTransport>(&mut self, transport: &mut T) -> BogonEvidence {
+        let q4 = Question::new(self.config.probe_domain.clone(), RType::A);
+        let v4 = match self.send(transport, self.config.bogon_v4, q4) {
+            QueryOutcome::Response(msg) => {
+                BogonOutcome::Answered { observed: describe_response(&msg) }
+            }
+            QueryOutcome::Timeout => BogonOutcome::Silent,
+        };
+        let v6 = if self.config.test_ipv6 {
+            let q6 = Question::new(self.config.probe_domain.clone(), RType::Aaaa);
+            match self.send(transport, self.config.bogon_v6, q6) {
+                QueryOutcome::Response(msg) => {
+                    BogonOutcome::Answered { observed: describe_response(&msg) }
+                }
+                QueryOutcome::Timeout => BogonOutcome::Silent,
+            }
+        } else {
+            BogonOutcome::NotTested
+        };
+        BogonEvidence { v4, v6 }
+    }
+
+    /// Transparency test (§4.1.2): `A` query for the whoami name to every
+    /// intercepted resolver.
+    pub fn transparency_check<T: QueryTransport>(
+        &mut self,
+        transport: &mut T,
+        matrix: &InterceptionMatrix,
+    ) -> Option<Transparency> {
+        let mut transparent = 0u32;
+        let mut modified = 0u32;
+        let resolvers = self.config.resolvers.clone();
+        for resolver in &resolvers {
+            let intercepted_v4 = matrix.v4.get(resolver.key).is_intercepted();
+            let intercepted_v6 = matrix.v6.get(resolver.key).is_intercepted();
+            if !intercepted_v4 && !intercepted_v6 {
+                continue;
+            }
+            let addr = if intercepted_v4 { resolver.v4[0] } else { resolver.v6[0] };
+            let qtype = if intercepted_v4 { RType::A } else { RType::Aaaa };
+            let q = Question::new(self.config.whoami_domain.clone(), qtype);
+            match self.send(transport, addr, q) {
+                QueryOutcome::Response(msg) => {
+                    if msg.header.rcode.is_error() {
+                        modified += 1;
+                    } else if msg
+                        .answers
+                        .iter()
+                        .any(|r| matches!(r.rdata, RData::A(_) | RData::Aaaa(_)))
+                    {
+                        transparent += 1;
+                    } else {
+                        modified += 1;
+                    }
+                }
+                QueryOutcome::Timeout => {}
+            }
+        }
+        match (transparent, modified) {
+            (0, 0) => None,
+            (_, 0) => Some(Transparency::Transparent),
+            (0, _) => Some(Transparency::StatusModified),
+            _ => Some(Transparency::Both),
+        }
+    }
+
+    fn version_bind_to<T: QueryTransport>(
+        &mut self,
+        transport: &mut T,
+        addr: IpAddr,
+    ) -> VersionBindAnswer {
+        let q = Question::chaos_txt(debug_queries::version_bind());
+        match self.send(transport, addr, q) {
+            QueryOutcome::Response(msg) => {
+                if msg.header.rcode != Rcode::NoError {
+                    return VersionBindAnswer::Error(msg.header.rcode.to_string());
+                }
+                match msg.answers.iter().find_map(|r| r.rdata.txt_string()) {
+                    Some(text) => VersionBindAnswer::Text(text),
+                    None => VersionBindAnswer::Error("EMPTY".into()),
+                }
+            }
+            QueryOutcome::Timeout => VersionBindAnswer::Timeout,
+        }
+    }
+
+    fn send<T: QueryTransport>(
+        &mut self,
+        transport: &mut T,
+        server: IpAddr,
+        question: Question,
+    ) -> QueryOutcome {
+        self.queries_sent += 1;
+        let _txid = self.next_txid();
+        transport.query(server, question, self.config.query_options)
+    }
+
+    fn next_txid(&mut self) -> u16 {
+        let id = self.txid;
+        self.txid = self.txid.wrapping_add(1);
+        id
+    }
+}
+
+/// Summarizes a response the way the paper's tables do: the TXT/A payload
+/// when present, otherwise the rcode.
+pub fn describe_response(msg: &Message) -> String {
+    if msg.header.rcode != Rcode::NoError {
+        return msg.header.rcode.to_string();
+    }
+    for r in &msg.answers {
+        if let Some(t) = r.rdata.txt_string() {
+            return t;
+        }
+        if let RData::A(ip) = r.rdata {
+            return ip.to_string();
+        }
+        if let RData::Aaaa(ip) = r.rdata {
+            return ip.to_string();
+        }
+    }
+    "NOERROR(empty)".into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::MockTransport;
+    use crate::resolvers::ResolverKey;
+
+    fn config_with_cpe() -> LocatorConfig {
+        LocatorConfig {
+            cpe_public_v4: Some("73.22.1.5".parse().unwrap()),
+            ..LocatorConfig::default()
+        }
+    }
+
+    /// Standard answers for every resolver → no interception.
+    fn clean_transport() -> MockTransport {
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        t
+    }
+
+    #[test]
+    fn clean_path_reports_no_interception() {
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let mut transport = clean_transport();
+        let report = locator.run(&mut transport);
+        assert!(!report.intercepted);
+        assert!(report.cpe.is_none());
+        assert!(report.bogon.is_none());
+        assert_eq!(report.location, None);
+        // 4 resolvers × 2 addresses × 2 families = 16 queries, nothing more.
+        assert_eq!(report.queries_sent, 16);
+    }
+
+    #[test]
+    fn cpe_interceptor_detected_via_version_bind_match() {
+        // Every v4 location query is answered by "dnsmasq-2.85"-land; the
+        // CPE public IP answers version.bind with the same string.
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        t.intercept_all_v4_with_forwarder("dnsmasq-2.85");
+        t.cpe_version_bind("73.22.1.5".parse().unwrap(), "dnsmasq-2.85");
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let report = locator.run(&mut t);
+        assert!(report.intercepted);
+        assert_eq!(report.location, Some(InterceptorLocation::Cpe));
+        let cpe = report.cpe.unwrap();
+        assert!(cpe.cpe_is_interceptor);
+        assert_eq!(cpe.cpe_response.text(), Some("dnsmasq-2.85"));
+    }
+
+    #[test]
+    fn differing_version_bind_rules_out_cpe() {
+        // Interceptor answers "unbound 1.9.0" but the CPE (port 53 open)
+        // answers "dnsmasq-2.80": not the interceptor. Bogon query answered
+        // → within ISP.
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        t.intercept_all_v4_with_forwarder("unbound 1.9.0");
+        t.cpe_version_bind("73.22.1.5".parse().unwrap(), "dnsmasq-2.80");
+        t.answer_bogon_v4("NOTIMP");
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let report = locator.run(&mut t);
+        assert!(report.intercepted);
+        let cpe = report.cpe.unwrap();
+        assert!(!cpe.cpe_is_interceptor);
+        assert_eq!(report.location, Some(InterceptorLocation::WithinIsp));
+    }
+
+    #[test]
+    fn silent_bogon_means_beyond_or_unknown() {
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        t.intercept_all_v4_with_forwarder("PowerDNS Recursor 4.1");
+        // CPE does not answer version.bind at all.
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let report = locator.run(&mut t);
+        assert!(report.intercepted);
+        assert_eq!(report.location, Some(InterceptorLocation::BeyondOrUnknown));
+        let bogon = report.bogon.unwrap();
+        assert_eq!(bogon.v4, BogonOutcome::Silent);
+    }
+
+    #[test]
+    fn notimp_mix_rules_out_cpe_like_probe_11992() {
+        // Table 3, probe 11992: resolvers answer NOTIMP, CPE answers
+        // NXDOMAIN — no identical strings, not the CPE.
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        t.intercept_all_v4_with_errors("NOTIMP");
+        t.cpe_version_bind_error("73.22.1.5".parse().unwrap(), "NXDOMAIN");
+        t.answer_bogon_v4("NOTIMP");
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let report = locator.run(&mut t);
+        assert!(report.intercepted);
+        assert!(!report.cpe.unwrap().cpe_is_interceptor);
+        assert_eq!(report.location, Some(InterceptorLocation::WithinIsp));
+    }
+
+    #[test]
+    fn timeouts_are_conservatively_not_interception() {
+        let mut t = MockTransport::new(); // answers nothing: all timeouts
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let report = locator.run(&mut t);
+        assert!(!report.intercepted);
+        assert_eq!(*report.matrix.v4.get(ResolverKey::Google), LocationTestResult::Timeout);
+    }
+
+    #[test]
+    fn no_cpe_address_skips_step_2() {
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        t.intercept_all_v4_with_forwarder("dnsmasq-2.85");
+        t.answer_bogon_v4("dnsmasq-2.85");
+        let mut locator = HijackLocator::new(LocatorConfig::default()); // no CPE addr
+        let report = locator.run(&mut t);
+        assert!(report.intercepted);
+        assert!(report.cpe.is_none());
+        // Without step 2, an answered bogon still localizes to the ISP.
+        assert_eq!(report.location, Some(InterceptorLocation::WithinIsp));
+    }
+
+    #[test]
+    fn transparency_classification() {
+        // Interception with working resolution → Transparent.
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        t.intercept_all_v4_with_forwarder("dnsmasq-2.85");
+        t.cpe_version_bind("73.22.1.5".parse().unwrap(), "dnsmasq-2.85");
+        t.answer_whoami_with("10.100.0.53");
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let report = locator.run(&mut t);
+        assert_eq!(report.transparency, Some(Transparency::Transparent));
+    }
+
+    #[test]
+    fn describe_response_prefers_payload() {
+        let q = Message::query(1, Question::chaos_txt("id.server".parse().unwrap()));
+        let resp = Message::response_to(&q, Rcode::NoError)
+            .with_answer(dns_wire::Record::chaos_txt("id.server".parse().unwrap(), "SFO"));
+        assert_eq!(describe_response(&resp), "SFO");
+        let err = Message::response_to(&q, Rcode::NotImp);
+        assert_eq!(describe_response(&err), "NOTIMP");
+        let empty = Message::response_to(&q, Rcode::NoError);
+        assert_eq!(describe_response(&empty), "NOERROR(empty)");
+    }
+}

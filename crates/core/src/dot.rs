@@ -1,0 +1,142 @@
+//! DNS-over-TLS interception model — the paper's §6 discussion, made
+//! executable.
+//!
+//! The paper argues: DoH and strictly-validated DoT prevent interception
+//! altogether, but DoT's *opportunistic privacy profile* (RFC 7858 §4.1)
+//! disables certificate validation, "so this configuration could allow
+//! interception", and the location-query technique "should theoretically
+//! detect DNS interception in DoT".
+//!
+//! Simulating TLS byte-for-byte adds nothing to that argument, so this
+//! module models the decision structure instead: what a DoT session
+//! establishment yields under each client profile against each interceptor
+//! capability, and what the location queries would subsequently observe.
+//! The model is exercised by unit tests and by the `dot_interception`
+//! example.
+
+use serde::{Deserialize, Serialize};
+
+/// RFC 7858 usage profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DotProfile {
+    /// Strict: authenticate the server; fail closed.
+    Strict,
+    /// Opportunistic: encrypt if possible, but accept any certificate and
+    /// fall back to cleartext if TLS fails.
+    Opportunistic,
+}
+
+/// What sits on the path toward the intended DoT server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DotPathCondition {
+    /// No interference.
+    Clean,
+    /// Port 853 is blocked (common middlebox posture: can't decrypt, so
+    /// deny).
+    Blocked,
+    /// An interceptor terminates TLS itself, presenting its own
+    /// certificate for the target name (self-signed / wrong CA).
+    MitmWithBogusCert,
+}
+
+/// Outcome of establishing one DoT session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DotSessionOutcome {
+    /// Encrypted channel to the *authentic* server.
+    SecureToTarget,
+    /// Encrypted channel, but to the interceptor: queries are readable and
+    /// answerable by it — interception proceeds, invisibly at the
+    /// transport layer.
+    EncryptedToInterceptor,
+    /// The client fell back to cleartext UDP/53 (opportunistic profile
+    /// when TLS is unavailable) — interceptable like ordinary DNS.
+    ClearTextFallback,
+    /// Hard failure: the client refuses to resolve (strict profile).
+    Failed,
+}
+
+/// Establishes (in the model) a DoT session for `profile` over `path`.
+pub fn establish(profile: DotProfile, path: DotPathCondition) -> DotSessionOutcome {
+    match (profile, path) {
+        (_, DotPathCondition::Clean) => DotSessionOutcome::SecureToTarget,
+        (DotProfile::Strict, DotPathCondition::Blocked) => DotSessionOutcome::Failed,
+        (DotProfile::Strict, DotPathCondition::MitmWithBogusCert) => DotSessionOutcome::Failed,
+        (DotProfile::Opportunistic, DotPathCondition::Blocked) => {
+            DotSessionOutcome::ClearTextFallback
+        }
+        (DotProfile::Opportunistic, DotPathCondition::MitmWithBogusCert) => {
+            DotSessionOutcome::EncryptedToInterceptor
+        }
+    }
+}
+
+/// Whether the paper's location queries, issued *inside* the resulting
+/// channel, would detect interception.
+pub fn location_queries_detect(outcome: DotSessionOutcome) -> bool {
+    match outcome {
+        // Genuine channel: standard answers, nothing to detect.
+        DotSessionOutcome::SecureToTarget => false,
+        // The interceptor's resolver answers id.server & friends with
+        // non-standard values — detectable, exactly as over UDP.
+        DotSessionOutcome::EncryptedToInterceptor => true,
+        // Fallback traffic is ordinary UDP DNS: the normal technique
+        // applies.
+        DotSessionOutcome::ClearTextFallback => true,
+        // Nothing resolves; detection is moot (and the blockage itself is
+        // visible to the user).
+        DotSessionOutcome::Failed => false,
+    }
+}
+
+/// Convenience: can interception *occur* under this combination?
+pub fn interception_possible(profile: DotProfile, path: DotPathCondition) -> bool {
+    matches!(
+        establish(profile, path),
+        DotSessionOutcome::EncryptedToInterceptor | DotSessionOutcome::ClearTextFallback
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DotPathCondition::*;
+    use DotProfile::*;
+
+    #[test]
+    fn strict_profile_prevents_interception_entirely() {
+        // The §6 claim: strict DoT fails closed under every attack.
+        assert_eq!(establish(Strict, Clean), DotSessionOutcome::SecureToTarget);
+        assert_eq!(establish(Strict, Blocked), DotSessionOutcome::Failed);
+        assert_eq!(establish(Strict, MitmWithBogusCert), DotSessionOutcome::Failed);
+        assert!(!interception_possible(Strict, Blocked));
+        assert!(!interception_possible(Strict, MitmWithBogusCert));
+    }
+
+    #[test]
+    fn opportunistic_profile_allows_interception() {
+        // The §6 claim: "the opportunistic privacy profile … could allow
+        // interception".
+        assert!(interception_possible(Opportunistic, MitmWithBogusCert));
+        assert!(interception_possible(Opportunistic, Blocked));
+        assert!(!interception_possible(Opportunistic, Clean));
+    }
+
+    #[test]
+    fn location_queries_still_detect_dot_interception() {
+        // The §6 claim: "our approach should theoretically detect DNS
+        // interception in DoT".
+        for path in [Blocked, MitmWithBogusCert] {
+            let outcome = establish(Opportunistic, path);
+            assert!(location_queries_detect(outcome), "{path:?}");
+        }
+        assert!(!location_queries_detect(establish(Opportunistic, Clean)));
+        assert!(!location_queries_detect(establish(Strict, MitmWithBogusCert)));
+    }
+
+    #[test]
+    fn clean_paths_are_secure_for_both_profiles() {
+        for profile in [Strict, Opportunistic] {
+            assert_eq!(establish(profile, Clean), DotSessionOutcome::SecureToTarget);
+        }
+    }
+}

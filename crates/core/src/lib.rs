@@ -1,0 +1,56 @@
+//! # locator
+//!
+//! The core contribution of *Home is Where the Hijacking is* (IMC 2021):
+//! a three-step technique that detects transparent DNS interception and
+//! localizes the interceptor — CPE, within the ISP, or beyond/unknown —
+//! using nothing but ordinary DNS queries.
+//!
+//! The crate is transport-agnostic: [`HijackLocator`] drives any
+//! [`QueryTransport`]. The companion crates provide a packet-level simulated
+//! transport; a `UdpSocket` transport would work identically on a real
+//! network.
+//!
+//! ```
+//! use locator::{HijackLocator, LocatorConfig, MockTransport};
+//!
+//! let mut config = LocatorConfig::default();
+//! config.cpe_public_v4 = Some("73.22.1.5".parse().unwrap());
+//!
+//! // A scripted network in which the CPE intercepts everything via DNAT.
+//! let mut net = MockTransport::new();
+//! net.standard_public_resolvers();
+//! net.intercept_all_v4_with_forwarder("dnsmasq-2.85");
+//! net.cpe_version_bind("73.22.1.5".parse().unwrap(), "dnsmasq-2.85");
+//!
+//! let report = HijackLocator::new(config).run(&mut net);
+//! assert!(report.intercepted);
+//! assert_eq!(report.location, Some(locator::InterceptorLocation::Cpe));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod dot;
+mod detector;
+mod investigator;
+mod mock;
+mod prefix;
+mod report;
+mod resolvers;
+pub mod side_checks;
+mod transport;
+pub mod ttl_scan;
+mod udp_transport;
+
+pub use detector::{describe_response, HijackLocator, LocatorConfig};
+pub use investigator::{Investigation, InvestigationConfig, Investigator};
+pub use mock::{MockTransport, Respond};
+pub use prefix::{IpPrefix, PrefixParseError};
+pub use report::{
+    BogonEvidence, BogonOutcome, CpeEvidence, InterceptionMatrix, InterceptorLocation,
+    LocationTestResult, PerResolver, ProbeReport, Transparency, VersionBindAnswer,
+};
+pub use resolvers::{default_resolvers, PublicResolver, ResolverKey};
+pub use transport::{QueryOptions, QueryOutcome, QueryTransport};
+pub use udp_transport::UdpTransport;

@@ -1,0 +1,328 @@
+//! A scripted [`QueryTransport`] for unit tests and benchmarks.
+//!
+//! Rules are matched first-match-wins; helper methods that *override*
+//! behaviour (interception scenarios) insert at the front, so tests can
+//! start from [`MockTransport::standard_public_resolvers`] and layer an
+//! interceptor on top — mirroring how a real interceptor shadows the real
+//! resolvers.
+
+use crate::resolvers::default_resolvers;
+use crate::transport::{QueryOptions, QueryOutcome, QueryTransport};
+use dns_wire::debug_queries;
+use dns_wire::{Message, Name, Question, RClass, RData, Rcode, Record};
+use std::net::{IpAddr, Ipv4Addr};
+
+/// How a matched rule responds.
+#[derive(Debug, Clone)]
+pub enum Respond {
+    /// NOERROR with one TXT answer (class copied from the question).
+    Txt(String),
+    /// NOERROR with one A answer.
+    A(Ipv4Addr),
+    /// NOERROR with one AAAA answer.
+    Aaaa(std::net::Ipv6Addr),
+    /// A bare status-code response with no answers.
+    Rcode(Rcode),
+    /// No response at all.
+    Timeout,
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    /// `None` matches any server.
+    servers: Option<Vec<IpAddr>>,
+    /// `None` matches any name.
+    qname: Option<Name>,
+    /// `None` matches any class.
+    qclass: Option<RClass>,
+    respond: Respond,
+}
+
+impl Rule {
+    fn matches(&self, server: IpAddr, q: &Question) -> bool {
+        if let Some(servers) = &self.servers {
+            if !servers.contains(&server) {
+                return false;
+            }
+        }
+        if let Some(name) = &self.qname {
+            if *name != q.qname {
+                return false;
+            }
+        }
+        if let Some(class) = self.qclass {
+            if class != q.qclass {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The scripted transport.
+#[derive(Debug, Default)]
+pub struct MockTransport {
+    rules: Vec<Rule>,
+    /// Every query sent, for assertions about the technique's footprint.
+    pub log: Vec<(IpAddr, Question)>,
+}
+
+impl MockTransport {
+    /// A transport that times out on everything.
+    pub fn new() -> MockTransport {
+        MockTransport::default()
+    }
+
+    /// Appends a low-priority rule.
+    pub fn push_rule(
+        &mut self,
+        servers: Option<Vec<IpAddr>>,
+        qname: Option<Name>,
+        qclass: Option<RClass>,
+        respond: Respond,
+    ) {
+        self.rules.push(Rule { servers, qname, qclass, respond });
+    }
+
+    /// Prepends a high-priority rule (interceptor layering).
+    pub fn push_front_rule(
+        &mut self,
+        servers: Option<Vec<IpAddr>>,
+        qname: Option<Name>,
+        qclass: Option<RClass>,
+        respond: Respond,
+    ) {
+        self.rules.insert(0, Rule { servers, qname, qclass, respond });
+    }
+
+    /// Programs the standard (uninterfered) behaviour of all four public
+    /// resolvers: Table-1 location answers, `version.bind` answered only by
+    /// Quad9, and a whoami name resolving to each resolver's own egress.
+    pub fn standard_public_resolvers(&mut self) {
+        for resolver in default_resolvers() {
+            let addrs: Vec<IpAddr> =
+                resolver.v4.iter().chain(resolver.v6.iter()).copied().collect();
+            let loc = resolver.location_query();
+            let standard_text = match resolver.key {
+                crate::resolvers::ResolverKey::Cloudflare => "IAD",
+                crate::resolvers::ResolverKey::Google => "172.253.226.35",
+                crate::resolvers::ResolverKey::Quad9 => "res100.iad.rrdns.pch.net",
+                crate::resolvers::ResolverKey::OpenDns => "server m84.iad",
+            };
+            self.push_rule(
+                Some(addrs.clone()),
+                Some(loc.qname.clone()),
+                Some(loc.qclass),
+                Respond::Txt(standard_text.into()),
+            );
+            // version.bind: only Quad9 answers (§3.2).
+            let vb_respond = match resolver.key {
+                crate::resolvers::ResolverKey::Quad9 => Respond::Txt("Q9-P-6.1".into()),
+                _ => Respond::Rcode(Rcode::NotImp),
+            };
+            self.push_rule(
+                Some(addrs.clone()),
+                Some(debug_queries::version_bind()),
+                Some(RClass::Chaos),
+                vb_respond,
+            );
+            // whoami resolves to an egress address of the real resolver.
+            let egress: Ipv4Addr = match resolver.key {
+                crate::resolvers::ResolverKey::Cloudflare => "172.68.1.1".parse().unwrap(),
+                crate::resolvers::ResolverKey::Google => "172.253.226.35".parse().unwrap(),
+                crate::resolvers::ResolverKey::Quad9 => "74.63.16.10".parse().unwrap(),
+                crate::resolvers::ResolverKey::OpenDns => "146.112.1.1".parse().unwrap(),
+            };
+            self.push_rule(
+                Some(addrs),
+                Some(debug_queries::whoami_akamai()),
+                Some(RClass::In),
+                Respond::A(egress),
+            );
+        }
+    }
+
+    fn all_resolver_v4() -> Vec<IpAddr> {
+        default_resolvers().iter().flat_map(|r| r.v4.iter().copied()).collect()
+    }
+
+    /// Layers an interceptor over every IPv4 resolver address: CHAOS queries
+    /// are answered by a forwarder announcing `version`, Google's myaddr
+    /// reveals a non-Google egress, and OpenDNS's debug name doesn't exist.
+    pub fn intercept_all_v4_with_forwarder(&mut self, version: &str) {
+        let v4 = Self::all_resolver_v4();
+        self.push_front_rule(
+            Some(v4.clone()),
+            None,
+            Some(RClass::Chaos),
+            Respond::Txt(version.into()),
+        );
+        self.push_front_rule(
+            Some(v4.clone()),
+            Some(debug_queries::google_myaddr()),
+            Some(RClass::In),
+            Respond::Txt("62.183.62.69".into()),
+        );
+        self.push_front_rule(
+            Some(v4),
+            Some(debug_queries::opendns_debug()),
+            Some(RClass::In),
+            Respond::Rcode(Rcode::NxDomain),
+        );
+    }
+
+    /// Layers an interceptor that answers every query to v4 resolver
+    /// addresses with a DNS error status.
+    pub fn intercept_all_v4_with_errors(&mut self, rcode: &str) {
+        let rc = parse_rcode(rcode);
+        self.push_front_rule(Some(Self::all_resolver_v4()), None, None, Respond::Rcode(rc));
+    }
+
+    /// The CPE's public IP answers `version.bind` with `text`.
+    pub fn cpe_version_bind(&mut self, cpe: IpAddr, text: &str) {
+        self.push_front_rule(
+            Some(vec![cpe]),
+            Some(debug_queries::version_bind()),
+            Some(RClass::Chaos),
+            Respond::Txt(text.into()),
+        );
+    }
+
+    /// The CPE's public IP answers `version.bind` with an error status.
+    pub fn cpe_version_bind_error(&mut self, cpe: IpAddr, rcode: &str) {
+        self.push_front_rule(
+            Some(vec![cpe]),
+            Some(debug_queries::version_bind()),
+            Some(RClass::Chaos),
+            Respond::Rcode(parse_rcode(rcode)),
+        );
+    }
+
+    /// The IPv4 bogon address answers queries (in-ISP interceptor). The
+    /// argument names an rcode (`NOTIMP`, …) or anything else for a NOERROR
+    /// + A answer.
+    pub fn answer_bogon_v4(&mut self, observed: &str) {
+        let bogon: IpAddr = "198.51.100.53".parse().unwrap();
+        let respond = match observed {
+            "NOTIMP" | "REFUSED" | "NXDOMAIN" | "SERVFAIL" => Respond::Rcode(parse_rcode(observed)),
+            _ => Respond::A("10.53.53.53".parse().unwrap()),
+        };
+        self.push_front_rule(Some(vec![bogon]), None, None, respond);
+    }
+
+    /// Any whoami query anywhere resolves to `ip` (the alternate resolver's
+    /// egress) — the transparent-interception shape.
+    pub fn answer_whoami_with(&mut self, ip: &str) {
+        self.push_front_rule(
+            None,
+            Some(debug_queries::whoami_akamai()),
+            Some(RClass::In),
+            Respond::A(ip.parse().expect("valid v4 in tests")),
+        );
+    }
+
+    fn build_response(q: &Question, respond: &Respond) -> Option<Message> {
+        let query = Message::query(0, q.clone());
+        match respond {
+            Respond::Txt(text) => {
+                let mut rec = Record::new(q.qname.clone(), 0, RData::txt(text.as_bytes()));
+                rec.class = q.qclass;
+                Some(Message::response_to(&query, Rcode::NoError).with_answer(rec))
+            }
+            Respond::A(ip) => Some(
+                Message::response_to(&query, Rcode::NoError)
+                    .with_answer(Record::new(q.qname.clone(), 30, RData::A(*ip))),
+            ),
+            Respond::Aaaa(ip) => Some(
+                Message::response_to(&query, Rcode::NoError)
+                    .with_answer(Record::new(q.qname.clone(), 30, RData::Aaaa(*ip))),
+            ),
+            Respond::Rcode(rc) => Some(Message::response_to(&query, *rc)),
+            Respond::Timeout => None,
+        }
+    }
+}
+
+fn parse_rcode(s: &str) -> Rcode {
+    match s {
+        "NOTIMP" => Rcode::NotImp,
+        "REFUSED" => Rcode::Refused,
+        "NXDOMAIN" => Rcode::NxDomain,
+        "SERVFAIL" => Rcode::ServFail,
+        _ => Rcode::NoError,
+    }
+}
+
+impl QueryTransport for MockTransport {
+    fn query(&mut self, server: IpAddr, question: Question, _opts: QueryOptions) -> QueryOutcome {
+        self.log.push((server, question.clone()));
+        for rule in &self.rules {
+            if rule.matches(server, &question) {
+                return match Self::build_response(&question, &rule.respond) {
+                    Some(msg) => QueryOutcome::Response(msg),
+                    None => QueryOutcome::Timeout,
+                };
+            }
+        }
+        QueryOutcome::Timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolvers::ResolverKey;
+
+    #[test]
+    fn default_is_timeout() {
+        let mut t = MockTransport::new();
+        let out = t.query(
+            "1.1.1.1".parse().unwrap(),
+            Question::chaos_txt("id.server".parse().unwrap()),
+            QueryOptions::default(),
+        );
+        assert!(out.is_timeout());
+        assert_eq!(t.log.len(), 1);
+    }
+
+    #[test]
+    fn standard_rules_answer_location_queries() {
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        for r in default_resolvers() {
+            let out = t.query(r.v4[0], r.location_query(), QueryOptions::default());
+            let msg = out.response().expect("response expected");
+            assert!(r.is_standard_location_response(msg), "{:?}", r.key);
+        }
+    }
+
+    #[test]
+    fn quad9_answers_version_bind_others_notimp() {
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        let vb = Question::chaos_txt("version.bind".parse().unwrap());
+        for r in default_resolvers() {
+            let out = t.query(r.v4[0], vb.clone(), QueryOptions::default());
+            let msg = out.response().unwrap();
+            if r.key == ResolverKey::Quad9 {
+                assert_eq!(msg.answers[0].rdata.txt_string().unwrap(), "Q9-P-6.1");
+            } else {
+                assert_eq!(msg.header.rcode, Rcode::NotImp);
+            }
+        }
+    }
+
+    #[test]
+    fn front_rules_shadow_standard_ones() {
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        t.intercept_all_v4_with_forwarder("dnsmasq-2.85");
+        // v4 is shadowed…
+        let r = &default_resolvers()[0];
+        let out = t.query(r.v4[0], r.location_query(), QueryOptions::default());
+        assert!(!r.is_standard_location_response(out.response().unwrap()));
+        // …but v6 still answers standard.
+        let out = t.query(r.v6[0], r.location_query(), QueryOptions::default());
+        assert!(r.is_standard_location_response(out.response().unwrap()));
+    }
+}

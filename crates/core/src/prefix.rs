@@ -1,0 +1,92 @@
+//! A minimal IP-prefix type for egress-address validation.
+//!
+//! The locator stays free of the simulator crates, so it carries its own
+//! 30-line prefix matcher instead of depending on `netsim::Cidr`.
+
+use std::net::IpAddr;
+use std::str::FromStr;
+
+/// An IP prefix used to describe a resolver's egress address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpPrefix {
+    addr: IpAddr,
+    len: u8,
+}
+
+impl IpPrefix {
+    /// Builds a prefix; the length is clamped to the family maximum.
+    pub fn new(addr: IpAddr, len: u8) -> IpPrefix {
+        let max = if addr.is_ipv4() { 32 } else { 128 };
+        IpPrefix { addr, len: len.min(max) }
+    }
+
+    /// True when `ip` is the same family and inside the prefix.
+    pub fn contains(&self, ip: IpAddr) -> bool {
+        match (self.addr, ip) {
+            (IpAddr::V4(net), IpAddr::V4(ip)) => {
+                let mask = if self.len == 0 { 0 } else { u32::MAX << (32 - self.len as u32) };
+                (u32::from(net) & mask) == (u32::from(ip) & mask)
+            }
+            (IpAddr::V6(net), IpAddr::V6(ip)) => {
+                let mask = if self.len == 0 { 0 } else { u128::MAX << (128 - self.len as u32) };
+                (u128::from(net) & mask) == (u128::from(ip) & mask)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Error from parsing an [`IpPrefix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixParseError;
+
+impl std::fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid IP prefix")
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+impl FromStr for IpPrefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or(PrefixParseError)?;
+        let addr: IpAddr = addr.parse().map_err(|_| PrefixParseError)?;
+        let len: u8 = len.parse().map_err(|_| PrefixParseError)?;
+        let max = if addr.is_ipv4() { 32 } else { 128 };
+        if len > max {
+            return Err(PrefixParseError);
+        }
+        Ok(IpPrefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_v4() {
+        let p: IpPrefix = "172.253.0.0/16".parse().unwrap();
+        assert!(p.contains("172.253.226.35".parse().unwrap()));
+        assert!(!p.contains("172.254.0.1".parse().unwrap()));
+        assert!(!p.contains("2001:db8::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn contains_v6() {
+        let p: IpPrefix = "2404:6800::/32".parse().unwrap();
+        assert!(p.contains("2404:6800:4003::1".parse().unwrap()));
+        assert!(!p.contains("2404:6801::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("8.8.8.8".parse::<IpPrefix>().is_err());
+        assert!("8.8.8.8/33".parse::<IpPrefix>().is_err());
+        assert!("::/129".parse::<IpPrefix>().is_err());
+        assert!("bad/8".parse::<IpPrefix>().is_err());
+    }
+}

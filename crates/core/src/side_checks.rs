@@ -1,0 +1,148 @@
+//! Side-channel checks that corroborate interception findings:
+//!
+//! * **AD-bit downgrade** — the paper notes interception "can interfere
+//!   with the correct operation of DNSSEC" (§1). A validating public
+//!   resolver sets the AD (authentic data) bit on answers from signed
+//!   zones; an interceptor's alternate resolver usually does not. A
+//!   missing AD bit on a known-signed name from a known-validating
+//!   resolver is corroborating evidence of interception.
+//! * **NXDOMAIN wildcarding** — the Kreibich et al. practice (§7 related
+//!   work): some alternate resolvers rewrite NXDOMAIN into ad-server A
+//!   records. Honest public resolvers never do. An A record for a name
+//!   chosen to not exist is both an interception signal and a
+//!   monetization fingerprint.
+//!
+//! Both checks are *corroborating*, not primary: the location queries of
+//! step 1 remain the detection workhorse.
+
+use crate::transport::{QueryOptions, QueryOutcome, QueryTransport};
+use dns_wire::{Name, Question, RData, RType, Rcode};
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+
+/// Outcome of the AD-bit downgrade check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdVerdict {
+    /// AD set: the answer came from a validating resolver.
+    Authenticated,
+    /// AD clear on a known-signed name from a known-validating resolver:
+    /// someone else answered.
+    Downgraded,
+    /// No usable answer.
+    Inconclusive,
+}
+
+/// Queries `signed_name` (a name known to live in a signed zone) at
+/// `server` (a resolver known to validate) and inspects the AD bit.
+pub fn ad_downgrade_check<T: QueryTransport>(
+    transport: &mut T,
+    server: IpAddr,
+    signed_name: &Name,
+    opts: QueryOptions,
+) -> AdVerdict {
+    let q = Question::new(signed_name.clone(), RType::A);
+    match transport.query(server, q, opts) {
+        QueryOutcome::Response(m) if m.header.rcode == Rcode::NoError => {
+            if m.header.ad {
+                AdVerdict::Authenticated
+            } else {
+                AdVerdict::Downgraded
+            }
+        }
+        _ => AdVerdict::Inconclusive,
+    }
+}
+
+/// Outcome of the NXDOMAIN wildcard check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WildcardVerdict {
+    /// NXDOMAIN came back, as it must for a nonexistent name.
+    Honest,
+    /// The resolver substituted an address — NXDOMAIN wildcarding.
+    Wildcarded {
+        /// The substituted address (typically an ad server).
+        substituted: IpAddr,
+    },
+    /// No usable answer.
+    Inconclusive,
+}
+
+/// Queries a name chosen to not exist; anything other than NXDOMAIN is
+/// evidence of rewriting.
+pub fn nxdomain_wildcard_check<T: QueryTransport>(
+    transport: &mut T,
+    server: IpAddr,
+    nonexistent_name: &Name,
+    opts: QueryOptions,
+) -> WildcardVerdict {
+    let q = Question::new(nonexistent_name.clone(), RType::A);
+    match transport.query(server, q, opts) {
+        QueryOutcome::Response(m) => match m.header.rcode {
+            Rcode::NxDomain => WildcardVerdict::Honest,
+            Rcode::NoError => {
+                let substituted = m.answers.iter().find_map(|r| match r.rdata {
+                    RData::A(ip) => Some(IpAddr::V4(ip)),
+                    RData::Aaaa(ip) => Some(IpAddr::V6(ip)),
+                    _ => None,
+                });
+                match substituted {
+                    Some(substituted) => WildcardVerdict::Wildcarded { substituted },
+                    None => WildcardVerdict::Inconclusive,
+                }
+            }
+            _ => WildcardVerdict::Inconclusive,
+        },
+        QueryOutcome::Timeout => WildcardVerdict::Inconclusive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::{MockTransport, Respond};
+
+    fn opts() -> QueryOptions {
+        QueryOptions::default()
+    }
+
+    fn server() -> IpAddr {
+        "8.8.8.8".parse().unwrap()
+    }
+
+    #[test]
+    fn ad_check_classifies_by_bit() {
+        // The mock never sets AD, so a NOERROR answer reads as downgraded…
+        let mut t = MockTransport::new();
+        let name: Name = "example.com".parse().unwrap();
+        t.push_rule(None, Some(name.clone()), None, Respond::A("1.2.3.4".parse().unwrap()));
+        assert_eq!(ad_downgrade_check(&mut t, server(), &name, opts()), AdVerdict::Downgraded);
+        // …silence is inconclusive…
+        let mut t = MockTransport::new();
+        assert_eq!(ad_downgrade_check(&mut t, server(), &name, opts()), AdVerdict::Inconclusive);
+        // …and errors are inconclusive too.
+        let mut t = MockTransport::new();
+        t.push_rule(None, Some(name.clone()), None, Respond::Rcode(Rcode::ServFail));
+        assert_eq!(ad_downgrade_check(&mut t, server(), &name, opts()), AdVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn wildcard_check_classifies() {
+        let name: Name = "nonexistent-canary.example".parse().unwrap();
+        let mut t = MockTransport::new();
+        t.push_rule(None, Some(name.clone()), None, Respond::Rcode(Rcode::NxDomain));
+        assert_eq!(nxdomain_wildcard_check(&mut t, server(), &name, opts()), WildcardVerdict::Honest);
+
+        let mut t = MockTransport::new();
+        t.push_rule(None, Some(name.clone()), None, Respond::A("75.75.0.99".parse().unwrap()));
+        assert_eq!(
+            nxdomain_wildcard_check(&mut t, server(), &name, opts()),
+            WildcardVerdict::Wildcarded { substituted: "75.75.0.99".parse().unwrap() }
+        );
+
+        let mut t = MockTransport::new();
+        assert_eq!(
+            nxdomain_wildcard_check(&mut t, server(), &name, opts()),
+            WildcardVerdict::Inconclusive
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! The transport abstraction the locator runs on.
+//!
+//! The paper stresses that its technique "can be implemented on any device
+//! that can make DNS queries, without requiring root access or external
+//! measurement tools" (§1). [`QueryTransport`] captures exactly that
+//! capability: send one DNS question to one server address, get back either
+//! a response or a timeout. The simulator provides one implementation; a
+//! real `UdpSocket`-backed one could be added without touching the
+//! algorithm.
+
+use dns_wire::{Message, Question};
+use std::net::IpAddr;
+
+/// Wait budget and packet parameters for a single query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// How long to wait for a response before declaring a timeout.
+    pub timeout_ms: u64,
+    /// IP TTL / hop limit for the query packet. `None` uses the OS
+    /// default. Setting this requires raw-socket privileges on real
+    /// systems — exactly the §6 caveat; the simulated transport supports
+    /// it freely, which is what the TTL-scan extension exploits.
+    pub ttl: Option<u8>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        // RIPE Atlas uses a 5-second UDP timeout; we default to the same.
+        QueryOptions { timeout_ms: 5_000, ttl: None }
+    }
+}
+
+/// Result of one query attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// A response arrived whose source address matched the queried server
+    /// (the OS-level connected-UDP check every stub resolver performs —
+    /// which is why interceptors must spoof, §2).
+    Response(Message),
+    /// No matching response within the timeout. The paper conservatively
+    /// treats timeouts as *not* interception (§3.1).
+    Timeout,
+}
+
+impl QueryOutcome {
+    /// The response, if one arrived.
+    pub fn response(&self) -> Option<&Message> {
+        match self {
+            QueryOutcome::Response(m) => Some(m),
+            QueryOutcome::Timeout => None,
+        }
+    }
+
+    /// True if this outcome is a timeout.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, QueryOutcome::Timeout)
+    }
+}
+
+/// Anything that can carry a DNS question to a server address.
+pub trait QueryTransport {
+    /// Sends `question` to `server` and waits for a source-matching reply.
+    fn query(&mut self, server: IpAddr, question: Question, opts: QueryOptions) -> QueryOutcome;
+}
+
+/// Blanket implementation so `&mut T` works wherever `T` does.
+impl<T: QueryTransport + ?Sized> QueryTransport for &mut T {
+    fn query(&mut self, server: IpAddr, question: Question, opts: QueryOptions) -> QueryOutcome {
+        (**self).query(server, question, opts)
+    }
+}

@@ -1,0 +1,208 @@
+//! A real-network [`QueryTransport`] over `std::net::UdpSocket`.
+//!
+//! This is the deployment form of the paper's claim that the technique
+//! "can be implemented on any device that can make DNS queries, without
+//! requiring root access": one unprivileged UDP socket per query,
+//! connected to the server so the kernel enforces the source-address match
+//! that makes spoofing necessary (§2).
+//!
+//! The TTL option of [`QueryOptions`] is honored via `IP_TTL` where the
+//! platform allows it without privileges; on failure the query proceeds
+//! with the default TTL (mirroring the §6 observation that TTL games need
+//! more privilege than DNS itself).
+
+use crate::transport::{QueryOptions, QueryOutcome, QueryTransport};
+use dns_wire::{Message, Question};
+use std::net::{IpAddr, SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// UDP transport state: a transaction-id counter (deterministic per run,
+/// randomized by the starting value) and statistics.
+#[derive(Debug)]
+pub struct UdpTransport {
+    next_txid: u16,
+    /// Local address to bind (e.g. to pick an interface); `None` binds the
+    /// unspecified address of the server's family.
+    pub bind_addr: Option<IpAddr>,
+    /// Server port, 53 unless testing against a local stub.
+    pub port: u16,
+    /// Queries sent.
+    pub sent: u64,
+    /// Responses accepted.
+    pub received: u64,
+}
+
+impl UdpTransport {
+    /// Creates a transport whose transaction IDs start at `initial_txid`.
+    pub fn new(initial_txid: u16) -> UdpTransport {
+        UdpTransport { next_txid: initial_txid, bind_addr: None, port: 53, sent: 0, received: 0 }
+    }
+
+    fn alloc_txid(&mut self) -> u16 {
+        let id = self.next_txid;
+        self.next_txid = self.next_txid.wrapping_add(1);
+        id
+    }
+
+    fn bind_for(&self, server: IpAddr) -> std::io::Result<UdpSocket> {
+        let local: SocketAddr = match self.bind_addr {
+            Some(addr) => SocketAddr::new(addr, 0),
+            None if server.is_ipv4() => "0.0.0.0:0".parse().expect("static addr"),
+            None => "[::]:0".parse().expect("static addr"),
+        };
+        UdpSocket::bind(local)
+    }
+}
+
+impl Default for UdpTransport {
+    fn default() -> Self {
+        // Derive a starting txid from the process-unique socket ephemeral
+        // port on first use is overkill; a fixed default keeps runs
+        // reproducible, and the per-query connected socket already defeats
+        // off-path spoofing in this measurement context.
+        UdpTransport::new(0x5244)
+    }
+}
+
+impl QueryTransport for UdpTransport {
+    fn query(&mut self, server: IpAddr, question: Question, opts: QueryOptions) -> QueryOutcome {
+        let txid = self.alloc_txid();
+        let msg = Message::query(txid, question);
+        let Ok(payload) = msg.encode() else { return QueryOutcome::Timeout };
+
+        let Ok(socket) = self.bind_for(server) else { return QueryOutcome::Timeout };
+        if let Some(ttl) = opts.ttl {
+            // Best-effort: not all platforms allow it unprivileged.
+            let _ = socket.set_ttl(ttl as u32);
+        }
+        if socket.connect(SocketAddr::new(server, self.port)).is_err() {
+            return QueryOutcome::Timeout;
+        }
+        if socket.send(&payload).is_err() {
+            return QueryOutcome::Timeout;
+        }
+        self.sent += 1;
+
+        let deadline = Instant::now() + Duration::from_millis(opts.timeout_ms);
+        let mut buf = [0u8; 4096];
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return QueryOutcome::Timeout;
+            }
+            if socket.set_read_timeout(Some(remaining)).is_err() {
+                return QueryOutcome::Timeout;
+            }
+            match socket.recv(&mut buf) {
+                Ok(n) => {
+                    // connect() already guarantees the source address; check
+                    // transaction id and QR, drop anything else and keep
+                    // listening until the deadline.
+                    if let Ok(resp) = Message::parse(&buf[..n]) {
+                        if resp.header.id == txid && resp.header.qr {
+                            self.received += 1;
+                            return QueryOutcome::Response(resp);
+                        }
+                    }
+                }
+                Err(_) => return QueryOutcome::Timeout,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::{RData, RType, Rcode, Record};
+    use std::net::Ipv4Addr;
+    use std::sync::mpsc;
+
+    /// Spawns a loopback "resolver" that answers `n` queries with a canned
+    /// record, then exits. Returns its port.
+    fn spawn_loopback_server(n: usize, wrong_txid: bool) -> u16 {
+        let socket = UdpSocket::bind("127.0.0.1:0").expect("bind loopback");
+        let port = socket.local_addr().unwrap().port();
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            tx.send(()).ok();
+            let mut buf = [0u8; 4096];
+            for _ in 0..n {
+                let Ok((len, peer)) = socket.recv_from(&mut buf) else { return };
+                let Ok(query) = Message::parse(&buf[..len]) else { continue };
+                let mut resp = Message::response_to(&query, Rcode::NoError).with_answer(
+                    Record::new(
+                        query.questions[0].qname.clone(),
+                        30,
+                        RData::A(Ipv4Addr::new(93, 184, 216, 34)),
+                    ),
+                );
+                if wrong_txid {
+                    resp.header.id = resp.header.id.wrapping_add(1);
+                }
+                let bytes = resp.encode().unwrap();
+                socket.send_to(&bytes, peer).ok();
+            }
+        });
+        rx.recv().ok();
+        port
+    }
+
+    fn a_question() -> Question {
+        Question::new("example.com".parse().unwrap(), RType::A)
+    }
+
+    #[test]
+    fn loopback_roundtrip() {
+        let mut t = UdpTransport::default();
+        t.port = spawn_loopback_server(1, false);
+        let out = t.query(
+            "127.0.0.1".parse().unwrap(),
+            a_question(),
+            QueryOptions { timeout_ms: 2_000, ttl: None },
+        );
+        let resp = out.response().expect("loopback answer");
+        assert_eq!(resp.answers[0].rdata, RData::A("93.184.216.34".parse().unwrap()));
+        assert_eq!(t.sent, 1);
+        assert_eq!(t.received, 1);
+    }
+
+    #[test]
+    fn mismatched_txid_is_rejected_until_timeout() {
+        let mut t = UdpTransport::default();
+        t.port = spawn_loopback_server(1, true);
+        let out = t.query(
+            "127.0.0.1".parse().unwrap(),
+            a_question(),
+            QueryOptions { timeout_ms: 300, ttl: None },
+        );
+        assert!(out.is_timeout());
+        assert_eq!(t.received, 0);
+    }
+
+    #[test]
+    fn dead_server_times_out() {
+        // A bound-but-never-answering socket.
+        let silent = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let mut t = UdpTransport::default();
+        t.port = silent.local_addr().unwrap().port();
+        let started = Instant::now();
+        let out = t.query(
+            "127.0.0.1".parse().unwrap(),
+            a_question(),
+            QueryOptions { timeout_ms: 200, ttl: None },
+        );
+        assert!(out.is_timeout());
+        assert!(started.elapsed() >= Duration::from_millis(180));
+    }
+
+    #[test]
+    fn txids_increment() {
+        let mut t = UdpTransport::new(10);
+        assert_eq!(t.alloc_txid(), 10);
+        assert_eq!(t.alloc_txid(), 11);
+        let mut t = UdpTransport::new(u16::MAX);
+        assert_eq!(t.alloc_txid(), u16::MAX);
+        assert_eq!(t.alloc_txid(), 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! The CPE device: a home router with masquerading NAT, optional DNAT-based
+//! DNS interception, and an embedded forwarder.
+//!
+//! This is the mechanism of the paper's §5 case study, implemented for
+//! real: an RDK-B/XDNS-style firewall rule rewrites outbound UDP/53 to the
+//! router's own forwarder, the forwarder relays to the ISP resolver, and
+//! conntrack restores the original destination as the reply's source — so
+//! the client sees an answer "from" 8.8.8.8 that Google never sent.
+
+use crate::config::{CpeConfig, DnsMode, ForwarderSpec, InterceptSpec};
+use bytes::Bytes;
+use dns_wire::Message;
+use netsim::{
+    Ctx, Device, DnatRule, IfaceId, IpPacket, NatEngine, NatVerdict, Proto,
+};
+use resolver_sim::{ForwarderCore, FwdAction};
+use std::any::Any;
+use std::net::IpAddr;
+
+/// The CPE's LAN-side interface.
+pub const LAN: IfaceId = IfaceId(0);
+/// The CPE's WAN-side interface.
+pub const WAN: IfaceId = IfaceId(1);
+
+/// Source port the embedded forwarder uses toward its upstream.
+const FWD_SPORT: u16 = 53535;
+
+/// How a forwarder answer travels back to the client.
+#[derive(Debug, Clone)]
+enum ReplyPath {
+    /// The client addressed the CPE itself; reply directly.
+    Direct(IpPacket),
+    /// The query was DNAT-intercepted; reply through conntrack so the
+    /// source is spoofed back to the original destination.
+    NatSpoof(IpPacket),
+}
+
+/// The home router.
+pub struct CpeDevice {
+    config: CpeConfig,
+    nat: NatEngine,
+    forwarder: Option<ForwarderCore<ReplyPath>>,
+    /// DNS queries the DNAT rule captured.
+    pub intercepted_queries: u64,
+    /// DNS queries answered on the CPE's own addresses.
+    pub self_queries: u64,
+}
+
+impl CpeDevice {
+    /// Builds the device from configuration.
+    pub fn new(config: CpeConfig) -> CpeDevice {
+        let mut nat = NatEngine::new();
+        nat.masquerade_v4(IpAddr::V4(config.wan_v4));
+        nat.add_local_addr(IpAddr::V4(config.lan_v4));
+        nat.add_local_addr(IpAddr::V4(config.wan_v4));
+        if let Some(lan_v6) = config.lan_v6 {
+            nat.add_local_addr(IpAddr::V6(lan_v6));
+        }
+        if let Some(wan_v6) = config.wan_v6 {
+            nat.add_local_addr(IpAddr::V6(wan_v6));
+        }
+        if let DnsMode::Interceptor(_, intercept) = &config.dns {
+            nat.add_dnat(dnat_rule_v4(&config, intercept));
+            if intercept.intercept_v6 {
+                if let Some(lan_v6) = config.lan_v6 {
+                    let mut rule = DnatRule::redirect_dns(IpAddr::V6(lan_v6));
+                    rule.exempt_dsts = intercept.exempt_dsts.clone();
+                    rule.match_dsts =
+                        intercept.match_dsts.iter().filter(|a| !a.is_ipv4()).copied().collect();
+                    nat.add_dnat(rule);
+                }
+            }
+        }
+        let forwarder = config.dns.forwarder().map(|spec| {
+            let mut fc = ForwarderCore::new(spec.profile.clone(), spec.upstream_v4);
+            fc.blocklist = spec.blocklist.clone();
+            fc
+        });
+        CpeDevice { config, nat, forwarder, intercepted_queries: 0, self_queries: 0 }
+    }
+
+    /// Boxed convenience constructor.
+    pub fn boxed(config: CpeConfig) -> Box<CpeDevice> {
+        Box::new(CpeDevice::new(config))
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &CpeConfig {
+        &self.config
+    }
+
+    /// The forwarder's ground-truth version string, if it reveals one.
+    pub fn forwarder_version(&self) -> Option<&str> {
+        self.config.dns.forwarder().and_then(|f| f.profile.version_string())
+    }
+
+    fn spec(&self) -> Option<&ForwarderSpec> {
+        self.config.dns.forwarder()
+    }
+
+    /// True when a DNS query addressed to `dst` (one of our own addresses)
+    /// should reach the forwarder.
+    fn serves_addr(&self, dst: IpAddr) -> bool {
+        let Some(spec) = self.spec() else { return false };
+        let is_wan = dst == IpAddr::V4(self.config.wan_v4)
+            || self.config.wan_v6.map(IpAddr::V6) == Some(dst);
+        if is_wan {
+            spec.listen_wan
+        } else {
+            true // LAN addresses are always served when a forwarder exists
+        }
+    }
+
+    fn is_self_addr(&self, dst: IpAddr) -> bool {
+        self.config.self_addrs().contains(&dst)
+    }
+
+    fn handle_forwarder_query(&mut self, ctx: &mut Ctx<'_>, request: IpPacket, path: ReplyPath) {
+        let Some(udp) = request.udp_payload() else { return };
+        let Ok(query) = Message::parse(&udp.payload) else { return };
+        let upstream_v6 = self.spec().and_then(|s| s.upstream_v6);
+        let upstream_v4 = self.spec().map(|s| s.upstream_v4);
+        let Some(fc) = &mut self.forwarder else { return };
+        match fc.handle_query(query, path) {
+            FwdAction::Respond(resp) => {
+                let Ok(bytes) = resp.encode() else { return };
+                self.send_reply_for(ctx, &request, Bytes::from(bytes));
+            }
+            FwdAction::Forward(relayed) => {
+                let Ok(bytes) = relayed.encode() else { return };
+                // Choose upstream by the family the CPE can speak.
+                let (src, dst) = match (request.is_v4(), upstream_v6, self.config.wan_v6) {
+                    (false, Some(up6), Some(wan6)) => (IpAddr::V6(wan6), up6),
+                    _ => {
+                        let Some(up) = upstream_v4 else { return };
+                        (IpAddr::V4(self.config.wan_v4), up)
+                    }
+                };
+                if let Some(pkt) = IpPacket::udp(src, dst, FWD_SPORT, 53, Bytes::from(bytes)) {
+                    ctx.send(WAN, pkt);
+                }
+            }
+            FwdAction::Drop => {}
+        }
+    }
+
+    /// Replies to a request the forwarder answered synchronously. For a
+    /// DNAT-intercepted request conntrack restores the spoofed source; a
+    /// direct (self-addressed) request is answered from the address queried.
+    fn send_reply_for(&mut self, ctx: &mut Ctx<'_>, request: &IpPacket, payload: Bytes) {
+        let reply = self
+            .nat
+            .local_reply(request, payload.clone(), ctx.now())
+            .or_else(|| resolver_sim::reply_packet(request, payload));
+        if let Some(reply) = reply {
+            ctx.send(LAN, reply);
+        }
+    }
+
+    fn handle_upstream_response(&mut self, ctx: &mut Ctx<'_>, packet: &IpPacket) {
+        let Some(udp) = packet.udp_payload() else { return };
+        let Ok(response) = Message::parse(&udp.payload) else { return };
+        let Some(fc) = &mut self.forwarder else { return };
+        let Some((path, restored)) = fc.handle_upstream_response(response) else { return };
+        let Ok(bytes) = restored.encode() else { return };
+        let payload = Bytes::from(bytes);
+        match path {
+            ReplyPath::Direct(request) => {
+                if let Some(reply) = resolver_sim::reply_packet(&request, payload) {
+                    ctx.send(LAN, reply);
+                }
+            }
+            ReplyPath::NatSpoof(delivered) => {
+                if let Some(reply) = self.nat.local_reply(&delivered, payload, ctx.now()) {
+                    ctx.send(LAN, reply);
+                }
+            }
+        }
+    }
+
+    fn receive_lan(&mut self, ctx: &mut Ctx<'_>, packet: IpPacket) {
+        // Everything goes through the NAT pipeline first, like netfilter
+        // PREROUTING: the interceptor's DNAT rule captures even queries
+        // addressed to the CPE's own public IP — the property that makes
+        // the paper's step 2 produce identical version.bind strings.
+        let orig_dst = packet.dst();
+        match self.nat.outbound(packet, ctx.now()) {
+            NatVerdict::Local(delivered) => {
+                let dnat_applied = delivered.dst() != orig_dst;
+                let is_dns =
+                    delivered.udp_payload().map(|u| u.dst_port == 53).unwrap_or(false);
+                if !is_dns {
+                    // Non-DNS traffic to our own addresses: nothing listens.
+                    return;
+                }
+                if dnat_applied {
+                    // The DNAT rule captured this query for our forwarder.
+                    self.intercepted_queries += 1;
+                    let path = ReplyPath::NatSpoof(delivered.clone());
+                    self.handle_forwarder_query(ctx, delivered, path);
+                } else if self.serves_addr(orig_dst) {
+                    // Addressed to us directly and the forwarder listens
+                    // there (LAN always; WAN only with port 53 open).
+                    self.self_queries += 1;
+                    let path = ReplyPath::Direct(delivered.clone());
+                    self.handle_forwarder_query(ctx, delivered, path);
+                }
+                // Otherwise: port 53 closed — silence; the client times
+                // out, exactly what the technique expects from a clean CPE.
+            }
+            NatVerdict::Forward(mut pkt) => {
+                if pkt.decrement_ttl() {
+                    ctx.send(WAN, pkt);
+                }
+            }
+        }
+    }
+
+    fn receive_wan(&mut self, ctx: &mut Ctx<'_>, packet: IpPacket) {
+        // Conntrack first: masqueraded replies are addressed to the WAN IP
+        // but belong to an inside host (netfilter PREROUTING order).
+        if packet.is_v4() {
+            if let Some(mut translated) = self.nat.inbound(packet.clone(), ctx.now()) {
+                if translated.decrement_ttl() {
+                    ctx.send(LAN, translated);
+                }
+                return;
+            }
+        }
+
+        // Upstream responses to the embedded forwarder.
+        let to_me = self.is_self_addr(packet.dst());
+        if to_me {
+            let is_fwd_response = packet
+                .udp_payload()
+                .map(|u| u.dst_port == FWD_SPORT)
+                .unwrap_or(false);
+            if is_fwd_response {
+                self.handle_upstream_response(ctx, &packet);
+                return;
+            }
+            // DNS queries arriving from the WAN side at our public address
+            // (an outside scanner): served only with listen_wan.
+            let is_dns = packet.udp_payload().map(|u| u.dst_port == 53).unwrap_or(false);
+            if is_dns && self.serves_addr(packet.dst()) {
+                self.self_queries += 1;
+                let path = ReplyPath::Direct(packet.clone());
+                // Reply must leave via the WAN side.
+                let Some(udp) = packet.udp_payload() else { return };
+                let Ok(query) = Message::parse(&udp.payload) else { return };
+                let Some(fc) = &mut self.forwarder else { return };
+                if let FwdAction::Respond(resp) = fc.handle_query(query, path) {
+                    if let Ok(bytes) = resp.encode() {
+                        if let Some(reply) = resolver_sim::reply_packet(&packet, Bytes::from(bytes)) {
+                            ctx.send(WAN, reply);
+                        }
+                    }
+                }
+            }
+            return;
+        }
+
+        // Unsolicited v4 toward the inside: dropped (stateful firewall).
+        if packet.is_v4() {
+            return;
+        }
+
+        // IPv6 is routed, not NATed: deliver anything inside the delegated
+        // prefix.
+        if let Some(prefix) = self.config.lan_prefix_v6 {
+            if prefix.contains(packet.dst()) {
+                let mut pkt = packet;
+                if pkt.decrement_ttl() {
+                    ctx.send(LAN, pkt);
+                }
+            }
+        }
+    }
+}
+
+fn dnat_rule_v4(config: &CpeConfig, intercept: &InterceptSpec) -> DnatRule {
+    DnatRule {
+        proto: Proto::Udp,
+        dst_port: 53,
+        exempt_dsts: intercept.exempt_dsts.clone(),
+        match_dsts: intercept.match_dsts.iter().filter(|a| a.is_ipv4()).copied().collect(),
+        to_addr: IpAddr::V4(config.lan_v4),
+        to_port: None,
+    }
+}
+
+impl Device for CpeDevice {
+    fn receive(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, packet: IpPacket) {
+        match iface {
+            LAN => self.receive_lan(ctx, packet),
+            WAN => self.receive_wan(ctx, packet),
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

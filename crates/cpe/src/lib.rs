@@ -1,0 +1,261 @@
+//! # cpe
+//!
+//! Customer-premises-equipment (home router) models for the *Home is Where
+//! the Hijacking is* reproduction.
+//!
+//! [`CpeDevice`] is a full home router: masquerading NAT, an embedded
+//! Dnsmasq/XDNS-style forwarder, and — in interceptor configurations — the
+//! DNAT rule from the paper's §5 case study that silently redirects every
+//! outbound DNS query to the forwarder. [`models`] catalogs the populations
+//! the paper observed: plain routers, LAN-only forwarders, the Appendix-A
+//! open-port-53 confounder, the buggy XB6, Pi-holes, and the §6
+//! `version.bind`-hiding stealth interceptor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod device;
+pub mod models;
+
+pub use config::{CpeConfig, DnsMode, ForwarderSpec, InterceptSpec};
+pub use device::{CpeDevice, LAN, WAN};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dns_wire::debug_queries;
+    use dns_wire::{Message, Question, RData, RType, Rcode};
+    use netsim::{Host, IfaceId, IpPacket, SimDuration, Simulator};
+    use resolver_sim::{RecursiveResolver, ResolveCtx, SoftwareProfile, ZoneDb};
+    use std::net::IpAddr;
+    use std::sync::Arc;
+
+    const PROBE: &str = "192.168.1.100";
+    const WAN_IP: &str = "73.22.1.5";
+    const ISP_RESOLVER: &str = "75.75.75.75";
+
+    /// probe <-> CPE <-> ISP resolver. Returns (sim, probe, cpe, resolver).
+    fn home(config: CpeConfig) -> (Simulator, netsim::NodeId, netsim::NodeId, netsim::NodeId) {
+        let mut sim = Simulator::new(7);
+        let probe = sim.add_device(Host::boxed("probe", [PROBE.parse::<IpAddr>().unwrap()]));
+        let cpe = sim.add_device(CpeDevice::boxed(config));
+        let resolver = sim.add_device(RecursiveResolver::boxed(
+            "isp-resolver",
+            [ISP_RESOLVER.parse::<IpAddr>().unwrap()],
+            ResolveCtx::v4("75.75.75.10".parse().unwrap()),
+            Arc::new(ZoneDb::standard_world()),
+            SoftwareProfile::unbound("1.9.0"),
+        ));
+        sim.connect((probe, IfaceId(0)), (cpe, LAN), SimDuration::from_millis(1));
+        sim.connect((cpe, WAN), (resolver, IfaceId(0)), SimDuration::from_millis(8));
+        (sim, probe, cpe, resolver)
+    }
+
+    fn dns_query_pkt(dst: &str, question: Question, id: u16) -> IpPacket {
+        let msg = Message::query(id, question);
+        IpPacket::udp_v4(
+            PROBE.parse().unwrap(),
+            dst.parse().unwrap(),
+            4321,
+            53,
+            Bytes::from(msg.encode().unwrap()),
+        )
+    }
+
+    fn responses(sim: &mut Simulator, probe: netsim::NodeId) -> Vec<(IpAddr, Message)> {
+        sim.device_mut::<Host>(probe)
+            .unwrap()
+            .drain_inbox()
+            .into_iter()
+            .filter_map(|d| {
+                let src = d.packet.src();
+                let msg = Message::parse(&d.packet.udp_payload().unwrap().payload).ok()?;
+                Some((src, msg))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn buggy_xb6_intercepts_and_spoofs_source() {
+        // The probe queries 8.8.8.8; the XB6 DNATs the query to XDNS which
+        // forwards to the ISP resolver. The probe receives an answer whose
+        // source claims to be 8.8.8.8.
+        let (mut sim, probe, cpe, resolver) =
+            home(models::xb6_buggy(WAN_IP.parse().unwrap(), ISP_RESOLVER.parse().unwrap()));
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        sim.inject(probe, IfaceId(0), dns_query_pkt("8.8.8.8", q, 77));
+        sim.run_to_quiescence();
+        let resp = responses(&mut sim, probe);
+        assert_eq!(resp.len(), 1);
+        let (src, msg) = &resp[0];
+        assert_eq!(*src, "8.8.8.8".parse::<IpAddr>().unwrap());
+        assert_eq!(msg.header.id, 77);
+        assert_eq!(msg.answers[0].rdata, RData::A("93.184.216.34".parse().unwrap()));
+        assert_eq!(sim.device::<CpeDevice>(cpe).unwrap().intercepted_queries, 1);
+        assert_eq!(sim.device::<RecursiveResolver>(resolver).unwrap().queries_handled, 1);
+    }
+
+    #[test]
+    fn buggy_xb6_answers_version_bind_at_public_ip() {
+        let (mut sim, probe, _cpe, _r) =
+            home(models::xb6_buggy(WAN_IP.parse().unwrap(), ISP_RESOLVER.parse().unwrap()));
+        let q = Question::chaos_txt(debug_queries::version_bind());
+        sim.inject(probe, IfaceId(0), dns_query_pkt(WAN_IP, q, 5));
+        sim.run_to_quiescence();
+        let resp = responses(&mut sim, probe);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].0, WAN_IP.parse::<IpAddr>().unwrap());
+        assert_eq!(resp[0].1.answers[0].rdata.txt_string().unwrap(), "dnsmasq-2.78-xfin");
+    }
+
+    #[test]
+    fn buggy_xb6_version_bind_identical_via_public_resolver() {
+        // The step-2 signature: version.bind "to 8.8.8.8" is answered by
+        // XDNS with the same string as version.bind to the CPE public IP.
+        let (mut sim, probe, _cpe, _r) =
+            home(models::xb6_buggy(WAN_IP.parse().unwrap(), ISP_RESOLVER.parse().unwrap()));
+        let q = Question::chaos_txt(debug_queries::version_bind());
+        sim.inject(probe, IfaceId(0), dns_query_pkt("8.8.8.8", q, 6));
+        sim.run_to_quiescence();
+        let resp = responses(&mut sim, probe);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].0, "8.8.8.8".parse::<IpAddr>().unwrap());
+        assert_eq!(resp[0].1.answers[0].rdata.txt_string().unwrap(), "dnsmasq-2.78-xfin");
+    }
+
+    #[test]
+    fn plain_router_forwards_untouched() {
+        // With a plain router, the query leaves masqueraded toward the real
+        // destination; our mini-topology routes everything to the ISP
+        // resolver link, so a query to the resolver itself works end to end.
+        let (mut sim, probe, cpe, _r) = home(models::plain(WAN_IP.parse().unwrap()));
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        sim.inject(probe, IfaceId(0), dns_query_pkt(ISP_RESOLVER, q, 9));
+        sim.run_to_quiescence();
+        let resp = responses(&mut sim, probe);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].0, ISP_RESOLVER.parse::<IpAddr>().unwrap());
+        assert_eq!(sim.device::<CpeDevice>(cpe).unwrap().intercepted_queries, 0);
+    }
+
+    #[test]
+    fn plain_router_is_silent_on_version_bind_to_public_ip() {
+        let (mut sim, probe, _cpe, _r) = home(models::plain(WAN_IP.parse().unwrap()));
+        let q = Question::chaos_txt(debug_queries::version_bind());
+        sim.inject(probe, IfaceId(0), dns_query_pkt(WAN_IP, q, 2));
+        sim.run_to_quiescence();
+        assert!(responses(&mut sim, probe).is_empty());
+    }
+
+    #[test]
+    fn open_forwarder_answers_own_ip_but_does_not_intercept() {
+        let (mut sim, probe, cpe, _r) = home(models::open_wan_forwarder(
+            WAN_IP.parse().unwrap(),
+            ISP_RESOLVER.parse().unwrap(),
+            "2.80",
+        ));
+        // version.bind to the public IP: answered (port 53 open)…
+        let q = Question::chaos_txt(debug_queries::version_bind());
+        sim.inject(probe, IfaceId(0), dns_query_pkt(WAN_IP, q, 3));
+        sim.run_to_quiescence();
+        let resp = responses(&mut sim, probe);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].1.answers[0].rdata.txt_string().unwrap(), "dnsmasq-2.80");
+        // …but a query toward a public resolver is *not* captured.
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        sim.inject(probe, IfaceId(0), dns_query_pkt(ISP_RESOLVER, q, 4));
+        sim.run_to_quiescence();
+        assert_eq!(sim.device::<CpeDevice>(cpe).unwrap().intercepted_queries, 0);
+    }
+
+    #[test]
+    fn open_forwarder_relays_a_records_from_own_ip() {
+        // An A query to the CPE's public IP is forwarded upstream and the
+        // answer returns from the CPE's address — the Appendix-A behaviour.
+        let (mut sim, probe, _cpe, _r) = home(models::open_wan_forwarder(
+            WAN_IP.parse().unwrap(),
+            ISP_RESOLVER.parse().unwrap(),
+            "2.80",
+        ));
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        sim.inject(probe, IfaceId(0), dns_query_pkt(WAN_IP, q, 8));
+        sim.run_to_quiescence();
+        let resp = responses(&mut sim, probe);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].0, WAN_IP.parse::<IpAddr>().unwrap());
+        assert_eq!(resp[0].1.header.id, 8);
+        assert_eq!(resp[0].1.answers[0].rdata, RData::A("93.184.216.34".parse().unwrap()));
+    }
+
+    #[test]
+    fn pi_hole_blocks_ads_and_intercepts() {
+        let (mut sim, probe, cpe, _r) = home(models::pi_hole(
+            WAN_IP.parse().unwrap(),
+            ISP_RESOLVER.parse().unwrap(),
+            "2.87",
+        ));
+        let q = Question::new("ads.doubleclick.net".parse().unwrap(), RType::A);
+        sim.inject(probe, IfaceId(0), dns_query_pkt("1.1.1.1", q, 11));
+        sim.run_to_quiescence();
+        let resp = responses(&mut sim, probe);
+        assert_eq!(resp.len(), 1);
+        // Blocked locally, source spoofed as the queried resolver.
+        assert_eq!(resp[0].0, "1.1.1.1".parse::<IpAddr>().unwrap());
+        assert_eq!(resp[0].1.header.rcode, Rcode::NxDomain);
+        assert_eq!(sim.device::<CpeDevice>(cpe).unwrap().intercepted_queries, 1);
+    }
+
+    #[test]
+    fn selective_interceptor_exempts_allowed_resolver() {
+        let allowed: IpAddr = ISP_RESOLVER.parse().unwrap();
+        let (mut sim, probe, cpe, _r) = home(models::single_resolver_allowed(
+            WAN_IP.parse().unwrap(),
+            ISP_RESOLVER.parse().unwrap(),
+            &[allowed],
+            "2.85",
+        ));
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        sim.inject(probe, IfaceId(0), dns_query_pkt(ISP_RESOLVER, q, 12));
+        sim.run_to_quiescence();
+        // Allowed resolver reached directly: no interception counted.
+        assert_eq!(sim.device::<CpeDevice>(cpe).unwrap().intercepted_queries, 0);
+        assert_eq!(responses(&mut sim, probe).len(), 1);
+    }
+
+    #[test]
+    fn stealth_interceptor_hides_from_version_bind() {
+        let (mut sim, probe, cpe, _r) = home(models::stealth_interceptor(
+            WAN_IP.parse().unwrap(),
+            ISP_RESOLVER.parse().unwrap(),
+        ));
+        // It intercepts…
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        sim.inject(probe, IfaceId(0), dns_query_pkt("8.8.8.8", q, 13));
+        sim.run_to_quiescence();
+        assert_eq!(sim.device::<CpeDevice>(cpe).unwrap().intercepted_queries, 1);
+        responses(&mut sim, probe);
+        // …but version.bind produces REFUSED, not a comparable string.
+        let q = Question::chaos_txt(debug_queries::version_bind());
+        sim.inject(probe, IfaceId(0), dns_query_pkt("8.8.8.8", q, 14));
+        sim.run_to_quiescence();
+        let resp = responses(&mut sim, probe);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].1.header.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn txid_is_preserved_end_to_end_through_interception() {
+        let (mut sim, probe, _cpe, _r) =
+            home(models::xb6_buggy(WAN_IP.parse().unwrap(), ISP_RESOLVER.parse().unwrap()));
+        for id in [1u16, 999, 0xFFFF] {
+            let q = Question::new("example.com".parse().unwrap(), RType::A);
+            sim.inject(probe, IfaceId(0), dns_query_pkt("9.9.9.9", q, id));
+            sim.run_to_quiescence();
+            let resp = responses(&mut sim, probe);
+            assert_eq!(resp.len(), 1);
+            assert_eq!(resp[0].1.header.id, id);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The standard DNS *debugging queries* (RFC 4892) the paper's technique is
+//! built on, plus helpers to build and interpret them.
+//!
+//! Three names matter:
+//!
+//! * `version.bind` (CHAOS TXT) — reveals the responding software's version
+//!   string. The paper's step 2 compares the string returned by the CPE's
+//!   public IP with the strings returned "by" the public resolvers: identical
+//!   strings mean the same forwarder (the CPE) answered both.
+//! * `id.server` (CHAOS TXT) — reveals the responding *server instance*.
+//!   Cloudflare answers with an IATA airport code, Quad9 with a PCH node
+//!   name.
+//! * `hostname.bind` (CHAOS TXT) — the older BIND spelling of `id.server`,
+//!   used by the Jones et al. root-manipulation baseline.
+//!
+//! Two IN-class names complete the toolbox:
+//!
+//! * `o-o.myaddr.l.google.com` (IN TXT) — Google's resolver returns the
+//!   client address it sees, which for a query that really reached Google is
+//!   a Google egress address.
+//! * `debug.opendns.com` (IN TXT) — OpenDNS returns `server mNN.IATA` plus
+//!   additional diagnostic strings.
+
+use crate::message::{Message, Question};
+use crate::name::Name;
+use crate::types::{RClass, RType};
+
+/// Returns the `version.bind` name.
+pub fn version_bind() -> Name {
+    Name::from_labels([&b"version"[..], &b"bind"[..]]).expect("static name is valid")
+}
+
+/// Returns the `id.server` name.
+pub fn id_server() -> Name {
+    Name::from_labels([&b"id"[..], &b"server"[..]]).expect("static name is valid")
+}
+
+/// Returns the `hostname.bind` name.
+pub fn hostname_bind() -> Name {
+    Name::from_labels([&b"hostname"[..], &b"bind"[..]]).expect("static name is valid")
+}
+
+/// Returns Google's `o-o.myaddr.l.google.com` self-address name.
+pub fn google_myaddr() -> Name {
+    "o-o.myaddr.l.google.com".parse().expect("static name is valid")
+}
+
+/// Returns OpenDNS's `debug.opendns.com` name.
+pub fn opendns_debug() -> Name {
+    "debug.opendns.com".parse().expect("static name is valid")
+}
+
+/// Returns Akamai's `whoami.akamai.com` resolver-identity name, used by the
+/// paper's transparency test (§4.1.2).
+pub fn whoami_akamai() -> Name {
+    "whoami.akamai.com".parse().expect("static name is valid")
+}
+
+/// Builds a CHAOS TXT `version.bind` query message.
+pub fn version_bind_query(id: u16) -> Message {
+    Message::query(id, Question::chaos_txt(version_bind()))
+}
+
+/// Builds a CHAOS TXT `id.server` query message.
+pub fn id_server_query(id: u16) -> Message {
+    Message::query(id, Question::chaos_txt(id_server()))
+}
+
+/// Builds a CHAOS TXT `hostname.bind` query message.
+pub fn hostname_bind_query(id: u16) -> Message {
+    Message::query(id, Question::chaos_txt(hostname_bind()))
+}
+
+/// True if `q` is one of the CHAOS-class server-identification questions
+/// (`version.bind`, `id.server`, `hostname.bind`, or their `.server`/`.bind`
+/// cross-spellings, all of which BIND-like software accepts).
+pub fn is_server_id_question(q: &Question) -> bool {
+    if q.qclass != RClass::Chaos || !matches!(q.qtype, RType::Txt | RType::Any) {
+        return false;
+    }
+    let name = q.qname.to_string().to_ascii_lowercase();
+    matches!(
+        name.as_str(),
+        "version.bind." | "id.server." | "hostname.bind." | "version.server." | "id.bind."
+    )
+}
+
+/// Which server-identification question a CHAOS query is asking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerIdKind {
+    /// Software version (`version.bind` / `version.server`).
+    Version,
+    /// Server instance identity (`id.server` / `hostname.bind` / `id.bind`).
+    Identity,
+}
+
+/// Classifies a CHAOS question into version vs identity, or `None` if it is
+/// not a server-identification question.
+pub fn server_id_kind(q: &Question) -> Option<ServerIdKind> {
+    if !is_server_id_question(q) {
+        return None;
+    }
+    let name = q.qname.to_string().to_ascii_lowercase();
+    match name.as_str() {
+        "version.bind." | "version.server." => Some(ServerIdKind::Version),
+        _ => Some(ServerIdKind::Identity),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_chaos_txt() {
+        for msg in [version_bind_query(1), id_server_query(2), hostname_bind_query(3)] {
+            let q = msg.question().unwrap();
+            assert_eq!(q.qclass, RClass::Chaos);
+            assert_eq!(q.qtype, RType::Txt);
+            assert!(is_server_id_question(q));
+        }
+    }
+
+    #[test]
+    fn classification() {
+        let v = version_bind_query(1);
+        assert_eq!(server_id_kind(v.question().unwrap()), Some(ServerIdKind::Version));
+        let i = id_server_query(1);
+        assert_eq!(server_id_kind(i.question().unwrap()), Some(ServerIdKind::Identity));
+        let h = hostname_bind_query(1);
+        assert_eq!(server_id_kind(h.question().unwrap()), Some(ServerIdKind::Identity));
+    }
+
+    #[test]
+    fn in_class_is_not_server_id() {
+        let q = Question::new(version_bind(), RType::Txt);
+        assert!(!is_server_id_question(&q));
+        assert_eq!(server_id_kind(&q), None);
+    }
+
+    #[test]
+    fn chaos_a_is_not_server_id() {
+        let q = Question { qname: version_bind(), qtype: RType::A, qclass: RClass::Chaos };
+        assert!(!is_server_id_question(&q));
+    }
+
+    #[test]
+    fn case_insensitive_names() {
+        let q = Question::chaos_txt("VERSION.BIND".parse().unwrap());
+        assert_eq!(server_id_kind(&q), Some(ServerIdKind::Version));
+    }
+
+    #[test]
+    fn well_known_names_parse() {
+        assert_eq!(google_myaddr().to_string(), "o-o.myaddr.l.google.com.");
+        assert_eq!(opendns_debug().to_string(), "debug.opendns.com.");
+        assert_eq!(whoami_akamai().to_string(), "whoami.akamai.com.");
+    }
+}

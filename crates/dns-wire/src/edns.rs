@@ -1,0 +1,176 @@
+//! EDNS(0) support (RFC 6891): a typed view over the OPT pseudo-record.
+//!
+//! Real stub resolvers attach OPT records advertising their UDP payload
+//! size; interceptors and forwarders vary in whether they preserve,
+//! strip, or mangle them — one more fingerprinting surface. This module
+//! provides the encode/decode plumbing so resolver and forwarder models
+//! can carry EDNS faithfully.
+
+use crate::message::{Message, Record};
+use crate::name::Name;
+use crate::rdata::RData;
+use crate::types::{RClass, Rcode};
+use bytes::Bytes;
+
+/// Decoded EDNS(0) parameters from an OPT pseudo-record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edns {
+    /// Requestor's maximum UDP payload size (lives in the CLASS field).
+    pub udp_payload_size: u16,
+    /// Extended RCODE upper bits (TTL byte 0).
+    pub extended_rcode: u8,
+    /// EDNS version (TTL byte 1); only version 0 exists.
+    pub version: u8,
+    /// DNSSEC-OK flag (TTL bit 15 of the lower half).
+    pub dnssec_ok: bool,
+    /// Raw options (code/value pairs), kept opaque.
+    pub options: Vec<(u16, Vec<u8>)>,
+}
+
+impl Default for Edns {
+    fn default() -> Self {
+        Edns {
+            udp_payload_size: 1232, // the DNS-flag-day recommendation
+            extended_rcode: 0,
+            version: 0,
+            dnssec_ok: false,
+            options: Vec::new(),
+        }
+    }
+}
+
+impl Edns {
+    /// Encodes into an OPT record suitable for the additional section.
+    pub fn to_record(&self) -> Record {
+        let mut data = Vec::new();
+        for (code, value) in &self.options {
+            data.extend_from_slice(&code.to_be_bytes());
+            data.extend_from_slice(&(value.len() as u16).to_be_bytes());
+            data.extend_from_slice(value);
+        }
+        let mut ttl: u32 = (self.extended_rcode as u32) << 24;
+        ttl |= (self.version as u32) << 16;
+        if self.dnssec_ok {
+            ttl |= 0x8000;
+        }
+        Record {
+            name: Name::root(),
+            class: RClass::Unknown(self.udp_payload_size),
+            ttl,
+            rdata: RData::Opt(Bytes::from(data)),
+        }
+    }
+
+    /// Decodes an OPT record; `None` if the record is not OPT or its
+    /// options are malformed.
+    pub fn from_record(record: &Record) -> Option<Edns> {
+        let RData::Opt(data) = &record.rdata else { return None };
+        let mut options = Vec::new();
+        let mut rest: &[u8] = data;
+        while !rest.is_empty() {
+            if rest.len() < 4 {
+                return None;
+            }
+            let code = u16::from_be_bytes([rest[0], rest[1]]);
+            let len = u16::from_be_bytes([rest[2], rest[3]]) as usize;
+            rest = &rest[4..];
+            if rest.len() < len {
+                return None;
+            }
+            options.push((code, rest[..len].to_vec()));
+            rest = &rest[len..];
+        }
+        Some(Edns {
+            udp_payload_size: record.class.to_u16(),
+            extended_rcode: (record.ttl >> 24) as u8,
+            version: (record.ttl >> 16) as u8,
+            dnssec_ok: record.ttl & 0x8000 != 0,
+            options,
+        })
+    }
+
+    /// The full 12-bit extended RCODE given the header's low 4 bits.
+    pub fn full_rcode(&self, header_rcode: Rcode) -> u16 {
+        ((self.extended_rcode as u16) << 4) | header_rcode.to_u8() as u16
+    }
+}
+
+/// Finds and decodes the OPT record in a message's additional section.
+pub fn edns_of(message: &Message) -> Option<Edns> {
+    message.additional.iter().find_map(Edns::from_record)
+}
+
+/// Attaches (or replaces) an OPT record on a message.
+pub fn set_edns(message: &mut Message, edns: &Edns) {
+    message.additional.retain(|r| !matches!(r.rdata, RData::Opt(_)));
+    message.additional.push(edns.to_record());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Question;
+    use crate::types::RType;
+
+    #[test]
+    fn record_roundtrip() {
+        let edns = Edns {
+            udp_payload_size: 4096,
+            extended_rcode: 1,
+            version: 0,
+            dnssec_ok: true,
+            options: vec![(10, vec![1, 2, 3, 4, 5, 6, 7, 8])], // COOKIE
+        };
+        let record = edns.to_record();
+        assert_eq!(Edns::from_record(&record), Some(edns));
+    }
+
+    #[test]
+    fn wire_roundtrip_through_message() {
+        let mut msg = Message::query(5, Question::new("example.com".parse().unwrap(), RType::A));
+        set_edns(&mut msg, &Edns::default());
+        let bytes = msg.encode().unwrap();
+        let back = Message::parse_strict(&bytes).unwrap();
+        let edns = edns_of(&back).expect("OPT survives the wire");
+        assert_eq!(edns.udp_payload_size, 1232);
+        assert!(!edns.dnssec_ok);
+    }
+
+    #[test]
+    fn set_edns_replaces_existing() {
+        let mut msg = Message::query(5, Question::new("example.com".parse().unwrap(), RType::A));
+        set_edns(&mut msg, &Edns::default());
+        set_edns(&mut msg, &Edns { udp_payload_size: 512, ..Edns::default() });
+        assert_eq!(msg.additional.len(), 1);
+        assert_eq!(edns_of(&msg).unwrap().udp_payload_size, 512);
+    }
+
+    #[test]
+    fn malformed_options_rejected() {
+        let record = Record {
+            name: Name::root(),
+            class: RClass::Unknown(1232),
+            ttl: 0,
+            rdata: RData::Opt(Bytes::from_static(&[0, 10, 0, 99, 1])), // claims 99 bytes
+        };
+        assert_eq!(Edns::from_record(&record), None);
+    }
+
+    #[test]
+    fn non_opt_record_is_none() {
+        let record = Record::new(
+            "example.com".parse().unwrap(),
+            60,
+            RData::A("1.2.3.4".parse().unwrap()),
+        );
+        assert_eq!(Edns::from_record(&record), None);
+    }
+
+    #[test]
+    fn extended_rcode_composition() {
+        let edns = Edns { extended_rcode: 1, ..Edns::default() };
+        // BADVERS = 16 = extended 1 << 4 | header 0.
+        assert_eq!(edns.full_rcode(Rcode::NoError), 16);
+        assert_eq!(edns.full_rcode(Rcode::NotImp), 20);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for DNS wire-format handling.
+//!
+//! All parse and build failures are reported as values; no code path in this
+//! crate panics on untrusted input.
+
+use core::fmt;
+
+/// Errors produced while decoding a DNS message from the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer ended before the structure being decoded was complete.
+    UnexpectedEnd {
+        /// Byte offset at which more data was needed.
+        offset: usize,
+    },
+    /// A domain-name label had length > 63 or used a reserved length prefix.
+    BadLabel {
+        /// Byte offset of the offending length octet.
+        offset: usize,
+    },
+    /// A compression pointer pointed at or after its own location, or a
+    /// pointer chain exceeded the loop-protection budget.
+    BadPointer {
+        /// Byte offset of the offending pointer.
+        offset: usize,
+    },
+    /// The fully expanded name exceeded 255 octets.
+    NameTooLong,
+    /// RDATA length did not match the records's declared RDLENGTH.
+    BadRdataLength {
+        /// The record type whose RDATA was malformed.
+        rtype: u16,
+    },
+    /// A character-string (as in TXT records) overran its RDATA.
+    BadCharacterString,
+    /// Trailing bytes remained after the counts in the header were consumed.
+    ///
+    /// Real-world software tolerates this; [`crate::Message::parse`] does not
+    /// report it by default, only [`crate::Message::parse_strict`] does.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// The message was shorter than the fixed 12-byte header.
+    TruncatedHeader,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedEnd { offset } => {
+                write!(f, "unexpected end of message at offset {offset}")
+            }
+            ParseError::BadLabel { offset } => {
+                write!(f, "invalid label length at offset {offset}")
+            }
+            ParseError::BadPointer { offset } => {
+                write!(f, "invalid compression pointer at offset {offset}")
+            }
+            ParseError::NameTooLong => write!(f, "expanded name exceeds 255 octets"),
+            ParseError::BadRdataLength { rtype } => {
+                write!(f, "RDATA length mismatch for rrtype {rtype}")
+            }
+            ParseError::BadCharacterString => write!(f, "character-string overruns RDATA"),
+            ParseError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message body")
+            }
+            ParseError::TruncatedHeader => write!(f, "message shorter than 12-byte header"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors produced while encoding a DNS message to the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label passed to the name builder exceeded 63 octets.
+    LabelTooLong,
+    /// The name under construction exceeded 255 octets.
+    NameTooLong,
+    /// A TXT character-string exceeded 255 octets.
+    StringTooLong,
+    /// The message exceeded the 64 KiB maximum imposed by the 16-bit length
+    /// fields of DNS-over-TCP and by RDLENGTH.
+    MessageTooLong,
+    /// More than 65535 records were added to one section.
+    TooManyRecords,
+    /// An empty label (other than the root) appeared inside a name.
+    EmptyLabel,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::LabelTooLong => write!(f, "label exceeds 63 octets"),
+            BuildError::NameTooLong => write!(f, "name exceeds 255 octets"),
+            BuildError::StringTooLong => write!(f, "character-string exceeds 255 octets"),
+            BuildError::MessageTooLong => write!(f, "message exceeds 65535 octets"),
+            BuildError::TooManyRecords => write!(f, "section exceeds 65535 records"),
+            BuildError::EmptyLabel => write!(f, "empty interior label"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}

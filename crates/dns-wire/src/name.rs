@@ -1,0 +1,494 @@
+//! Domain names: storage, parsing with compression-pointer chasing, and
+//! encoding with compression.
+//!
+//! Names are stored in canonical wire form (length-prefixed labels ending in
+//! a zero octet) inside a small owned buffer. Comparison and hashing are
+//! ASCII-case-insensitive, per RFC 1035 §2.3.3.
+
+use crate::error::{BuildError, ParseError};
+use crate::wire::{Reader, Writer};
+use core::fmt;
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Maximum total length of a name on the wire (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+/// Maximum length of a single label.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum number of compression pointers we will chase before declaring a
+/// loop. A message of 64 KiB can hold fewer than 16K pointers in a legal
+/// chain because each pointer must point strictly backwards; 128 is already
+/// far beyond anything produced by real software.
+const MAX_POINTER_CHASES: usize = 128;
+
+/// An owned, validated domain name in wire form.
+///
+/// ```
+/// use dns_wire::Name;
+/// let n: Name = "version.bind".parse().unwrap();
+/// assert_eq!(n.label_count(), 2);
+/// assert_eq!(n.to_string(), "version.bind.");
+/// ```
+#[derive(Clone)]
+pub struct Name {
+    /// Canonical wire form: `\x07version\x04bind\x00`. Always non-empty and
+    /// always terminated by a zero octet.
+    wire: Vec<u8>,
+}
+
+impl Name {
+    /// The root name (`.`).
+    pub fn root() -> Self {
+        Name { wire: vec![0] }
+    }
+
+    /// Builds a name from an iterator of label byte-slices.
+    pub fn from_labels<'a, I>(labels: I) -> Result<Self, BuildError>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut wire = Vec::with_capacity(32);
+        for label in labels {
+            if label.is_empty() {
+                return Err(BuildError::EmptyLabel);
+            }
+            if label.len() > MAX_LABEL_LEN {
+                return Err(BuildError::LabelTooLong);
+            }
+            wire.push(label.len() as u8);
+            wire.extend_from_slice(label);
+        }
+        wire.push(0);
+        if wire.len() > MAX_NAME_LEN {
+            return Err(BuildError::NameTooLong);
+        }
+        Ok(Name { wire })
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.wire == [0]
+    }
+
+    /// Number of labels (the root has zero).
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// Iterates over the labels as byte slices, left to right.
+    pub fn labels(&self) -> LabelIter<'_> {
+        LabelIter { wire: &self.wire, pos: 0 }
+    }
+
+    /// Total length of the wire representation (including the root octet).
+    pub fn wire_len(&self) -> usize {
+        self.wire.len()
+    }
+
+    /// The canonical (uncompressed) wire bytes.
+    pub fn as_wire(&self) -> &[u8] {
+        &self.wire
+    }
+
+    /// True if `self` equals `other` or is a subdomain of `other`
+    /// (case-insensitively). Every name is under the root.
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        let mine: Vec<&[u8]> = self.labels().collect();
+        let theirs: Vec<&[u8]> = other.labels().collect();
+        if theirs.len() > mine.len() {
+            return false;
+        }
+        mine.iter()
+            .rev()
+            .zip(theirs.iter().rev())
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    /// Returns the parent name (one label stripped), or `None` at the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.is_root() {
+            return None;
+        }
+        let first_len = self.wire[0] as usize;
+        Some(Name { wire: self.wire[1 + first_len..].to_vec() })
+    }
+
+    /// Joins `self` (treated as a relative prefix) onto `suffix`.
+    pub fn join(&self, suffix: &Name) -> Result<Name, BuildError> {
+        let labels: Vec<&[u8]> = self.labels().chain(suffix.labels()).collect();
+        Name::from_labels(labels)
+    }
+
+    /// Parses a name from the reader, chasing compression pointers.
+    ///
+    /// The cursor ends just past the name *as it appears at the cursor's
+    /// starting position* (i.e. after the pointer, if the name was
+    /// compressed), which is what message parsing needs.
+    pub fn parse(r: &mut Reader<'_>) -> Result<Self, ParseError> {
+        let mut wire = Vec::with_capacity(32);
+        // Cursor for chasing; once we follow the first pointer we stop
+        // advancing the caller's reader.
+        let mut chase = *r;
+        let mut followed_pointer = false;
+        let mut chases = 0usize;
+        let mut last_pointer_target = usize::MAX;
+        loop {
+            let offset = chase.position();
+            let len = chase.read_u8()?;
+            match len {
+                0 => {
+                    wire.push(0);
+                    if !followed_pointer {
+                        *r = chase;
+                    }
+                    if wire.len() > MAX_NAME_LEN {
+                        return Err(ParseError::NameTooLong);
+                    }
+                    return Ok(Name { wire });
+                }
+                1..=63 => {
+                    let label = chase.read_bytes(len as usize)?;
+                    wire.push(len);
+                    wire.extend_from_slice(label);
+                    if wire.len() > MAX_NAME_LEN {
+                        return Err(ParseError::NameTooLong);
+                    }
+                    if !followed_pointer {
+                        *r = chase;
+                    }
+                }
+                0xC0..=0xFF => {
+                    let second = chase.read_u8()?;
+                    let target = (((len & 0x3F) as usize) << 8) | second as usize;
+                    // Pointers must move strictly backwards to rule out loops;
+                    // we additionally bound the chain length.
+                    if target >= offset || target >= last_pointer_target {
+                        return Err(ParseError::BadPointer { offset });
+                    }
+                    chases += 1;
+                    if chases > MAX_POINTER_CHASES {
+                        return Err(ParseError::BadPointer { offset });
+                    }
+                    if !followed_pointer {
+                        *r = chase;
+                        followed_pointer = true;
+                    }
+                    last_pointer_target = target;
+                    chase.seek(target)?;
+                }
+                _ => {
+                    // 0x40..=0xBF: reserved label types (EDNS0 extended labels
+                    // were never deployed).
+                    return Err(ParseError::BadLabel { offset });
+                }
+            }
+        }
+    }
+
+    /// Encodes the name, compressing against previously written names.
+    ///
+    /// `compress` maps a canonical lower-cased suffix (in wire form) to the
+    /// message offset where it was first written. Offsets beyond 0x3FFF
+    /// cannot be pointer targets and are not recorded.
+    pub fn encode(&self, w: &mut Writer, compress: Option<&mut HashMap<Vec<u8>, u16>>) {
+        match compress {
+            Some(map) => self.encode_compressed(w, map),
+            None => w.write_bytes(&self.wire),
+        }
+    }
+
+    fn encode_compressed(&self, w: &mut Writer, map: &mut HashMap<Vec<u8>, u16>) {
+        // Walk suffixes from the full name down to the root.
+        let mut pos = 0usize;
+        loop {
+            let suffix = &self.wire[pos..];
+            if suffix == [0] {
+                w.write_u8(0);
+                return;
+            }
+            let key = suffix.to_ascii_lowercase();
+            if let Some(&offset) = map.get(&key) {
+                w.write_u16(0xC000 | offset);
+                return;
+            }
+            let here = w.len();
+            if here <= 0x3FFF {
+                map.insert(key, here as u16);
+            }
+            let label_len = self.wire[pos] as usize;
+            w.write_bytes(&self.wire[pos..pos + 1 + label_len]);
+            pos += 1 + label_len;
+        }
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.wire.len() == other.wire.len()
+            && self.wire.eq_ignore_ascii_case(&other.wire)
+    }
+}
+
+impl Eq for Name {}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for b in &self.wire {
+            state.write_u8(b.to_ascii_lowercase());
+        }
+    }
+}
+
+impl fmt::Display for Name {
+    /// Presentation form with a trailing dot; non-printable bytes are
+    /// escaped as `\DDD` like BIND does.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            return write!(f, ".");
+        }
+        for label in self.labels() {
+            for &b in label {
+                match b {
+                    b'.' | b'\\' => write!(f, "\\{}", b as char)?,
+                    0x21..=0x7E => write!(f, "{}", b as char)?,
+                    _ => write!(f, "\\{:03}", b)?,
+                }
+            }
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
+    }
+}
+
+impl FromStr for Name {
+    type Err = BuildError;
+
+    /// Parses presentation form. A trailing dot is accepted; escapes are not
+    /// (none of the names this system handles need them).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        Name::from_labels(s.split('.').map(str::as_bytes))
+    }
+}
+
+/// Iterator over a name's labels.
+pub struct LabelIter<'a> {
+    wire: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for LabelIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let len = *self.wire.get(self.pos)? as usize;
+        if len == 0 {
+            return None;
+        }
+        let start = self.pos + 1;
+        self.pos = start + len;
+        self.wire.get(start..start + len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_presentation_roundtrip() {
+        let n = name("o-o.myaddr.l.google.com");
+        assert_eq!(n.to_string(), "o-o.myaddr.l.google.com.");
+        assert_eq!(n.label_count(), 5);
+    }
+
+    #[test]
+    fn root_name() {
+        let r = Name::root();
+        assert!(r.is_root());
+        assert_eq!(r.to_string(), ".");
+        assert_eq!(r.label_count(), 0);
+        assert_eq!(name("."), r);
+        assert_eq!(name(""), r);
+    }
+
+    #[test]
+    fn case_insensitive_equality_and_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = name("VERSION.BIND");
+        let b = name("version.bind");
+        assert_eq!(a, b);
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let apex = name("example.com");
+        assert!(name("www.example.com").is_subdomain_of(&apex));
+        assert!(name("a.b.EXAMPLE.com").is_subdomain_of(&apex));
+        assert!(apex.is_subdomain_of(&apex));
+        assert!(!name("example.org").is_subdomain_of(&apex));
+        assert!(!name("com").is_subdomain_of(&apex));
+        assert!(name("anything.at.all").is_subdomain_of(&Name::root()));
+    }
+
+    #[test]
+    fn parent_walk() {
+        let n = name("a.b.c");
+        let p = n.parent().unwrap();
+        assert_eq!(p, name("b.c"));
+        assert_eq!(p.parent().unwrap(), name("c"));
+        assert_eq!(p.parent().unwrap().parent().unwrap(), Name::root());
+        assert!(Name::root().parent().is_none());
+    }
+
+    #[test]
+    fn join_names() {
+        let rel = name("www");
+        let apex = name("example.com");
+        assert_eq!(rel.join(&apex).unwrap(), name("www.example.com"));
+    }
+
+    #[test]
+    fn wire_parse_simple() {
+        let bytes = b"\x07example\x03com\x00rest";
+        let mut r = Reader::new(bytes);
+        let n = Name::parse(&mut r).unwrap();
+        assert_eq!(n, name("example.com"));
+        assert_eq!(r.position(), 13);
+    }
+
+    #[test]
+    fn wire_parse_compression_pointer() {
+        // Offset 0: "example.com", offset 13: "www" + pointer to 0.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"\x07example\x03com\x00");
+        bytes.extend_from_slice(b"\x03www\xC0\x00");
+        let mut r = Reader::new(&bytes);
+        r.seek(13).unwrap();
+        let n = Name::parse(&mut r).unwrap();
+        assert_eq!(n, name("www.example.com"));
+        // Cursor lands after the two pointer bytes.
+        assert_eq!(r.position(), bytes.len());
+    }
+
+    #[test]
+    fn wire_parse_rejects_forward_pointer() {
+        // Pointer at offset 0 pointing to offset 10 (>= its own position).
+        let bytes = b"\xC0\x0A\x00\x00\x00\x00\x00\x00\x00\x00\x00";
+        let mut r = Reader::new(bytes);
+        assert!(matches!(Name::parse(&mut r), Err(ParseError::BadPointer { .. })));
+    }
+
+    #[test]
+    fn wire_parse_rejects_self_pointer() {
+        let bytes = b"\xC0\x00";
+        let mut r = Reader::new(bytes);
+        assert!(matches!(Name::parse(&mut r), Err(ParseError::BadPointer { .. })));
+    }
+
+    #[test]
+    fn wire_parse_rejects_pointer_loop() {
+        // Two pointers that point at each other (second points forward, so it
+        // is caught by the strictly-backwards rule).
+        let bytes = b"\x01a\xC0\x04\x01b\xC0\x00";
+        let mut r = Reader::new(bytes);
+        assert!(matches!(Name::parse(&mut r), Err(ParseError::BadPointer { .. })));
+    }
+
+    #[test]
+    fn wire_parse_rejects_reserved_label_type() {
+        let bytes = b"\x40abc\x00";
+        let mut r = Reader::new(bytes);
+        assert!(matches!(Name::parse(&mut r), Err(ParseError::BadLabel { .. })));
+    }
+
+    #[test]
+    fn wire_parse_rejects_truncation() {
+        let bytes = b"\x07exam";
+        let mut r = Reader::new(bytes);
+        assert!(matches!(Name::parse(&mut r), Err(ParseError::UnexpectedEnd { .. })));
+    }
+
+    #[test]
+    fn label_too_long_rejected() {
+        let long = "a".repeat(64);
+        assert_eq!(long.parse::<Name>().unwrap_err(), BuildError::LabelTooLong);
+        let ok = "a".repeat(63);
+        assert!(ok.parse::<Name>().is_ok());
+    }
+
+    #[test]
+    fn name_too_long_rejected() {
+        // Four 63-byte labels = 4*64 + 1 = 257 > 255.
+        let l = "a".repeat(63);
+        let s = format!("{l}.{l}.{l}.{l}");
+        assert_eq!(s.parse::<Name>().unwrap_err(), BuildError::NameTooLong);
+    }
+
+    #[test]
+    fn empty_interior_label_rejected() {
+        assert_eq!("a..b".parse::<Name>().unwrap_err(), BuildError::EmptyLabel);
+    }
+
+    #[test]
+    fn encode_without_compression() {
+        let n = name("id.server");
+        let mut w = Writer::new();
+        n.encode(&mut w, None);
+        assert_eq!(w.as_slice(), b"\x02id\x06server\x00");
+    }
+
+    #[test]
+    fn encode_with_compression_emits_pointer() {
+        let mut w = Writer::new();
+        let mut map = HashMap::new();
+        name("example.com").encode(&mut w, Some(&mut map));
+        let first_len = w.len();
+        name("www.example.com").encode(&mut w, Some(&mut map));
+        // Second name: 1+3 bytes of label + 2 bytes of pointer.
+        assert_eq!(w.len(), first_len + 4 + 2);
+        // Decode both back.
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Name::parse(&mut r).unwrap(), name("example.com"));
+        assert_eq!(Name::parse(&mut r).unwrap(), name("www.example.com"));
+    }
+
+    #[test]
+    fn compression_is_case_insensitive() {
+        let mut w = Writer::new();
+        let mut map = HashMap::new();
+        name("EXAMPLE.COM").encode(&mut w, Some(&mut map));
+        let before = w.len();
+        name("example.com").encode(&mut w, Some(&mut map));
+        // Entire second name is a single pointer.
+        assert_eq!(w.len(), before + 2);
+    }
+
+    #[test]
+    fn display_escapes_odd_bytes() {
+        let n = Name::from_labels([&b"a.b"[..], &b"c"[..]]).unwrap();
+        assert_eq!(n.to_string(), "a\\.b.c.");
+        let n2 = Name::from_labels([&[0x01u8, 0x02][..]]).unwrap();
+        assert_eq!(n2.to_string(), "\\001\\002.");
+    }
+}

@@ -1,0 +1,136 @@
+//! DNS-over-TCP framing (RFC 1035 §4.2.2): each message is preceded by a
+//! two-byte big-endian length. The same framing carries DNS over TLS
+//! (RFC 7858), so this codec is the byte-level substrate for DoT work.
+
+use crate::error::{BuildError, ParseError};
+use crate::message::Message;
+
+/// Streaming decoder for length-prefixed DNS messages.
+///
+/// Feed arbitrary byte chunks with [`push`](TcpFrameDecoder::push); pull
+/// complete messages with [`next_message`](TcpFrameDecoder::next_message).
+/// Partial frames are buffered across pushes, as TCP segmentation demands.
+#[derive(Debug, Default)]
+pub struct TcpFrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl TcpFrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> TcpFrameDecoder {
+        TcpFrameDecoder::default()
+    }
+
+    /// Appends received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (for backpressure decisions).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete message, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; `Err` means the framed payload
+    /// failed DNS parsing (the frame is consumed so the stream can
+    /// resynchronize only by the caller closing it, as real servers do).
+    pub fn next_message(&mut self) -> Result<Option<Message>, ParseError> {
+        if self.buf.len() < 2 {
+            return Ok(None);
+        }
+        let len = u16::from_be_bytes([self.buf[0], self.buf[1]]) as usize;
+        if self.buf.len() < 2 + len {
+            return Ok(None);
+        }
+        let frame: Vec<u8> = self.buf.drain(..2 + len).skip(2).collect();
+        Message::parse(&frame).map(Some)
+    }
+}
+
+/// Encodes a message with its two-byte length prefix.
+pub fn encode_framed(message: &Message) -> Result<Vec<u8>, BuildError> {
+    let body = message.encode()?;
+    if body.len() > u16::MAX as usize {
+        return Err(BuildError::MessageTooLong);
+    }
+    let mut out = Vec::with_capacity(2 + body.len());
+    out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Question;
+    use crate::types::RType;
+
+    fn msg(id: u16) -> Message {
+        Message::query(id, Question::new("example.com".parse().unwrap(), RType::A))
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let framed = encode_framed(&msg(1)).unwrap();
+        let mut dec = TcpFrameDecoder::new();
+        dec.push(&framed);
+        let out = dec.next_message().unwrap().unwrap();
+        assert_eq!(out, msg(1));
+        assert!(dec.next_message().unwrap().is_none());
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn multiple_frames_in_one_push() {
+        let mut bytes = encode_framed(&msg(1)).unwrap();
+        bytes.extend(encode_framed(&msg(2)).unwrap());
+        bytes.extend(encode_framed(&msg(3)).unwrap());
+        let mut dec = TcpFrameDecoder::new();
+        dec.push(&bytes);
+        assert_eq!(dec.next_message().unwrap().unwrap().header.id, 1);
+        assert_eq!(dec.next_message().unwrap().unwrap().header.id, 2);
+        assert_eq!(dec.next_message().unwrap().unwrap().header.id, 3);
+        assert!(dec.next_message().unwrap().is_none());
+    }
+
+    #[test]
+    fn segmentation_across_pushes() {
+        let framed = encode_framed(&msg(7)).unwrap();
+        let mut dec = TcpFrameDecoder::new();
+        // Byte-at-a-time delivery, the worst TCP can do.
+        for (i, b) in framed.iter().enumerate() {
+            dec.push(&[*b]);
+            let got = dec.next_message().unwrap();
+            if i + 1 < framed.len() {
+                assert!(got.is_none(), "complete at byte {i}?");
+            } else {
+                assert_eq!(got.unwrap().header.id, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_length_prefix_needs_more() {
+        let mut dec = TcpFrameDecoder::new();
+        dec.push(&[0]);
+        assert!(dec.next_message().unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_frame_is_a_parse_error() {
+        let mut dec = TcpFrameDecoder::new();
+        dec.push(&[0, 3, 0xFF, 0xFF, 0xFF]);
+        assert!(dec.next_message().is_err());
+        // The bad frame was consumed.
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn zero_length_frame_is_a_parse_error() {
+        let mut dec = TcpFrameDecoder::new();
+        dec.push(&[0, 0]);
+        assert!(matches!(dec.next_message(), Err(ParseError::TruncatedHeader)));
+    }
+}

@@ -1,0 +1,180 @@
+//! [`SimTransport`]: drives a built scenario through the locator's
+//! [`QueryTransport`] interface.
+//!
+//! This is the glue that lets the *pure* locator algorithm run against the
+//! packet-level world: each `query` call injects a real UDP packet from the
+//! probe host, advances virtual time until the timeout, and accepts only a
+//! response whose source address matches the queried server — the same
+//! connected-UDP-socket check a real stub resolver performs, and the reason
+//! interceptors must spoof (§2).
+
+use crate::scenario::BuiltScenario;
+use dns_wire::{Message, Question};
+use locator::{QueryOptions, QueryOutcome, QueryTransport};
+use netsim::{Host, IfaceId, IpPacket, SimDuration};
+use std::net::IpAddr;
+
+/// Transport over a built scenario.
+pub struct SimTransport {
+    /// The scenario being measured (public so harnesses can inspect ground
+    /// truth and device state afterwards).
+    pub scenario: BuiltScenario,
+    next_txid: u16,
+    next_sport: u16,
+    /// Queries injected so far.
+    pub queries_injected: u64,
+}
+
+impl SimTransport {
+    /// Wraps a scenario.
+    pub fn new(scenario: BuiltScenario) -> SimTransport {
+        SimTransport { scenario, next_txid: 0x2000, next_sport: 40000, queries_injected: 0 }
+    }
+
+    fn alloc_txid(&mut self) -> u16 {
+        let id = self.next_txid;
+        self.next_txid = self.next_txid.wrapping_add(1);
+        id
+    }
+
+    fn alloc_sport(&mut self) -> u16 {
+        let p = self.next_sport;
+        self.next_sport = if self.next_sport >= 64000 { 40000 } else { self.next_sport + 1 };
+        p
+    }
+}
+
+impl QueryTransport for SimTransport {
+    fn query(&mut self, server: IpAddr, question: Question, opts: QueryOptions) -> QueryOutcome {
+        let txid = self.alloc_txid();
+        let sport = self.alloc_sport();
+        let msg = Message::query(txid, question);
+        let Ok(payload) = msg.encode() else { return QueryOutcome::Timeout };
+
+        let src: IpAddr = if server.is_ipv4() {
+            IpAddr::V4(self.scenario.addrs.probe_v4)
+        } else {
+            match self.scenario.addrs.probe_v6 {
+                Some(v6) => IpAddr::V6(v6),
+                // No v6 connectivity: the query can't even be sent.
+                None => return QueryOutcome::Timeout,
+            }
+        };
+        let Some(mut pkt) = IpPacket::udp(src, server, sport, 53, payload.into()) else {
+            return QueryOutcome::Timeout;
+        };
+        if let Some(ttl) = opts.ttl {
+            pkt.ttl = ttl;
+        }
+
+        self.queries_injected += 1;
+        let sim = &mut self.scenario.sim;
+        sim.inject(self.scenario.probe, IfaceId(0), pkt);
+        let deadline = sim.now() + SimDuration::from_millis(opts.timeout_ms);
+        sim.run_until(deadline);
+
+        let deliveries = sim
+            .device_mut::<Host>(self.scenario.probe)
+            .expect("probe is a Host")
+            .drain_inbox();
+        for d in deliveries {
+            // Source-address match: the stub only accepts replies that claim
+            // to come from the server it queried.
+            if d.packet.src() != server {
+                continue;
+            }
+            let Some(udp) = d.packet.udp_payload() else { continue };
+            if udp.dst_port != sport || udp.src_port != 53 {
+                continue;
+            }
+            let Ok(resp) = Message::parse(&udp.payload) else { continue };
+            if resp.header.id == txid && resp.header.qr {
+                return QueryOutcome::Response(resp);
+            }
+        }
+        QueryOutcome::Timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::HomeScenario;
+    use dns_wire::{RData, RType};
+    use locator::default_resolvers;
+
+    fn opts() -> QueryOptions {
+        QueryOptions::default()
+    }
+
+    #[test]
+    fn clean_scenario_reaches_real_resolvers() {
+        let mut t = SimTransport::new(HomeScenario::clean().build());
+        for resolver in default_resolvers() {
+            let out = t.query(resolver.v4[0], resolver.location_query(), opts());
+            let msg = out.response().unwrap_or_else(|| panic!("timeout for {:?}", resolver.key));
+            assert!(
+                resolver.is_standard_location_response(msg),
+                "{:?} gave {}",
+                resolver.key,
+                locator::describe_response(msg)
+            );
+        }
+    }
+
+    #[test]
+    fn clean_scenario_v6_works_too() {
+        let mut t = SimTransport::new(HomeScenario::clean().build());
+        for resolver in default_resolvers() {
+            let out = t.query(resolver.v6[0], resolver.location_query(), opts());
+            let msg = out.response().expect("v6 response");
+            assert!(resolver.is_standard_location_response(msg), "{:?}", resolver.key);
+        }
+    }
+
+    #[test]
+    fn ordinary_resolution_works_through_clean_path() {
+        let mut t = SimTransport::new(HomeScenario::clean().build());
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        let out = t.query("8.8.8.8".parse().unwrap(), q, opts());
+        let msg = out.response().expect("response");
+        assert_eq!(msg.answers[0].rdata, RData::A("93.184.216.34".parse().unwrap()));
+    }
+
+    #[test]
+    fn bogon_queries_die_at_the_border_when_clean() {
+        let mut t = SimTransport::new(HomeScenario::clean().build());
+        let q = Question::new("probe.dns-hijack-study.example".parse().unwrap(), RType::A);
+        let out = t.query("198.51.100.53".parse().unwrap(), q, opts());
+        assert!(out.is_timeout());
+    }
+
+    #[test]
+    fn spoofed_responses_are_accepted_from_interceptors() {
+        // With the XB6, a query to 8.8.8.8 is answered — source-matched —
+        // even though Google never saw it.
+        let mut t = SimTransport::new(HomeScenario::xb6_case_study().build());
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        let out = t.query("8.8.8.8".parse().unwrap(), q, opts());
+        assert!(out.response().is_some());
+    }
+
+    #[test]
+    fn v6_query_without_v6_home_times_out() {
+        let mut t =
+            SimTransport::new(HomeScenario { probe_has_v6: false, ..HomeScenario::clean() }.build());
+        let q = Question::chaos_txt("id.server".parse().unwrap());
+        let out = t.query("2606:4700:4700::1111".parse().unwrap(), q, opts());
+        assert!(out.is_timeout());
+    }
+
+    #[test]
+    fn virtual_time_advances_per_query() {
+        let mut t = SimTransport::new(HomeScenario::clean().build());
+        let q = Question::chaos_txt("id.server".parse().unwrap());
+        let before = t.scenario.sim.now();
+        t.query("1.1.1.1".parse().unwrap(), q, opts());
+        let after = t.scenario.sim.now();
+        assert_eq!(after.duration_since(before), SimDuration::from_millis(5_000));
+    }
+}

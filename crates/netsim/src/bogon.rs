@@ -1,0 +1,119 @@
+//! Bogon address space: prefixes that must never appear as routable
+//! destinations on the public Internet.
+//!
+//! The paper's step 3 rests on bogons: a DNS query addressed to a bogon IP
+//! cannot leave the AS it originates in, so a response proves an in-AS
+//! interceptor. This module supplies the standard v4/v6 bogon lists (the
+//! IANA special-purpose registries) and the two canonical probe addresses
+//! the reproduction uses.
+
+use crate::route::Cidr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// IPv4 bogon prefixes (RFC 6890 and friends).
+pub fn bogons_v4() -> Vec<Cidr> {
+    [
+        "0.0.0.0/8",       // "this network"
+        "10.0.0.0/8",      // RFC 1918
+        "100.64.0.0/10",   // CGN shared space (RFC 6598)
+        "127.0.0.0/8",     // loopback
+        "169.254.0.0/16",  // link local
+        "172.16.0.0/12",   // RFC 1918
+        "192.0.0.0/24",    // IETF protocol assignments
+        "192.0.2.0/24",    // TEST-NET-1
+        "192.168.0.0/16",  // RFC 1918
+        "198.18.0.0/15",   // benchmarking
+        "198.51.100.0/24", // TEST-NET-2
+        "203.0.113.0/24",  // TEST-NET-3
+        "224.0.0.0/4",     // multicast
+        "240.0.0.0/4",     // reserved
+    ]
+    .iter()
+    .map(|s| s.parse().expect("static prefix"))
+    .collect()
+}
+
+/// IPv6 bogon prefixes.
+pub fn bogons_v6() -> Vec<Cidr> {
+    [
+        "::/8",         // unspecified / v4-mapped region
+        "100::/64",     // discard-only (RFC 6666)
+        "2001:db8::/32",// documentation
+        "fc00::/7",     // unique local
+        "fe80::/10",    // link local
+        "ff00::/8",     // multicast
+    ]
+    .iter()
+    .map(|s| s.parse().expect("static prefix"))
+    .collect()
+}
+
+/// True if `ip` falls in bogon space.
+pub fn is_bogon(ip: IpAddr) -> bool {
+    match ip {
+        IpAddr::V4(_) => bogons_v4().iter().any(|c| c.contains(ip)),
+        IpAddr::V6(_) => bogons_v6().iter().any(|c| c.contains(ip)),
+    }
+}
+
+/// The IPv4 bogon address the reproduction directs step-3 queries to
+/// (TEST-NET-2; confirmed unroutable by construction in the simulator).
+pub const PROBE_BOGON_V4: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 53);
+
+/// The IPv6 bogon probe address (discard-only prefix, RFC 6666).
+pub const PROBE_BOGON_V6: Ipv6Addr = Ipv6Addr::new(0x100, 0, 0, 0, 0, 0, 0, 0x53);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn rfc1918_is_bogon() {
+        assert!(is_bogon(ip("10.1.2.3")));
+        assert!(is_bogon(ip("192.168.1.1")));
+        assert!(is_bogon(ip("172.16.9.9")));
+        assert!(is_bogon(ip("172.31.255.255")));
+        assert!(!is_bogon(ip("172.32.0.1")));
+    }
+
+    #[test]
+    fn test_nets_are_bogons() {
+        assert!(is_bogon(ip("192.0.2.1")));
+        assert!(is_bogon(ip("198.51.100.53")));
+        assert!(is_bogon(ip("203.0.113.7")));
+    }
+
+    #[test]
+    fn public_space_is_not_bogon() {
+        assert!(!is_bogon(ip("8.8.8.8")));
+        assert!(!is_bogon(ip("1.1.1.1")));
+        assert!(!is_bogon(ip("73.22.1.5")));
+        assert!(!is_bogon(ip("2606:4700:4700::1111")));
+        assert!(!is_bogon(ip("2001:4860:4860::8888")));
+    }
+
+    #[test]
+    fn v6_bogons() {
+        assert!(is_bogon(ip("fe80::1")));
+        assert!(is_bogon(ip("fd00::1")));
+        assert!(is_bogon(ip("2001:db8::1")));
+        assert!(is_bogon(ip("100::53")));
+    }
+
+    #[test]
+    fn probe_addresses_are_bogons() {
+        assert!(is_bogon(IpAddr::V4(PROBE_BOGON_V4)));
+        assert!(is_bogon(IpAddr::V6(PROBE_BOGON_V6)));
+    }
+
+    #[test]
+    fn cgn_space_is_bogon() {
+        assert!(is_bogon(ip("100.64.0.1")));
+        assert!(is_bogon(ip("100.127.255.255")));
+        assert!(!is_bogon(ip("100.128.0.1")));
+    }
+}

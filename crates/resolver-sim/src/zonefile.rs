@@ -1,0 +1,245 @@
+//! A small RFC 1035 presentation-format zone parser, so scenario authors
+//! can define authoritative data textually:
+//!
+//! ```
+//! use resolver_sim::parse_zone;
+//!
+//! let zone = parse_zone(r#"
+//!     ; the experimenters' domain
+//!     probe            60  IN A     93.184.216.40
+//!     www              60  IN CNAME probe
+//!     txt-record       60  IN TXT   "hello world"
+//! "#, "dns-hijack-study.example").unwrap();
+//! ```
+//!
+//! Supported: comments (`;`), relative and absolute names, `@` for the
+//! origin, optional TTL (defaults to 3600), optional `IN` class, record
+//! types A, AAAA, CNAME, NS, PTR, TXT, and MX. Quoted TXT strings may
+//! contain spaces.
+
+use crate::zone::StaticZone;
+use dns_wire::{Name, RData, Record};
+use std::fmt;
+
+/// Zone-file syntax error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ZoneParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zone parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ZoneParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ZoneParseError {
+    ZoneParseError { line, message: message.into() }
+}
+
+/// Splits a record line into fields, keeping quoted strings whole.
+fn fields(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut quoted = false;
+    for c in line.chars() {
+        match c {
+            '"' => quoted = !quoted,
+            c if c.is_whitespace() && !quoted => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn resolve_name(token: &str, origin: &Name, line: usize) -> Result<Name, ZoneParseError> {
+    if token == "@" {
+        return Ok(origin.clone());
+    }
+    if let Some(absolute) = token.strip_suffix('.') {
+        return absolute.parse().map_err(|e| err(line, format!("bad name {token}: {e}")));
+    }
+    let relative: Name =
+        token.parse().map_err(|e| err(line, format!("bad name {token}: {e}")))?;
+    relative.join(origin).map_err(|e| err(line, format!("name too long: {e}")))
+}
+
+/// Parses presentation-format text into a [`StaticZone`] rooted at
+/// `origin`.
+pub fn parse_zone(text: &str, origin: &str) -> Result<StaticZone, ZoneParseError> {
+    let origin: Name = origin.parse().map_err(|e| err(0, format!("bad origin: {e}")))?;
+    let mut zone = StaticZone::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split(';').next().unwrap_or("");
+        let parts = fields(line);
+        if parts.is_empty() {
+            continue;
+        }
+        let mut it = parts.into_iter().peekable();
+        let name_token = it.next().expect("non-empty");
+        let name = resolve_name(&name_token, &origin, line_no)?;
+
+        // Optional TTL.
+        let mut ttl = 3600u32;
+        if let Some(tok) = it.peek() {
+            if let Ok(t) = tok.parse::<u32>() {
+                ttl = t;
+                it.next();
+            }
+        }
+        // Optional class (only IN supported).
+        if it.peek().map(|t| t.eq_ignore_ascii_case("IN")).unwrap_or(false) {
+            it.next();
+        }
+
+        let rtype = it.next().ok_or_else(|| err(line_no, "missing record type"))?;
+        let rest: Vec<String> = it.collect();
+        let need = |n: usize| -> Result<(), ZoneParseError> {
+            if rest.len() < n {
+                Err(err(line_no, format!("{rtype} needs {n} field(s), got {}", rest.len())))
+            } else {
+                Ok(())
+            }
+        };
+        let rdata = match rtype.to_ascii_uppercase().as_str() {
+            "A" => {
+                need(1)?;
+                RData::A(rest[0].parse().map_err(|_| err(line_no, "bad IPv4 address"))?)
+            }
+            "AAAA" => {
+                need(1)?;
+                RData::Aaaa(rest[0].parse().map_err(|_| err(line_no, "bad IPv6 address"))?)
+            }
+            "CNAME" => {
+                need(1)?;
+                RData::Cname(resolve_name(&rest[0], &origin, line_no)?)
+            }
+            "NS" => {
+                need(1)?;
+                RData::Ns(resolve_name(&rest[0], &origin, line_no)?)
+            }
+            "PTR" => {
+                need(1)?;
+                RData::Ptr(resolve_name(&rest[0], &origin, line_no)?)
+            }
+            "MX" => {
+                need(2)?;
+                RData::Mx {
+                    preference: rest[0]
+                        .parse()
+                        .map_err(|_| err(line_no, "bad MX preference"))?,
+                    exchange: resolve_name(&rest[1], &origin, line_no)?,
+                }
+            }
+            "TXT" => {
+                need(1)?;
+                RData::Txt(rest.iter().map(|s| s.as_bytes().to_vec()).collect())
+            }
+            other => return Err(err(line_no, format!("unsupported record type {other}"))),
+        };
+        zone.add(Record::new(name, ttl, rdata));
+    }
+    Ok(zone)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::{ResolveCtx, Zone, ZoneAnswer};
+    use dns_wire::{Question, RType};
+
+    fn lookup(zone: &StaticZone, name: &str, rtype: RType) -> ZoneAnswer {
+        let ctx = ResolveCtx::v4("10.0.0.1".parse().unwrap());
+        zone.lookup(&Question::new(name.parse().unwrap(), rtype), &ctx)
+    }
+
+    #[test]
+    fn parses_relative_and_absolute_names() {
+        let zone = parse_zone(
+            "www 60 IN A 1.2.3.4\nabs.example.org. 60 IN A 5.6.7.8\n",
+            "example.org",
+        )
+        .unwrap();
+        match lookup(&zone, "www.example.org", RType::A) {
+            ZoneAnswer::Records(r) => assert_eq!(r[0].rdata, RData::A("1.2.3.4".parse().unwrap())),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(lookup(&zone, "abs.example.org", RType::A), ZoneAnswer::Records(_)));
+    }
+
+    #[test]
+    fn at_sign_is_origin() {
+        let zone = parse_zone("@ 300 IN A 9.9.9.9\n", "example.org").unwrap();
+        assert!(matches!(lookup(&zone, "example.org", RType::A), ZoneAnswer::Records(_)));
+    }
+
+    #[test]
+    fn ttl_and_class_are_optional() {
+        let zone = parse_zone("a A 1.1.1.1\nb 120 A 2.2.2.2\nc IN A 3.3.3.3\n", "z.test").unwrap();
+        for (name, ip) in [("a.z.test", "1.1.1.1"), ("b.z.test", "2.2.2.2"), ("c.z.test", "3.3.3.3")] {
+            match lookup(&zone, name, RType::A) {
+                ZoneAnswer::Records(r) => assert_eq!(r[0].rdata, RData::A(ip.parse().unwrap())),
+                other => panic!("{name}: {other:?}"),
+            }
+        }
+        // Default vs explicit TTL.
+        if let ZoneAnswer::Records(r) = lookup(&zone, "a.z.test", RType::A) {
+            assert_eq!(r[0].ttl, 3600);
+        }
+        if let ZoneAnswer::Records(r) = lookup(&zone, "b.z.test", RType::A) {
+            assert_eq!(r[0].ttl, 120);
+        }
+    }
+
+    #[test]
+    fn quoted_txt_keeps_spaces() {
+        let zone = parse_zone("t 60 IN TXT \"hello world\" second\n", "z.test").unwrap();
+        match lookup(&zone, "t.z.test", RType::Txt) {
+            ZoneAnswer::Records(r) => {
+                assert_eq!(r[0].rdata, RData::Txt(vec![b"hello world".to_vec(), b"second".to_vec()]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let zone = parse_zone("; header\n\nx 60 IN A 1.1.1.1 ; trailing\n", "z.test").unwrap();
+        assert!(matches!(lookup(&zone, "x.z.test", RType::A), ZoneAnswer::Records(_)));
+    }
+
+    #[test]
+    fn mx_and_cname_and_ns() {
+        let zone = parse_zone(
+            "@ 60 IN MX 10 mail\nalias 60 IN CNAME @\n@ 60 IN NS ns1\n",
+            "z.test",
+        )
+        .unwrap();
+        assert!(matches!(lookup(&zone, "z.test", RType::Mx), ZoneAnswer::Records(_)));
+        assert!(matches!(lookup(&zone, "alias.z.test", RType::Cname), ZoneAnswer::Records(_)));
+        assert!(matches!(lookup(&zone, "z.test", RType::Ns), ZoneAnswer::Records(_)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_zone("good 60 IN A 1.1.1.1\nbad 60 IN A not-an-ip\n", "z.test").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_zone("x 60 IN WKS data\n", "z.test").unwrap_err();
+        assert!(e.message.contains("unsupported"));
+        let e = parse_zone("x 60 IN MX 10\n", "z.test").unwrap_err();
+        assert!(e.message.contains("needs 2"));
+    }
+}

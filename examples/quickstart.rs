@@ -1,0 +1,51 @@
+//! Quickstart: detect and localize DNS interception in three steps.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds two households — one clean, one with the paper's buggy XB6
+//! router — and runs the full technique against both.
+
+use interception::{HomeScenario, SimTransport};
+use locator::HijackLocator;
+
+fn investigate(label: &str, scenario: HomeScenario) {
+    println!("=== {label} ===");
+    let built = scenario.build();
+    let config = built.locator_config();
+
+    // The locator only needs something that can send DNS queries; here
+    // that is the packet-level simulator, on a real host it would be a UDP
+    // socket.
+    let mut transport = SimTransport::new(built);
+    let report = HijackLocator::new(config).run(&mut transport);
+
+    println!("queries sent : {}", report.queries_sent);
+    println!("intercepted  : {}", report.intercepted);
+    for (key, result) in report.matrix.v4.iter() {
+        println!("  {:<16} v4: {:?}", key.display_name(), result);
+    }
+    if let Some(cpe) = &report.cpe {
+        println!("version.bind from CPE public IP : {}", cpe.cpe_response);
+        for (key, answer) in cpe.resolver_responses.iter() {
+            if let Some(answer) = answer {
+                println!("version.bind via {:<14} : {}", key.display_name(), answer);
+            }
+        }
+    }
+    match report.location {
+        Some(location) => println!("verdict      : intercepted at {location}"),
+        None => println!("verdict      : no interception"),
+    }
+    if let Some(t) = report.transparency {
+        println!("transparency : {t}");
+    }
+    println!();
+}
+
+fn main() {
+    investigate("clean home", HomeScenario::clean());
+    investigate("home with a buggy XB6 (paper §5)", HomeScenario::xb6_case_study());
+    investigate("home behind an intercepting ISP", HomeScenario::isp_middlebox());
+}

@@ -1,0 +1,71 @@
+//! TTL-scan hop localization — the §6 future-work technique the paper
+//! could not run on RIPE Atlas (no TTL control) or VPNGate (TTLs
+//! rewritten). The simulated transport can set TTLs, so this example
+//! locates interceptors to an exact hop count.
+//!
+//! ```text
+//! cargo run --example ttl_localization
+//! ```
+
+use interception::{HomeScenario, SimTransport};
+use locator::ttl_scan::{interpret, ttl_scan, TtlVerdict};
+use locator::{default_resolvers, QueryOptions};
+
+fn main() {
+    let cloudflare = &default_resolvers()[0];
+    let question = cloudflare.location_query();
+
+    println!("TTL scan toward {} ({})\n", cloudflare.v4[0], cloudflare.key.display_name());
+
+    let mut baseline_result = None;
+    for (label, scenario) in [
+        ("clean home", HomeScenario::clean()),
+        ("buggy XB6 (CPE interceptor)", HomeScenario::xb6_case_study()),
+        ("ISP middlebox", HomeScenario::isp_middlebox()),
+    ] {
+        let mut transport = SimTransport::new(scenario.build());
+        let result = ttl_scan(
+            &mut transport,
+            cloudflare.v4[0],
+            &question,
+            12,
+            QueryOptions::default(),
+        );
+        match result.first_response_ttl {
+            Some(ttl) => println!(
+                "{label:<32} first answer at TTL {ttl} ({} probes sent)",
+                result.queries_sent
+            ),
+            None => println!("{label:<32} no answer within 12 hops"),
+        }
+        match &baseline_result {
+            None => {
+                println!("{:<32} -> this is the clean baseline\n", "");
+                baseline_result = Some(result);
+            }
+            Some(baseline) => {
+                let verdict = interpret(&result, baseline);
+                let text = match verdict {
+                    TtlVerdict::AnsweredByCpe => {
+                        "answered at hop 1: the CPE itself is the interceptor".into()
+                    }
+                    TtlVerdict::InterceptedAtHop { hops } => format!(
+                        "answered {} hop(s) earlier than the clean path: \
+                         an in-path interceptor sits {hops} hops away",
+                        baseline.first_response_ttl.unwrap() - hops
+                    ),
+                    TtlVerdict::Consistent => "consistent with the clean path".into(),
+                    TtlVerdict::Inconclusive => "inconclusive".into(),
+                };
+                println!("{:<32} -> {text}\n", "");
+            }
+        }
+    }
+
+    println!(
+        "Note: on a real host this requires setting the IP TTL, which needs\n\
+         root/SUID privileges — the paper's §6 caveat. The three-step\n\
+         technique needs none of that; the TTL scan refines its verdict\n\
+         when privileges allow."
+    );
+}

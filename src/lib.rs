@@ -1,0 +1,31 @@
+//! # home-hijack
+//!
+//! Umbrella crate for the reproduction of *Home is Where the Hijacking is:
+//! Understanding DNS Interception by Residential Routers* (IMC 2021).
+//!
+//! The work lives in the member crates, re-exported here for convenience:
+//!
+//! * [`locator`] — the paper's contribution: the three-step interception
+//!   localization technique plus baseline detectors.
+//! * [`dns_wire`] — RFC 1035 wire format with CHAOS debugging queries.
+//! * [`netsim`] — deterministic packet-level network simulator (routing,
+//!   NAT/DNAT conntrack, bogon filtering).
+//! * [`resolver_sim`] — resolver models: authoritative zones, recursors,
+//!   forwarders, public anycast sites.
+//! * [`cpe`] — home-router models including the XB6/XDNS interceptor.
+//! * [`interception`] — scenario builder and the simulated transport.
+//! * [`atlas_sim`] — probe fleet, campaign runner, table/figure aggregation.
+//!
+//! See `examples/quickstart.rs` for a three-minute tour and the `repro`
+//! binary (`cargo run -p hijack-bench --bin repro --release -- --all`) to
+//! regenerate every table and figure.
+
+#![forbid(unsafe_code)]
+
+pub use atlas_sim;
+pub use cpe;
+pub use dns_wire;
+pub use interception;
+pub use locator;
+pub use netsim;
+pub use resolver_sim;
