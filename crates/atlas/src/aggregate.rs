@@ -413,6 +413,57 @@ impl fmt::Display for AccuracyStats {
     }
 }
 
+/// Fleet-wide retry economics: what the retry budget cost on the wire and
+/// what it bought. Complements Table 4 — the paper's conservative rule
+/// turns every lost query into a "not intercepted" cell, so the retry
+/// budget is the knob that trades extra queries for fewer Timeout cells.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryStats {
+    /// Logical DNS questions asked across the campaign.
+    pub queries_sent: u64,
+    /// Wire attempts across the campaign (== `queries_sent` at attempts=1).
+    pub wire_attempts: u64,
+    /// Questions that needed more than one attempt.
+    pub retried_queries: u64,
+    /// Probes where at least one question was retried.
+    pub probes_with_retries: u32,
+    /// Timeout cells remaining in the step-1 matrices (v4 + v6).
+    pub timeout_cells: u32,
+}
+
+/// Computes retry statistics from campaign results.
+pub fn retry_stats(results: &[ProbeResult]) -> RetryStats {
+    let mut stats = RetryStats::default();
+    for r in results {
+        stats.queries_sent += r.report.queries_sent as u64;
+        stats.wire_attempts += r.report.wire_attempts as u64;
+        stats.retried_queries += r.report.retried_queries as u64;
+        if r.report.retried_queries > 0 {
+            stats.probes_with_retries += 1;
+        }
+        stats.timeout_cells += r
+            .report
+            .matrix
+            .v4
+            .iter()
+            .chain(r.report.matrix.v6.iter())
+            .filter(|(_, c)| matches!(c, locator::LocationTestResult::Timeout))
+            .count() as u32;
+    }
+    stats
+}
+
+impl fmt::Display for RetryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Retry economics")?;
+        writeln!(f, "  logical queries:     {:>8}", self.queries_sent)?;
+        writeln!(f, "  wire attempts:       {:>8}", self.wire_attempts)?;
+        writeln!(f, "  retried queries:     {:>8}", self.retried_queries)?;
+        writeln!(f, "  probes with retries: {:>8}", self.probes_with_retries)?;
+        writeln!(f, "  timeout cells left:  {:>8}", self.timeout_cells)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +518,25 @@ mod tests {
         );
         // No false positives: clean paths never look intercepted.
         assert_eq!(acc.false_positives, 0);
+    }
+
+    #[test]
+    fn retry_stats_track_the_budget() {
+        let base = FleetConfig { size: 250, flaky_rate: 0.3, ..FleetConfig::default() };
+        let single = retry_stats(&run_campaign(&generate(base.clone()), 4));
+        assert_eq!(single.wire_attempts, single.queries_sent);
+        assert_eq!(single.retried_queries, 0);
+        assert_eq!(single.probes_with_retries, 0);
+        assert!(single.timeout_cells > 0);
+
+        let retried =
+            retry_stats(&run_campaign(&generate(FleetConfig { attempts: 3, ..base }), 4));
+        assert!(retried.wire_attempts > retried.queries_sent);
+        assert!(retried.retried_queries > 0);
+        assert!(retried.probes_with_retries > 0);
+        assert!(retried.timeout_cells < single.timeout_cells);
+        let text = retried.to_string();
+        assert!(text.contains("wire attempts"));
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub fn run_campaign(fleet: &Fleet, threads: usize) -> Vec<ProbeResult> {
 pub fn measure_probe(fleet: &Fleet, probe: &ProbeSpec) -> ProbeResult {
     let scenario = scenario_for(fleet, probe);
     let built = scenario.build();
-    let config = built.locator_config();
+    let mut config = built.locator_config();
+    config.query_options.attempts = fleet.config.attempts;
+    config.query_options.retry_backoff_ms = fleet.config.retry_backoff_ms;
     let truth = built.truth.clone();
     let expected = built.expected;
     let mut transport = SimTransport::new(built);
@@ -65,7 +67,9 @@ pub fn measure_probe_archived(
 ) -> (ProbeResult, crate::raw::RawMeasurement) {
     let scenario = scenario_for(fleet, probe);
     let built = scenario.build();
-    let config = built.locator_config();
+    let mut config = built.locator_config();
+    config.query_options.attempts = fleet.config.attempts;
+    config.query_options.retry_backoff_ms = fleet.config.retry_backoff_ms;
     let truth = built.truth.clone();
     let expected = built.expected;
     let mut recording = crate::raw::RecordingTransport::new(SimTransport::new(built));
@@ -115,7 +119,77 @@ mod tests {
         let live = measure_probe(&fleet, probe);
         let (archived, measurement) = measure_probe_archived(&fleet, probe);
         assert_eq!(live.report, archived.report);
-        assert_eq!(measurement.records.len() as u32, live.report.queries_sent);
+        assert_eq!(measurement.records.len() as u32, live.report.wire_attempts);
+    }
+
+    #[test]
+    fn retries_shrink_timeout_cells_without_changing_verdicts() {
+        // The acceptance experiment: same fleet, same seeds, attempts=1 vs
+        // attempts=3. Retries rescue flaky probes' lost queries (fewer
+        // Timeout cells) but never flip an interception verdict — quota
+        // probes are loss-free, so their wire traffic is identical.
+        let base = FleetConfig { size: 300, flaky_rate: 0.25, ..FleetConfig::default() };
+        let single = run_campaign(&generate(base.clone()), 4);
+        let retried = run_campaign(&generate(FleetConfig { attempts: 3, ..base }), 4);
+        let timeout_cells = |results: &[ProbeResult]| -> usize {
+            results
+                .iter()
+                .flat_map(|r| {
+                    r.report.matrix.v4.iter().chain(r.report.matrix.v6.iter()).map(|(_, c)| c)
+                })
+                .filter(|c| matches!(c, locator::LocationTestResult::Timeout))
+                .count()
+        };
+        let before = timeout_cells(&single);
+        let after = timeout_cells(&retried);
+        assert!(before > 0, "flaky probes should time out somewhere at attempts=1");
+        assert!(after < before, "retries should rescue timeouts: {after} !< {before}");
+        assert_eq!(single.len(), retried.len());
+        for (a, b) in single.iter().zip(&retried) {
+            assert_eq!(a.probe.id, b.probe.id);
+            if a.probe.flavor.intercepts() {
+                assert_eq!(
+                    a.report.location, b.report.location,
+                    "quota probe {} changed verdict",
+                    a.probe.id
+                );
+                // An interceptor that *drops* queries still times out on
+                // every extra attempt, so only the attempt counters may
+                // differ — all evidence and verdicts are identical.
+                assert_eq!(a.report.matrix, b.report.matrix);
+                assert_eq!(a.report.intercepted, b.report.intercepted);
+                assert_eq!(a.report.cpe, b.report.cpe);
+                assert_eq!(a.report.bogon, b.report.bogon);
+                assert_eq!(a.report.transparency, b.report.transparency);
+                assert_eq!(a.report.queries_sent, b.report.queries_sent);
+            }
+            // Retries can only add evidence, never remove it: nothing that
+            // was intercepted at attempts=1 reads clean at attempts=3.
+            if a.report.intercepted {
+                assert!(b.report.intercepted);
+            }
+        }
+    }
+
+    #[test]
+    fn attempts_one_is_bitwise_identical_to_the_default_pipeline() {
+        // attempts=1 *is* the single-shot pipeline: an explicit retry
+        // budget of one reproduces the default configuration bit for bit,
+        // flaky probes included.
+        let fleet_default = generate(FleetConfig { size: 150, flaky_rate: 0.3, ..FleetConfig::default() });
+        let fleet_explicit = generate(FleetConfig {
+            size: 150,
+            flaky_rate: 0.3,
+            attempts: 1,
+            retry_backoff_ms: 40,
+            ..FleetConfig::default()
+        });
+        let a = run_campaign(&fleet_default, 4);
+        let b = run_campaign(&fleet_explicit, 4);
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.report, rb.report);
+        }
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub struct FleetConfig {
     pub flaky_rate: f64,
     /// Loss probability on a flaky probe's upstream link.
     pub flaky_loss: f64,
+    /// Wire attempts per query on every probe (1 = single-shot, the
+    /// paper's conservative baseline where a lost packet reads as a
+    /// timeout).
+    pub attempts: u32,
+    /// Backoff between attempts, in (virtual) milliseconds.
+    pub retry_backoff_ms: u64,
     /// The organization catalog.
     pub orgs: Vec<OrgSpec>,
 }
@@ -37,6 +43,8 @@ impl Default for FleetConfig {
             respond_rate: 0.962,
             flaky_rate: 0.02,
             flaky_loss: 0.35,
+            attempts: 1,
+            retry_backoff_ms: 0,
             orgs: default_catalog(),
         }
     }
@@ -177,6 +185,9 @@ pub fn scenario_for(fleet: &Fleet, probe: &ProbeSpec) -> interception::HomeScena
         probe_has_v6: probe.has_v6,
         region: region_of_country(&org.country),
         upstream_loss: if probe.flaky { fleet.config.flaky_loss } else { 0.0 },
+        upstream_burst: None,
+        upstream_duplicate: 0.0,
+        upstream_late: None,
         iterative_isp_resolver: false,
         background_clients: 0,
         inner_router: None,

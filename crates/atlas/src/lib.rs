@@ -20,8 +20,8 @@ mod orgs;
 mod raw;
 
 pub use aggregate::{
-    accuracy, figure3, figure4, table4, table5, table5_pattern, AccuracyStats, Figure3,
-    Figure3Bar, Figure4, Figure4Bar, Table4, Table4Row, Table5,
+    accuracy, figure3, figure4, retry_stats, table4, table5, table5_pattern, AccuracyStats,
+    Figure3, Figure3Bar, Figure4, Figure4Bar, RetryStats, Table4, Table4Row, Table5,
 };
 pub use campaign::{measure_probe, measure_probe_archived, run_campaign, ProbeResult};
 pub use chart::{figure3_chart, figure4_chart};

@@ -25,16 +25,20 @@ pub struct RawQueryRecord {
     pub qtype: u16,
     /// QCLASS wire value.
     pub qclass: u16,
+    /// Transaction ID the query carried on the wire. One record per wire
+    /// attempt: a retried query archives each attempt under its own ID.
+    pub txid: u16,
     /// Raw response bytes; `None` for a timeout.
     pub response: Option<Vec<u8>>,
 }
 
 impl RawQueryRecord {
-    fn matches(&self, server: IpAddr, q: &Question) -> bool {
+    fn matches(&self, server: IpAddr, q: &Question, txid: u16) -> bool {
         self.server == server
             && self.qname == q.qname.to_string()
             && self.qtype == q.qtype.to_u16()
             && self.qclass == q.qclass.to_u16()
+            && self.txid == txid
     }
 }
 
@@ -65,8 +69,14 @@ impl<T> RecordingTransport<T> {
 }
 
 impl<T: QueryTransport> QueryTransport for RecordingTransport<T> {
-    fn query(&mut self, server: IpAddr, question: Question, opts: QueryOptions) -> QueryOutcome {
-        let outcome = self.inner.query(server, question.clone(), opts);
+    fn query(
+        &mut self,
+        server: IpAddr,
+        question: Question,
+        txid: u16,
+        opts: QueryOptions,
+    ) -> QueryOutcome {
+        let outcome = self.inner.query(server, question.clone(), txid, opts);
         let response = match &outcome {
             QueryOutcome::Response(m) => m.encode().ok(),
             QueryOutcome::Timeout => None,
@@ -76,9 +86,14 @@ impl<T: QueryTransport> QueryTransport for RecordingTransport<T> {
             qname: question.qname.to_string(),
             qtype: question.qtype.to_u16(),
             qclass: question.qclass.to_u16(),
+            txid,
             response,
         });
         outcome
+    }
+
+    fn backoff(&mut self, ms: u64) {
+        self.inner.backoff(ms);
     }
 }
 
@@ -105,12 +120,18 @@ impl ReplayTransport {
 }
 
 impl QueryTransport for ReplayTransport {
-    fn query(&mut self, server: IpAddr, question: Question, _opts: QueryOptions) -> QueryOutcome {
+    fn query(
+        &mut self,
+        server: IpAddr,
+        question: Question,
+        txid: u16,
+        _opts: QueryOptions,
+    ) -> QueryOutcome {
         let Some(record) = self.records.get(self.cursor) else {
             self.mismatches += 1;
             return QueryOutcome::Timeout;
         };
-        if !record.matches(server, &question) {
+        if !record.matches(server, &question, txid) {
             self.mismatches += 1;
             return QueryOutcome::Timeout;
         }
@@ -163,8 +184,37 @@ mod tests {
 
     #[test]
     fn archive_length_matches_queries_sent() {
+        // One record per wire attempt; at the default single attempt that
+        // is exactly one record per logical query.
         let (report, archive) = record_probe(HomeScenario::isp_middlebox());
+        assert_eq!(archive.records.len() as u32, report.wire_attempts);
         assert_eq!(archive.records.len() as u32, report.queries_sent);
+    }
+
+    #[test]
+    fn retried_attempts_archive_one_record_each_and_replay_reproduces() {
+        // A lossy upstream forces retries; each wire attempt lands in the
+        // archive under its own transaction ID, and replaying the archive
+        // with the same retry policy reproduces the live report bit for
+        // bit (timeout records make the replayed retry loop take the same
+        // path the live one did).
+        let built = HomeScenario { upstream_loss: 0.3, ..HomeScenario::clean() }.build();
+        let mut config = built.locator_config();
+        config.query_options.attempts = 3;
+        let mut recording = RecordingTransport::new(SimTransport::new(built));
+        let live = HijackLocator::new(config.clone()).run(&mut recording);
+        let archive = recording.into_measurement();
+        assert_eq!(archive.records.len() as u32, live.wire_attempts);
+        assert!(live.wire_attempts > live.queries_sent, "seeded loss should force a retry");
+        let unique: std::collections::HashSet<u16> =
+            archive.records.iter().map(|r| r.txid).collect();
+        assert_eq!(unique.len(), archive.records.len(), "every wire attempt gets a fresh txid");
+
+        let mut replay = ReplayTransport::new(archive);
+        let replayed = HijackLocator::new(config).run(&mut replay);
+        assert_eq!(replayed, live);
+        assert_eq!(replay.mismatches, 0);
+        assert!(replay.exhausted());
     }
 
     #[test]
@@ -175,6 +225,7 @@ mod tests {
         let out = replay.query(
             "203.0.113.1".parse().unwrap(),
             dns_wire::Question::chaos_txt("id.server".parse().unwrap()),
+            0x1000,
             locator::QueryOptions::default(),
         );
         assert!(out.is_timeout());
@@ -187,6 +238,7 @@ mod tests {
         let out = replay.query(
             "1.1.1.1".parse().unwrap(),
             dns_wire::Question::chaos_txt("id.server".parse().unwrap()),
+            0x1000,
             locator::QueryOptions::default(),
         );
         assert!(out.is_timeout());

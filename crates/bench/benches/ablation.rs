@@ -18,7 +18,7 @@ use interception::{CpeModelKind, HomeScenario, MiddleboxSpec, SimTransport};
 use locator::baseline::{a_record_cpe_check, ARecordVerdict};
 use locator::{
     default_resolvers, HijackLocator, InterceptorLocation, LocatorConfig, QueryOptions,
-    ResolverKey,
+    ResolverKey, TxidSequence,
 };
 use std::net::IpAddr;
 
@@ -128,6 +128,7 @@ fn ablation_step2_method() {
                 cpe_public,
                 "8.8.8.8".parse().unwrap(),
                 &"example.com".parse().unwrap(),
+                &mut TxidSequence::new(0x7000),
                 QueryOptions::default(),
             ),
             ARecordVerdict::ClaimsCpe { .. }

@@ -10,13 +10,13 @@
 //! ```
 
 use atlas_sim::{
-    accuracy, figure3, figure4, generate, run_campaign, table4, table5, Fleet, FleetConfig,
-    ProbeResult,
+    accuracy, figure3, figure4, generate, retry_stats, run_campaign, table4, table5, Fleet,
+    FleetConfig, ProbeResult,
 };
 use interception::{CpeModelKind, HomeScenario, MiddleboxSpec, SimTransport};
 use locator::{
     baseline, default_resolvers, describe_response, HijackLocator, QueryOptions,
-    QueryTransport,
+    QueryTransport, TxidSequence,
 };
 use std::net::IpAddr;
 
@@ -29,6 +29,8 @@ struct Args {
     size: usize,
     seed: u64,
     threads: usize,
+    attempts: u32,
+    retry_backoff_ms: u64,
     json: Option<String>,
     archives: Option<String>,
 }
@@ -43,6 +45,8 @@ fn parse_args() -> Args {
         size: 10_000,
         seed: 0x41544C53,
         threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        attempts: 1,
+        retry_backoff_ms: 0,
         json: None,
         archives: None,
     };
@@ -62,13 +66,15 @@ fn parse_args() -> Args {
             "--size" => args.size = take(&mut i).parse().unwrap_or(10_000),
             "--seed" => args.seed = take(&mut i).parse().unwrap_or(0x41544C53),
             "--threads" => args.threads = take(&mut i).parse().unwrap_or(4),
+            "--attempts" => args.attempts = take(&mut i).parse().unwrap_or(1),
+            "--retry-backoff" => args.retry_backoff_ms = take(&mut i).parse().unwrap_or(0),
             "--json" => args.json = Some(take(&mut i)),
             "--archives" => args.archives = Some(take(&mut i)),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--all] [--table N] [--figure N] [--case xb6] \
-                     [--appendix a] [--size N] [--seed N] [--threads N] [--json PATH] \
-                     [--archives PATH]"
+                     [--appendix a] [--size N] [--seed N] [--threads N] [--attempts N] \
+                     [--retry-backoff MS] [--json PATH] [--archives PATH]"
                 );
                 std::process::exit(0);
             }
@@ -106,7 +112,13 @@ fn main() {
             "running campaign: {} probes, seed {}, {} threads…",
             args.size, args.seed, args.threads
         );
-        let fleet = generate(FleetConfig { size: args.size, seed: args.seed, ..FleetConfig::default() });
+        let fleet = generate(FleetConfig {
+            size: args.size,
+            seed: args.seed,
+            attempts: args.attempts,
+            retry_backoff_ms: args.retry_backoff_ms,
+            ..FleetConfig::default()
+        });
         let started = std::time::Instant::now();
         let results = run_campaign(&fleet, args.threads);
         eprintln!(
@@ -137,6 +149,9 @@ fn main() {
         if args.all {
             println!("{}", accuracy(results));
         }
+        if args.all || args.attempts > 1 {
+            println!("{}", retry_stats(results));
+        }
         if let Some(path) = &args.json {
             write_json(path, fleet, results);
         }
@@ -159,13 +174,14 @@ fn print_table1() {
     println!("Table 1: Location queries and expected responses (clean path)");
     println!("{:<16} {:<10} {:<26} Example Response", "Public Resolver", "Type", "Location Query");
     let mut transport = SimTransport::new(HomeScenario::clean().build());
+    let mut txids = TxidSequence::new(0x1000);
     for resolver in default_resolvers() {
         let q = resolver.location_query();
         let qtype = match q.qclass {
             dns_wire::RClass::Chaos => "CHAOS TXT",
             _ => "TXT",
         };
-        let out = transport.query(resolver.v4[0], q.clone(), QueryOptions::default());
+        let out = transport.query(resolver.v4[0], q.clone(), txids.next(), QueryOptions::default());
         let response = out.response().map(describe_response).unwrap_or_else(|| "-".into());
         println!(
             "{:<16} {:<10} {:<26} {}",
@@ -212,14 +228,15 @@ fn print_tables_2_and_3() {
             (id, SimTransport::new(built), cpe_v4)
         })
         .collect();
+    let mut txids = TxidSequence::new(0x1000);
     for (id, transport, _) in &mut transports {
         let cf = transport
-            .query(cloudflare.v4[0], cloudflare.location_query(), QueryOptions::default())
+            .query(cloudflare.v4[0], cloudflare.location_query(), txids.next(), QueryOptions::default())
             .response()
             .map(describe_response)
             .unwrap_or_else(|| "-".into());
         let gg = transport
-            .query(google.v4[0], google.location_query(), QueryOptions::default())
+            .query(google.v4[0], google.location_query(), txids.next(), QueryOptions::default())
             .response()
             .map(describe_response)
             .unwrap_or_else(|| "-".into());
@@ -238,7 +255,7 @@ fn print_tables_2_and_3() {
         let vb = dns_wire::Question::chaos_txt(dns_wire::debug_queries::version_bind());
         let mut ask = |server: IpAddr| -> String {
             transport
-                .query(server, vb.clone(), QueryOptions::default())
+                .query(server, vb.clone(), txids.next(), QueryOptions::default())
                 .response()
                 .map(describe_response)
                 .unwrap_or_else(|| "-".into())
@@ -259,7 +276,7 @@ fn print_xb6_case_study() {
     let probe_v4 = built.addrs.probe_v4;
     let mut transport = SimTransport::new(built);
     let q = dns_wire::Question::new("example.com".parse().unwrap(), dns_wire::RType::A);
-    let out = transport.query("8.8.8.8".parse().unwrap(), q, QueryOptions::default());
+    let out = transport.query("8.8.8.8".parse().unwrap(), q, 0x1000, QueryOptions::default());
     for entry in transport.scenario.sim.trace() {
         println!("  {:>10}  {:<18} {}", entry.at.to_string(), entry.node_name, entry.packet);
     }
@@ -292,6 +309,7 @@ fn print_appendix_a() {
         cpe_public,
         "8.8.8.8".parse().unwrap(),
         &"example.com".parse().unwrap(),
+        &mut TxidSequence::new(0x7000),
         QueryOptions::default(),
     );
     println!("  ground truth       : ISP middlebox intercepts; CPE is innocent (port 53 open)");

@@ -15,7 +15,7 @@
 
 use locator::ttl_scan::{interpret, ttl_scan, TtlVerdict};
 use locator::{
-    default_resolvers, HijackLocator, LocatorConfig, QueryOptions, UdpTransport,
+    default_resolvers, HijackLocator, LocatorConfig, QueryOptions, TxidSequence, UdpTransport,
 };
 use std::net::IpAddr;
 use std::process::ExitCode;
@@ -26,6 +26,8 @@ struct Options {
     cpe_ip: Option<IpAddr>,
     cpe_ip_v6: Option<IpAddr>,
     timeout_ms: u64,
+    attempts: u32,
+    retry_backoff_ms: u64,
     test_v6: bool,
     json: bool,
     run_ttl_scan: bool,
@@ -39,6 +41,8 @@ impl Default for Options {
             cpe_ip: None,
             cpe_ip_v6: None,
             timeout_ms: 5_000,
+            attempts: 1,
+            retry_backoff_ms: 0,
             test_v6: true,
             json: false,
             run_ttl_scan: false,
@@ -69,6 +73,21 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 let v = args.get(i).ok_or("--timeout needs milliseconds")?;
                 opts.timeout_ms = v.parse().map_err(|_| format!("invalid timeout {v}"))?;
             }
+            "--attempts" => {
+                i += 1;
+                let v = args.get(i).ok_or("--attempts needs a count")?;
+                let n: u32 = v.parse().map_err(|_| format!("invalid attempts {v}"))?;
+                if n == 0 {
+                    return Err("--attempts must be at least 1".into());
+                }
+                opts.attempts = n;
+            }
+            "--retry-backoff" => {
+                i += 1;
+                let v = args.get(i).ok_or("--retry-backoff needs milliseconds")?;
+                opts.retry_backoff_ms =
+                    v.parse().map_err(|_| format!("invalid backoff {v}"))?;
+            }
             "--no-v6" => opts.test_v6 = false,
             "--json" => opts.json = true,
             "--ttl-scan" => opts.run_ttl_scan = true,
@@ -88,6 +107,9 @@ options:
   --cpe-ip <addr>   your router's public IP (enables step 2, CPE check);
                     pass twice for both a v4 and a v6 address
   --timeout <ms>    per-query timeout (default 5000)
+  --attempts <n>    wire attempts per query (default 1; retries use a
+                    fresh transaction ID each attempt)
+  --retry-backoff <ms>  wait between attempts (default 0)
   --no-v6           skip IPv6 location queries
   --json            print the full report as JSON
   --ttl-scan        additionally run the TTL-scan hop localization (§6)
@@ -113,7 +135,12 @@ fn main() -> ExitCode {
         cpe_public_v4: opts.cpe_ip,
         cpe_public_v6: opts.cpe_ip_v6,
         test_ipv6: opts.test_v6,
-        query_options: QueryOptions { timeout_ms: opts.timeout_ms, ttl: None },
+        query_options: QueryOptions {
+            timeout_ms: opts.timeout_ms,
+            attempts: opts.attempts,
+            retry_backoff_ms: opts.retry_backoff_ms,
+            ..QueryOptions::default()
+        },
         ..LocatorConfig::default()
     };
     let mut transport = UdpTransport::default();
@@ -221,12 +248,13 @@ fn describe(result: &locator::LocationTestResult) -> String {
 
 fn run_ttl_extension(transport: &mut UdpTransport, timeout_ms: u64) {
     println!("\nTTL scan (§6 extension; needs IP_TTL, best-effort):");
-    let opts = QueryOptions { timeout_ms: timeout_ms.min(2_000), ttl: None };
+    let opts = QueryOptions { timeout_ms: timeout_ms.min(2_000), ..QueryOptions::default() };
     let resolvers = default_resolvers();
+    let mut txids = TxidSequence::new(0x6000);
     let mut baseline = None;
     for resolver in &resolvers {
         let result =
-            ttl_scan(transport, resolver.v4[0], &resolver.location_query(), 20, opts);
+            ttl_scan(transport, resolver.v4[0], &resolver.location_query(), 20, &mut txids, opts);
         match result.first_response_ttl {
             Some(ttl) => println!("  {:<16} first answer at TTL {ttl}", resolver.key.display_name()),
             None => println!("  {:<16} no answer within 20 hops", resolver.key.display_name()),
@@ -282,10 +310,25 @@ mod tests {
     }
 
     #[test]
+    fn retry_flags() {
+        let o = parse(&args(&["--attempts", "3", "--retry-backoff", "250"])).unwrap();
+        assert_eq!(o.attempts, 3);
+        assert_eq!(o.retry_backoff_ms, 250);
+        // Defaults stay single-shot.
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.attempts, 1);
+        assert_eq!(o.retry_backoff_ms, 0);
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&args(&["--cpe-ip"])).is_err());
         assert!(parse(&args(&["--cpe-ip", "not-an-ip"])).is_err());
         assert!(parse(&args(&["--timeout", "soon"])).is_err());
+        assert!(parse(&args(&["--attempts"])).is_err());
+        assert!(parse(&args(&["--attempts", "0"])).is_err());
+        assert!(parse(&args(&["--attempts", "many"])).is_err());
+        assert!(parse(&args(&["--retry-backoff", "later"])).is_err());
         assert!(parse(&args(&["--frobnicate"])).is_err());
     }
 

@@ -15,7 +15,9 @@
 
 use crate::detector::describe_response;
 use crate::resolvers::PublicResolver;
-use crate::transport::{QueryOptions, QueryOutcome, QueryTransport};
+use crate::transport::{
+    query_with_retry, QueryOptions, QueryOutcome, QueryTransport, TxidSequence,
+};
 use dns_wire::debug_queries;
 use dns_wire::{Name, Question, RData, RType};
 use serde::{Deserialize, Serialize};
@@ -44,11 +46,12 @@ pub fn a_record_cpe_check<T: QueryTransport>(
     cpe_public: IpAddr,
     resolver_addr: IpAddr,
     test_name: &Name,
+    txids: &mut TxidSequence,
     opts: QueryOptions,
 ) -> ARecordVerdict {
     let q = Question::new(test_name.clone(), RType::A);
-    let via_cpe = transport.query(cpe_public, q.clone(), opts);
-    let via_resolver = transport.query(resolver_addr, q, opts);
+    let via_cpe = query_with_retry(transport, cpe_public, &q, txids, opts).outcome;
+    let via_resolver = query_with_retry(transport, resolver_addr, &q, txids, opts).outcome;
     let cpe_answer = match &via_cpe {
         QueryOutcome::Response(m) => first_a(m),
         QueryOutcome::Timeout => return ARecordVerdict::NoCpeAnswer,
@@ -89,12 +92,13 @@ pub fn hostname_bind_root_check<T: QueryTransport>(
     transport: &mut T,
     root_addrs: &[IpAddr],
     is_expected: impl Fn(&str) -> bool,
+    txids: &mut TxidSequence,
     opts: QueryOptions,
 ) -> RootCheckVerdict {
     let mut answered = false;
     for &root in root_addrs {
         let q = Question::chaos_txt(debug_queries::hostname_bind());
-        if let QueryOutcome::Response(m) = transport.query(root, q, opts) {
+        if let QueryOutcome::Response(m) = query_with_retry(transport, root, &q, txids, opts).outcome {
             answered = true;
             let observed = describe_response(&m);
             if m.header.rcode.is_error() || !is_expected(&observed) {
@@ -143,10 +147,11 @@ pub fn own_authoritative_check<T: QueryTransport>(
     transport: &mut T,
     resolver: &PublicResolver,
     reflector_name: &Name,
+    txids: &mut TxidSequence,
     opts: QueryOptions,
 ) -> PrevalenceVerdict {
     let q = Question::new(reflector_name.clone(), RType::Txt);
-    match transport.query(resolver.v4[0], q, opts) {
+    match query_with_retry(transport, resolver.v4[0], &q, txids, opts).outcome {
         QueryOutcome::Response(m) => {
             let Some(text) = m.answers.iter().find_map(|r| r.rdata.txt_string()) else {
                 return PrevalenceVerdict::Inconclusive;
@@ -175,6 +180,10 @@ mod tests {
         QueryOptions::default()
     }
 
+    fn txids() -> TxidSequence {
+        TxidSequence::new(0x7000)
+    }
+
     #[test]
     fn a_record_detector_false_positive_appendix_a() {
         // Innocent CPE with port 53 open forwards to the ISP resolver; a
@@ -185,7 +194,7 @@ mod tests {
         let cpe: IpAddr = "73.22.1.5".parse().unwrap();
         let name: Name = "example.com".parse().unwrap();
         t.push_rule(None, Some(name.clone()), Some(RClass::In), Respond::A("1.2.3.4".parse().unwrap()));
-        let verdict = a_record_cpe_check(&mut t, cpe, "8.8.8.8".parse().unwrap(), &name, opts());
+        let verdict = a_record_cpe_check(&mut t, cpe, "8.8.8.8".parse().unwrap(), &name, &mut txids(), opts());
         assert_eq!(verdict, ARecordVerdict::ClaimsCpe { answer: "1.2.3.4".into() });
     }
 
@@ -205,6 +214,7 @@ mod tests {
             "73.22.1.5".parse().unwrap(),
             "8.8.8.8".parse().unwrap(),
             &name,
+            &mut txids(),
             opts(),
         );
         assert_eq!(verdict, ARecordVerdict::NoCpeAnswer);
@@ -218,20 +228,20 @@ mod tests {
         let mut t = MockTransport::new();
         t.push_rule(Some(roots.clone()), None, Some(RClass::Chaos), Respond::Txt("a1.us-mia.root".into()));
         assert_eq!(
-            hostname_bind_root_check(&mut t, &roots, looks_like_root, opts()),
+            hostname_bind_root_check(&mut t, &roots, looks_like_root, &mut txids(), opts()),
             RootCheckVerdict::Clean
         );
         // Manipulated: a forwarder's version string comes back instead.
         let mut t = MockTransport::new();
         t.push_rule(Some(roots.clone()), None, Some(RClass::Chaos), Respond::Txt("dnsmasq-2.85".into()));
         assert!(matches!(
-            hostname_bind_root_check(&mut t, &roots, looks_like_root, opts()),
+            hostname_bind_root_check(&mut t, &roots, looks_like_root, &mut txids(), opts()),
             RootCheckVerdict::Manipulated { .. }
         ));
         // Silent: nothing answers.
         let mut t = MockTransport::new();
         assert_eq!(
-            hostname_bind_root_check(&mut t, &roots, looks_like_root, opts()),
+            hostname_bind_root_check(&mut t, &roots, looks_like_root, &mut txids(), opts()),
             RootCheckVerdict::NoAnswer
         );
     }
@@ -247,21 +257,21 @@ mod tests {
         let mut t = MockTransport::new();
         t.push_rule(None, Some(name.clone()), None, Respond::Txt("172.253.1.2".into()));
         assert!(matches!(
-            own_authoritative_check(&mut t, &google, &name, opts()),
+            own_authoritative_check(&mut t, &google, &name, &mut txids(), opts()),
             PrevalenceVerdict::Clean { .. }
         ));
         // Intercepted: a foreign egress.
         let mut t = MockTransport::new();
         t.push_rule(None, Some(name.clone()), None, Respond::Txt("62.183.62.69".into()));
         assert!(matches!(
-            own_authoritative_check(&mut t, &google, &name, opts()),
+            own_authoritative_check(&mut t, &google, &name, &mut txids(), opts()),
             PrevalenceVerdict::Intercepted { .. }
         ));
         // Garbage reflection.
         let mut t = MockTransport::new();
         t.push_rule(None, Some(name.clone()), None, Respond::Txt("not-an-ip".into()));
         assert_eq!(
-            own_authoritative_check(&mut t, &google, &name, opts()),
+            own_authoritative_check(&mut t, &google, &name, &mut txids(), opts()),
             PrevalenceVerdict::Inconclusive
         );
     }

@@ -19,7 +19,9 @@ use crate::report::{
     LocationTestResult, PerResolver, ProbeReport, Transparency, VersionBindAnswer,
 };
 use crate::resolvers::{default_resolvers, PublicResolver};
-use crate::transport::{QueryOptions, QueryOutcome, QueryTransport};
+use crate::transport::{
+    query_with_retry, QueryOptions, QueryOutcome, QueryTransport, TxidSequence,
+};
 use dns_wire::debug_queries;
 use dns_wire::{Message, Name, Question, RData, RType, Rcode};
 use std::net::IpAddr;
@@ -72,19 +74,21 @@ impl Default for LocatorConfig {
 }
 
 /// The paper's locator. Owns nothing but configuration and a transaction-ID
-/// counter; all I/O goes through the [`QueryTransport`] passed to each call.
+/// sequence; all I/O goes through the [`QueryTransport`] passed to each call.
 #[derive(Debug, Clone)]
 pub struct HijackLocator {
     config: LocatorConfig,
-    txid: u16,
+    txids: TxidSequence,
     queries_sent: u32,
+    wire_attempts: u32,
+    retried_queries: u32,
 }
 
 impl HijackLocator {
     /// Creates a locator from configuration.
     pub fn new(config: LocatorConfig) -> HijackLocator {
-        let txid = config.initial_txid;
-        HijackLocator { config, txid, queries_sent: 0 }
+        let txids = TxidSequence::new(config.initial_txid);
+        HijackLocator { config, txids, queries_sent: 0, wire_attempts: 0, retried_queries: 0 }
     }
 
     /// The configuration in use.
@@ -95,6 +99,8 @@ impl HijackLocator {
     /// Runs the full three-step technique plus the transparency test.
     pub fn run<T: QueryTransport>(&mut self, transport: &mut T) -> ProbeReport {
         self.queries_sent = 0;
+        self.wire_attempts = 0;
+        self.retried_queries = 0;
         let matrix = self.step1_location_queries(transport);
         let intercepted = matrix.any_intercepted();
 
@@ -132,6 +138,8 @@ impl HijackLocator {
             location,
             transparency,
             queries_sent: self.queries_sent,
+            wire_attempts: self.wire_attempts,
+            retried_queries: self.retried_queries,
         }
     }
 
@@ -192,14 +200,20 @@ impl HijackLocator {
         transport: &mut T,
         matrix: &InterceptionMatrix,
     ) -> Option<CpeEvidence> {
-        // Follow the paper: v4 is the primary lens; fall back to v6 only if
-        // interception was exclusively observed there.
+        // Follow the paper: v4 is the primary lens. Fall back to the v6
+        // lens when v4 cannot be used — either interception was exclusively
+        // observed on v6, or the probe never learned its public v4 address
+        // but does know its v6 one and saw v6 interception too.
         let intercepted_v4 = matrix.intercepted_v4();
-        let (cpe_addr, intercepted, use_v4) = if !intercepted_v4.is_empty() {
-            (self.config.cpe_public_v4?, intercepted_v4, true)
-        } else {
-            (self.config.cpe_public_v6?, matrix.intercepted_v6(), false)
-        };
+        let intercepted_v6 = matrix.intercepted_v6();
+        let (cpe_addr, intercepted, use_v4) =
+            if !intercepted_v4.is_empty() && self.config.cpe_public_v4.is_some() {
+                (self.config.cpe_public_v4?, intercepted_v4, true)
+            } else if !intercepted_v6.is_empty() && self.config.cpe_public_v6.is_some() {
+                (self.config.cpe_public_v6?, intercepted_v6, false)
+            } else {
+                return None;
+            };
 
         let cpe_response = self.version_bind_to(transport, cpe_addr);
 
@@ -323,14 +337,18 @@ impl HijackLocator {
         question: Question,
     ) -> QueryOutcome {
         self.queries_sent += 1;
-        let _txid = self.next_txid();
-        transport.query(server, question, self.config.query_options)
-    }
-
-    fn next_txid(&mut self) -> u16 {
-        let id = self.txid;
-        self.txid = self.txid.wrapping_add(1);
-        id
+        let retried = query_with_retry(
+            transport,
+            server,
+            &question,
+            &mut self.txids,
+            self.config.query_options,
+        );
+        self.wire_attempts += retried.attempts_used;
+        if retried.attempts_used > 1 {
+            self.retried_queries += 1;
+        }
+        retried.outcome
     }
 }
 
@@ -385,6 +403,102 @@ mod tests {
         assert_eq!(report.location, None);
         // 4 resolvers × 2 addresses × 2 families = 16 queries, nothing more.
         assert_eq!(report.queries_sent, 16);
+        assert_eq!(report.wire_attempts, 16);
+        assert_eq!(report.retried_queries, 0);
+    }
+
+    #[test]
+    fn locator_attaches_sequential_txids_to_the_wire() {
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let mut transport = clean_transport();
+        let report = locator.run(&mut transport);
+        let expected: Vec<u16> = (0..report.queries_sent as u16)
+            .map(|i| 0x1000u16.wrapping_add(i))
+            .collect();
+        assert_eq!(transport.txid_log, expected);
+    }
+
+    #[test]
+    fn wrong_txid_responses_read_as_timeouts() {
+        // Every "response" carries a corrupted transaction ID; the pipeline
+        // must drop them all, leaving the conservative all-timeout verdict.
+        let mut t = MockTransport::new();
+        t.push_rule(
+            None,
+            None,
+            None,
+            crate::mock::Respond::WrongTxid(Box::new(crate::mock::Respond::Txt("IAD".into()))),
+        );
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let report = locator.run(&mut t);
+        assert!(!report.intercepted);
+        assert_eq!(*report.matrix.v4.get(ResolverKey::Google), LocationTestResult::Timeout);
+    }
+
+    #[test]
+    fn retries_recover_a_flaky_resolver() {
+        let cloudflare_v4: Vec<std::net::IpAddr> = crate::resolvers::default_resolvers()
+            .into_iter()
+            .find(|r| r.key == ResolverKey::Cloudflare)
+            .expect("cloudflare is a default resolver")
+            .v4
+            .to_vec();
+        let make = || {
+            let mut t = clean_transport();
+            // Cloudflare's v4 addresses drop the first two queries; the
+            // standard rules answer afterwards — but a flaky front rule
+            // would shadow them, so gate timeouts only.
+            t.push_flaky_rule(
+                Some(cloudflare_v4.clone()),
+                None,
+                None,
+                2,
+                crate::mock::Respond::Txt("IAD".into()),
+            );
+            t
+        };
+
+        // Single-shot: both Cloudflare v4 addresses time out → Timeout cell.
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let single = locator.run(&mut make());
+        assert_eq!(
+            *single.matrix.v4.get(ResolverKey::Cloudflare),
+            LocationTestResult::Timeout
+        );
+        assert_eq!(single.wire_attempts, single.queries_sent);
+
+        // Three attempts: the first address recovers on its third try.
+        let mut config = config_with_cpe();
+        config.query_options.attempts = 3;
+        let mut locator = HijackLocator::new(config);
+        let retried = locator.run(&mut make());
+        assert_eq!(
+            *retried.matrix.v4.get(ResolverKey::Cloudflare),
+            LocationTestResult::Standard
+        );
+        assert!(!retried.intercepted, "recovered answers stay non-interception");
+        assert_eq!(retried.queries_sent, 16, "logical query count is unchanged");
+        assert_eq!(retried.wire_attempts, 18, "two extra attempts on the flaky address");
+        assert_eq!(retried.retried_queries, 1);
+    }
+
+    #[test]
+    fn step2_falls_back_to_v6_lens_when_v4_address_unknown() {
+        // Interception visible on both families, but the probe only knows
+        // its public v6 address: step 2 must still run, via the v6 lens.
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        t.intercept_all_v4_with_forwarder("dnsmasq-2.85");
+        t.intercept_all_v6_with_forwarder("dnsmasq-2.85");
+        let cpe_v6: std::net::IpAddr = "2001:db8:73::5".parse().unwrap();
+        t.cpe_version_bind(cpe_v6, "dnsmasq-2.85");
+        let config = LocatorConfig { cpe_public_v6: Some(cpe_v6), ..LocatorConfig::default() };
+        let mut locator = HijackLocator::new(config);
+        let report = locator.run(&mut t);
+        assert!(report.intercepted);
+        let cpe = report.cpe.expect("step 2 ran via the v6 lens");
+        assert!(cpe.cpe_is_interceptor);
+        assert_eq!(report.location, Some(InterceptorLocation::Cpe));
     }
 
     #[test]

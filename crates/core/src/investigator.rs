@@ -11,7 +11,7 @@ use crate::report::{InterceptorLocation, ProbeReport};
 use crate::side_checks::{
     ad_downgrade_check, nxdomain_wildcard_check, AdVerdict, WildcardVerdict,
 };
-use crate::transport::QueryTransport;
+use crate::transport::{QueryTransport, TxidSequence};
 use crate::ttl_scan::{ttl_scan, TtlScanResult};
 use dns_wire::Name;
 use serde::{Deserialize, Serialize};
@@ -79,6 +79,9 @@ impl Investigator {
         let mut locator = HijackLocator::new(self.config.locator.clone());
         let report = locator.run(transport);
         let opts = self.config.locator.query_options;
+        // The side checks draw transaction IDs from a block well past the
+        // locator's so the two never collide.
+        let mut txids = TxidSequence::new(self.config.locator.initial_txid.wrapping_add(0x4000));
 
         let first_resolver = self.config.locator.resolvers.first();
 
@@ -87,13 +90,13 @@ impl Investigator {
         // see the genuine service and stay quiet.
         let ad_check = match (&self.config.signed_name, first_resolver) {
             (Some(name), Some(resolver)) => {
-                Some(ad_downgrade_check(transport, resolver.v4[0], name, opts))
+                Some(ad_downgrade_check(transport, resolver.v4[0], name, &mut txids, opts))
             }
             _ => None,
         };
         let wildcard_check = match (&self.config.canary_name, first_resolver) {
             (Some(name), Some(resolver)) => {
-                Some(nxdomain_wildcard_check(transport, resolver.v4[0], name, opts))
+                Some(nxdomain_wildcard_check(transport, resolver.v4[0], name, &mut txids, opts))
             }
             _ => None,
         };
@@ -103,6 +106,7 @@ impl Investigator {
                 resolver.v4[0],
                 &resolver.location_query(),
                 budget,
+                &mut txids,
                 opts,
             )),
             _ => None,

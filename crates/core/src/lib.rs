@@ -52,5 +52,7 @@ pub use report::{
     LocationTestResult, PerResolver, ProbeReport, Transparency, VersionBindAnswer,
 };
 pub use resolvers::{default_resolvers, PublicResolver, ResolverKey};
-pub use transport::{QueryOptions, QueryOutcome, QueryTransport};
+pub use transport::{
+    query_with_retry, QueryOptions, QueryOutcome, QueryTransport, RetriedQuery, TxidSequence,
+};
 pub use udp_transport::UdpTransport;

@@ -5,6 +5,11 @@
 //! start from [`MockTransport::standard_public_resolvers`] and layer an
 //! interceptor on top — mirroring how a real interceptor shadows the real
 //! resolvers.
+//!
+//! Responses echo the caller's transaction ID, as a real server would.
+//! Two fault knobs exercise the retry pipeline: a rule can time out for
+//! its first `n` matches ([`MockTransport::push_flaky_rule`]) and a rule
+//! can answer with a corrupted transaction ID ([`Respond::WrongTxid`]).
 
 use crate::resolvers::default_resolvers;
 use crate::transport::{QueryOptions, QueryOutcome, QueryTransport};
@@ -25,6 +30,10 @@ pub enum Respond {
     Rcode(Rcode),
     /// No response at all.
     Timeout,
+    /// Answers like the inner `Respond`, but with the response's
+    /// transaction ID corrupted — a late or blindly spoofed reply that a
+    /// correct transport must drop.
+    WrongTxid(Box<Respond>),
 }
 
 #[derive(Debug, Clone)]
@@ -35,6 +44,9 @@ struct Rule {
     qname: Option<Name>,
     /// `None` matches any class.
     qclass: Option<RClass>,
+    /// The rule times out (without consuming `respond`) for this many
+    /// matches before answering normally — a deterministic flaky server.
+    remaining_failures: u32,
     respond: Respond,
 }
 
@@ -65,6 +77,8 @@ pub struct MockTransport {
     rules: Vec<Rule>,
     /// Every query sent, for assertions about the technique's footprint.
     pub log: Vec<(IpAddr, Question)>,
+    /// Transaction ID of every query sent, parallel to `log`.
+    pub txid_log: Vec<u16>,
 }
 
 impl MockTransport {
@@ -81,7 +95,7 @@ impl MockTransport {
         qclass: Option<RClass>,
         respond: Respond,
     ) {
-        self.rules.push(Rule { servers, qname, qclass, respond });
+        self.rules.push(Rule { servers, qname, qclass, remaining_failures: 0, respond });
     }
 
     /// Prepends a high-priority rule (interceptor layering).
@@ -92,7 +106,24 @@ impl MockTransport {
         qclass: Option<RClass>,
         respond: Respond,
     ) {
-        self.rules.insert(0, Rule { servers, qname, qclass, respond });
+        self.rules.insert(0, Rule { servers, qname, qclass, remaining_failures: 0, respond });
+    }
+
+    /// Prepends a rule that times out for its first `failures` matches and
+    /// answers normally afterwards — a server behind a lossy link that a
+    /// retrying pipeline can still reach.
+    pub fn push_flaky_rule(
+        &mut self,
+        servers: Option<Vec<IpAddr>>,
+        qname: Option<Name>,
+        qclass: Option<RClass>,
+        failures: u32,
+        respond: Respond,
+    ) {
+        self.rules.insert(
+            0,
+            Rule { servers, qname, qclass, remaining_failures: failures, respond },
+        );
     }
 
     /// Programs the standard (uninterfered) behaviour of all four public
@@ -146,25 +177,38 @@ impl MockTransport {
         default_resolvers().iter().flat_map(|r| r.v4.iter().copied()).collect()
     }
 
+    fn all_resolver_v6() -> Vec<IpAddr> {
+        default_resolvers().iter().flat_map(|r| r.v6.iter().copied()).collect()
+    }
+
     /// Layers an interceptor over every IPv4 resolver address: CHAOS queries
     /// are answered by a forwarder announcing `version`, Google's myaddr
     /// reveals a non-Google egress, and OpenDNS's debug name doesn't exist.
     pub fn intercept_all_v4_with_forwarder(&mut self, version: &str) {
-        let v4 = Self::all_resolver_v4();
+        Self::intercept_with_forwarder(self, Self::all_resolver_v4(), version);
+    }
+
+    /// Same interceptor, over every IPv6 resolver address — for probes whose
+    /// CPE also grabs v6 DNS.
+    pub fn intercept_all_v6_with_forwarder(&mut self, version: &str) {
+        Self::intercept_with_forwarder(self, Self::all_resolver_v6(), version);
+    }
+
+    fn intercept_with_forwarder(&mut self, addrs: Vec<IpAddr>, version: &str) {
         self.push_front_rule(
-            Some(v4.clone()),
+            Some(addrs.clone()),
             None,
             Some(RClass::Chaos),
             Respond::Txt(version.into()),
         );
         self.push_front_rule(
-            Some(v4.clone()),
+            Some(addrs.clone()),
             Some(debug_queries::google_myaddr()),
             Some(RClass::In),
             Respond::Txt("62.183.62.69".into()),
         );
         self.push_front_rule(
-            Some(v4),
+            Some(addrs),
             Some(debug_queries::opendns_debug()),
             Some(RClass::In),
             Respond::Rcode(Rcode::NxDomain),
@@ -221,8 +265,8 @@ impl MockTransport {
         );
     }
 
-    fn build_response(q: &Question, respond: &Respond) -> Option<Message> {
-        let query = Message::query(0, q.clone());
+    fn build_response(q: &Question, txid: u16, respond: &Respond) -> Option<Message> {
+        let query = Message::query(txid, q.clone());
         match respond {
             Respond::Txt(text) => {
                 let mut rec = Record::new(q.qname.clone(), 0, RData::txt(text.as_bytes()));
@@ -239,6 +283,11 @@ impl MockTransport {
             ),
             Respond::Rcode(rc) => Some(Message::response_to(&query, *rc)),
             Respond::Timeout => None,
+            Respond::WrongTxid(inner) => {
+                let mut msg = Self::build_response(q, txid, inner)?;
+                msg.header.id ^= 0x5A5A;
+                Some(msg)
+            }
         }
     }
 }
@@ -254,11 +303,22 @@ fn parse_rcode(s: &str) -> Rcode {
 }
 
 impl QueryTransport for MockTransport {
-    fn query(&mut self, server: IpAddr, question: Question, _opts: QueryOptions) -> QueryOutcome {
+    fn query(
+        &mut self,
+        server: IpAddr,
+        question: Question,
+        txid: u16,
+        _opts: QueryOptions,
+    ) -> QueryOutcome {
         self.log.push((server, question.clone()));
-        for rule in &self.rules {
+        self.txid_log.push(txid);
+        for rule in &mut self.rules {
             if rule.matches(server, &question) {
-                return match Self::build_response(&question, &rule.respond) {
+                if rule.remaining_failures > 0 {
+                    rule.remaining_failures -= 1;
+                    return QueryOutcome::Timeout;
+                }
+                return match Self::build_response(&question, txid, &rule.respond) {
                     Some(msg) => QueryOutcome::Response(msg),
                     None => QueryOutcome::Timeout,
                 };
@@ -273,16 +333,21 @@ mod tests {
     use super::*;
     use crate::resolvers::ResolverKey;
 
+    fn q(t: &mut MockTransport, server: IpAddr, question: Question) -> QueryOutcome {
+        t.query(server, question, 0x1234, QueryOptions::default())
+    }
+
     #[test]
     fn default_is_timeout() {
         let mut t = MockTransport::new();
-        let out = t.query(
+        let out = q(
+            &mut t,
             "1.1.1.1".parse().unwrap(),
             Question::chaos_txt("id.server".parse().unwrap()),
-            QueryOptions::default(),
         );
         assert!(out.is_timeout());
         assert_eq!(t.log.len(), 1);
+        assert_eq!(t.txid_log, vec![0x1234]);
     }
 
     #[test]
@@ -290,9 +355,10 @@ mod tests {
         let mut t = MockTransport::new();
         t.standard_public_resolvers();
         for r in default_resolvers() {
-            let out = t.query(r.v4[0], r.location_query(), QueryOptions::default());
+            let out = q(&mut t, r.v4[0], r.location_query());
             let msg = out.response().expect("response expected");
             assert!(r.is_standard_location_response(msg), "{:?}", r.key);
+            assert_eq!(msg.header.id, 0x1234, "response echoes the query txid");
         }
     }
 
@@ -302,7 +368,7 @@ mod tests {
         t.standard_public_resolvers();
         let vb = Question::chaos_txt("version.bind".parse().unwrap());
         for r in default_resolvers() {
-            let out = t.query(r.v4[0], vb.clone(), QueryOptions::default());
+            let out = q(&mut t, r.v4[0], vb.clone());
             let msg = out.response().unwrap();
             if r.key == ResolverKey::Quad9 {
                 assert_eq!(msg.answers[0].rdata.txt_string().unwrap(), "Q9-P-6.1");
@@ -319,10 +385,33 @@ mod tests {
         t.intercept_all_v4_with_forwarder("dnsmasq-2.85");
         // v4 is shadowed…
         let r = &default_resolvers()[0];
-        let out = t.query(r.v4[0], r.location_query(), QueryOptions::default());
+        let out = q(&mut t, r.v4[0], r.location_query());
         assert!(!r.is_standard_location_response(out.response().unwrap()));
         // …but v6 still answers standard.
-        let out = t.query(r.v6[0], r.location_query(), QueryOptions::default());
+        let out = q(&mut t, r.v6[0], r.location_query());
         assert!(r.is_standard_location_response(out.response().unwrap()));
+    }
+
+    #[test]
+    fn flaky_rule_times_out_then_answers() {
+        let mut t = MockTransport::new();
+        let server: IpAddr = "1.1.1.1".parse().unwrap();
+        t.push_flaky_rule(Some(vec![server]), None, None, 2, Respond::Txt("IAD".into()));
+        let question = Question::chaos_txt("id.server".parse().unwrap());
+        assert!(q(&mut t, server, question.clone()).is_timeout());
+        assert!(q(&mut t, server, question.clone()).is_timeout());
+        let out = q(&mut t, server, question);
+        assert_eq!(out.response().unwrap().answers[0].rdata.txt_string().as_deref(), Some("IAD"));
+    }
+
+    #[test]
+    fn wrong_txid_responses_carry_a_corrupted_id() {
+        let mut t = MockTransport::new();
+        let server: IpAddr = "1.1.1.1".parse().unwrap();
+        t.push_rule(None, None, None, Respond::WrongTxid(Box::new(Respond::Txt("IAD".into()))));
+        let out = q(&mut t, server, Question::chaos_txt("id.server".parse().unwrap()));
+        let msg = out.response().unwrap();
+        assert_ne!(msg.header.id, 0x1234);
+        assert_eq!(msg.header.id, 0x1234 ^ 0x5A5A);
     }
 }

@@ -235,14 +235,27 @@ pub struct ProbeReport {
     /// Transparency classification, present when intercepted and the
     /// whoami test produced evidence.
     pub transparency: Option<Transparency>,
-    /// Total DNS queries issued for this probe — the technique's cost.
+    /// Total DNS questions asked for this probe — the technique's cost.
     pub queries_sent: u32,
+    /// Total wire attempts across all questions, retries included. Equals
+    /// `queries_sent` when `QueryOptions::attempts` is 1.
+    pub wire_attempts: u32,
+    /// Questions that needed more than one attempt before an answer (or
+    /// before giving up).
+    pub retried_queries: u32,
 }
 
 impl std::fmt::Display for ProbeReport {
     /// A human-readable summary: per-resolver matrix, evidence, verdict.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "interception report ({} queries)", self.queries_sent)?;
+        if self.wire_attempts > self.queries_sent {
+            writeln!(
+                f,
+                "  ({} wire attempts; {} queries retried)",
+                self.wire_attempts, self.retried_queries
+            )?;
+        }
         for (family, side) in [("v4", &self.matrix.v4), ("v6", &self.matrix.v6)] {
             for (key, result) in side.iter() {
                 let text = match result {
@@ -342,9 +355,12 @@ mod tests {
             location: None,
             transparency: None,
             queries_sent: 16,
+            wire_attempts: 16,
+            retried_queries: 0,
         };
         let text = clean.to_string();
         assert!(text.contains("not intercepted"));
+        assert!(!text.contains("wire attempts"), "single-shot reports omit the retry line");
 
         let mut matrix = InterceptionMatrix::default();
         matrix.v4.google = LocationTestResult::NonStandard { observed: "NOTIMP".into() };
@@ -360,12 +376,15 @@ mod tests {
             location: Some(InterceptorLocation::Cpe),
             transparency: Some(Transparency::Transparent),
             queries_sent: 21,
+            wire_attempts: 25,
+            retried_queries: 3,
         };
         let text = hijacked.to_string();
         assert!(text.contains("NON-STANDARD (NOTIMP)"));
         assert!(text.contains("intercepted at CPE"));
         assert!(text.contains("dnsmasq-2.85"));
         assert!(text.contains("Transparent"));
+        assert!(text.contains("25 wire attempts; 3 queries retried"));
     }
 
     #[test]
@@ -378,6 +397,8 @@ mod tests {
             location: None,
             transparency: None,
             queries_sent: 16,
+            wire_attempts: 16,
+            retried_queries: 0,
         };
         let json = serde_json::to_string(&report).unwrap();
         let back: ProbeReport = serde_json::from_str(&json).unwrap();

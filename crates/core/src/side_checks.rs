@@ -15,7 +15,9 @@
 //! Both checks are *corroborating*, not primary: the location queries of
 //! step 1 remain the detection workhorse.
 
-use crate::transport::{QueryOptions, QueryOutcome, QueryTransport};
+use crate::transport::{
+    query_with_retry, QueryOptions, QueryOutcome, QueryTransport, TxidSequence,
+};
 use dns_wire::{Name, Question, RData, RType, Rcode};
 use serde::{Deserialize, Serialize};
 use std::net::IpAddr;
@@ -38,10 +40,11 @@ pub fn ad_downgrade_check<T: QueryTransport>(
     transport: &mut T,
     server: IpAddr,
     signed_name: &Name,
+    txids: &mut TxidSequence,
     opts: QueryOptions,
 ) -> AdVerdict {
     let q = Question::new(signed_name.clone(), RType::A);
-    match transport.query(server, q, opts) {
+    match query_with_retry(transport, server, &q, txids, opts).outcome {
         QueryOutcome::Response(m) if m.header.rcode == Rcode::NoError => {
             if m.header.ad {
                 AdVerdict::Authenticated
@@ -73,10 +76,11 @@ pub fn nxdomain_wildcard_check<T: QueryTransport>(
     transport: &mut T,
     server: IpAddr,
     nonexistent_name: &Name,
+    txids: &mut TxidSequence,
     opts: QueryOptions,
 ) -> WildcardVerdict {
     let q = Question::new(nonexistent_name.clone(), RType::A);
-    match transport.query(server, q, opts) {
+    match query_with_retry(transport, server, &q, txids, opts).outcome {
         QueryOutcome::Response(m) => match m.header.rcode {
             Rcode::NxDomain => WildcardVerdict::Honest,
             Rcode::NoError => {
@@ -109,20 +113,33 @@ mod tests {
         "8.8.8.8".parse().unwrap()
     }
 
+    fn txids() -> TxidSequence {
+        TxidSequence::new(0x3000)
+    }
+
     #[test]
     fn ad_check_classifies_by_bit() {
         // The mock never sets AD, so a NOERROR answer reads as downgraded…
         let mut t = MockTransport::new();
         let name: Name = "example.com".parse().unwrap();
         t.push_rule(None, Some(name.clone()), None, Respond::A("1.2.3.4".parse().unwrap()));
-        assert_eq!(ad_downgrade_check(&mut t, server(), &name, opts()), AdVerdict::Downgraded);
+        assert_eq!(
+            ad_downgrade_check(&mut t, server(), &name, &mut txids(), opts()),
+            AdVerdict::Downgraded
+        );
         // …silence is inconclusive…
         let mut t = MockTransport::new();
-        assert_eq!(ad_downgrade_check(&mut t, server(), &name, opts()), AdVerdict::Inconclusive);
+        assert_eq!(
+            ad_downgrade_check(&mut t, server(), &name, &mut txids(), opts()),
+            AdVerdict::Inconclusive
+        );
         // …and errors are inconclusive too.
         let mut t = MockTransport::new();
         t.push_rule(None, Some(name.clone()), None, Respond::Rcode(Rcode::ServFail));
-        assert_eq!(ad_downgrade_check(&mut t, server(), &name, opts()), AdVerdict::Inconclusive);
+        assert_eq!(
+            ad_downgrade_check(&mut t, server(), &name, &mut txids(), opts()),
+            AdVerdict::Inconclusive
+        );
     }
 
     #[test]
@@ -130,19 +147,50 @@ mod tests {
         let name: Name = "nonexistent-canary.example".parse().unwrap();
         let mut t = MockTransport::new();
         t.push_rule(None, Some(name.clone()), None, Respond::Rcode(Rcode::NxDomain));
-        assert_eq!(nxdomain_wildcard_check(&mut t, server(), &name, opts()), WildcardVerdict::Honest);
+        assert_eq!(
+            nxdomain_wildcard_check(&mut t, server(), &name, &mut txids(), opts()),
+            WildcardVerdict::Honest
+        );
 
         let mut t = MockTransport::new();
         t.push_rule(None, Some(name.clone()), None, Respond::A("75.75.0.99".parse().unwrap()));
         assert_eq!(
-            nxdomain_wildcard_check(&mut t, server(), &name, opts()),
+            nxdomain_wildcard_check(&mut t, server(), &name, &mut txids(), opts()),
             WildcardVerdict::Wildcarded { substituted: "75.75.0.99".parse().unwrap() }
         );
 
         let mut t = MockTransport::new();
         assert_eq!(
-            nxdomain_wildcard_check(&mut t, server(), &name, opts()),
+            nxdomain_wildcard_check(&mut t, server(), &name, &mut txids(), opts()),
             WildcardVerdict::Inconclusive
+        );
+    }
+
+    #[test]
+    fn retries_rescue_a_flaky_signed_answer() {
+        // First two attempts lost, third answers: at attempts=3 the check
+        // still reaches a verdict instead of Inconclusive.
+        let name: Name = "example.com".parse().unwrap();
+        let make = || {
+            let mut t = MockTransport::new();
+            t.push_flaky_rule(
+                None,
+                Some(name.clone()),
+                None,
+                2,
+                Respond::A("1.2.3.4".parse().unwrap()),
+            );
+            t
+        };
+        let single = QueryOptions { attempts: 1, ..opts() };
+        assert_eq!(
+            ad_downgrade_check(&mut make(), server(), &name, &mut txids(), single),
+            AdVerdict::Inconclusive
+        );
+        let retried = QueryOptions { attempts: 3, ..opts() };
+        assert_eq!(
+            ad_downgrade_check(&mut make(), server(), &name, &mut txids(), retried),
+            AdVerdict::Downgraded
         );
     }
 }

@@ -7,6 +7,13 @@
 //! a response or a timeout. The simulator provides one implementation; a
 //! real `UdpSocket`-backed one could be added without touching the
 //! algorithm.
+//!
+//! Transaction IDs are allocated by the *caller* and passed down to the
+//! transport, which must both stamp them on the wire and reject responses
+//! carrying a different ID. Retries live above the transport in
+//! [`query_with_retry`]: each attempt re-sends with a fresh ID so a late
+//! response to a previous attempt can never be mistaken for the current
+//! one.
 
 use dns_wire::{Message, Question};
 use std::net::IpAddr;
@@ -21,12 +28,21 @@ pub struct QueryOptions {
     /// systems — exactly the §6 caveat; the simulated transport supports
     /// it freely, which is what the TTL-scan extension exploits.
     pub ttl: Option<u8>,
+    /// Total send attempts per question (minimum 1). The paper's pipeline
+    /// is single-shot and conservatively treats timeouts as *not*
+    /// interception (§3.1); raising this recovers answers from lossy last
+    /// miles without weakening that rule — a query only stays a timeout if
+    /// every attempt went unanswered.
+    pub attempts: u32,
+    /// Pause between attempts, in milliseconds. `0` retries immediately.
+    pub retry_backoff_ms: u64,
 }
 
 impl Default for QueryOptions {
     fn default() -> Self {
-        // RIPE Atlas uses a 5-second UDP timeout; we default to the same.
-        QueryOptions { timeout_ms: 5_000, ttl: None }
+        // RIPE Atlas uses a 5-second UDP timeout; we default to the same
+        // single-shot behavior the paper's measurements had.
+        QueryOptions { timeout_ms: 5_000, ttl: None, attempts: 1, retry_backoff_ms: 0 }
     }
 }
 
@@ -59,13 +75,236 @@ impl QueryOutcome {
 
 /// Anything that can carry a DNS question to a server address.
 pub trait QueryTransport {
-    /// Sends `question` to `server` and waits for a source-matching reply.
-    fn query(&mut self, server: IpAddr, question: Question, opts: QueryOptions) -> QueryOutcome;
+    /// Sends `question` to `server` with transaction ID `txid` and waits
+    /// for a source-matching reply. Implementations must stamp `txid` on
+    /// the outgoing message and drop replies whose header ID differs.
+    fn query(
+        &mut self,
+        server: IpAddr,
+        question: Question,
+        txid: u16,
+        opts: QueryOptions,
+    ) -> QueryOutcome;
+
+    /// Waits `ms` milliseconds between retry attempts. Real transports
+    /// sleep; simulated ones advance virtual time; mocks do nothing.
+    fn backoff(&mut self, _ms: u64) {}
 }
 
 /// Blanket implementation so `&mut T` works wherever `T` does.
 impl<T: QueryTransport + ?Sized> QueryTransport for &mut T {
-    fn query(&mut self, server: IpAddr, question: Question, opts: QueryOptions) -> QueryOutcome {
-        (**self).query(server, question, opts)
+    fn query(
+        &mut self,
+        server: IpAddr,
+        question: Question,
+        txid: u16,
+        opts: QueryOptions,
+    ) -> QueryOutcome {
+        (**self).query(server, question, txid, opts)
+    }
+
+    fn backoff(&mut self, ms: u64) {
+        (**self).backoff(ms)
+    }
+}
+
+/// Deterministic allocator of DNS transaction IDs.
+///
+/// Every query — including each retry attempt — draws a fresh ID, so runs
+/// stay reproducible and a response can always be matched to exactly one
+/// in-flight attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxidSequence {
+    next: u16,
+}
+
+impl TxidSequence {
+    /// Starts the sequence at `start`.
+    pub fn new(start: u16) -> TxidSequence {
+        TxidSequence { next: start }
+    }
+
+    /// Returns the next ID, advancing the sequence (wrapping at `u16::MAX`).
+    /// Not an `Iterator`: the sequence is infinite and yields plain `u16`s.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u16 {
+        let id = self.next;
+        self.next = self.next.wrapping_add(1);
+        id
+    }
+}
+
+/// Outcome of [`query_with_retry`]: the final result plus how many wire
+/// attempts it took to get there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetriedQuery {
+    /// The final outcome: the first accepted response, or `Timeout` if
+    /// every attempt went unanswered.
+    pub outcome: QueryOutcome,
+    /// Wire attempts actually made (1..=`opts.attempts`).
+    pub attempts_used: u32,
+}
+
+/// Sends `question` up to `opts.attempts` times, with a fresh transaction
+/// ID per attempt and `opts.retry_backoff_ms` between attempts.
+///
+/// A response whose header ID does not match the attempt's ID is treated
+/// as if no response arrived — the stale-txid defense — so a late answer
+/// to an earlier attempt (or a blindly spoofed one) cannot satisfy the
+/// query. With `attempts == 1` this is exactly one transport call:
+/// single-shot pipelines are reproduced bit-for-bit.
+pub fn query_with_retry<T: QueryTransport>(
+    transport: &mut T,
+    server: IpAddr,
+    question: &Question,
+    txids: &mut TxidSequence,
+    opts: QueryOptions,
+) -> RetriedQuery {
+    let attempts = opts.attempts.max(1);
+    for attempt in 0..attempts {
+        if attempt > 0 && opts.retry_backoff_ms > 0 {
+            transport.backoff(opts.retry_backoff_ms);
+        }
+        let txid = txids.next();
+        match transport.query(server, question.clone(), txid, opts) {
+            QueryOutcome::Response(msg) if msg.header.id == txid => {
+                return RetriedQuery {
+                    outcome: QueryOutcome::Response(msg),
+                    attempts_used: attempt + 1,
+                };
+            }
+            // Wrong-ID responses and timeouts both burn the attempt.
+            QueryOutcome::Response(_) | QueryOutcome::Timeout => {}
+        }
+    }
+    RetriedQuery { outcome: QueryOutcome::Timeout, attempts_used: attempts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::Rcode;
+
+    /// Scripted transport: pops one canned reaction per query call.
+    struct Script {
+        reactions: Vec<Reaction>,
+        calls: u32,
+        backoffs: Vec<u64>,
+        txids_seen: Vec<u16>,
+    }
+
+    enum Reaction {
+        Timeout,
+        Answer,
+        WrongTxid,
+    }
+
+    impl Script {
+        fn new(reactions: Vec<Reaction>) -> Script {
+            Script { reactions, calls: 0, backoffs: Vec::new(), txids_seen: Vec::new() }
+        }
+    }
+
+    impl QueryTransport for Script {
+        fn query(
+            &mut self,
+            _server: IpAddr,
+            question: Question,
+            txid: u16,
+            _opts: QueryOptions,
+        ) -> QueryOutcome {
+            let idx = self.calls as usize;
+            self.calls += 1;
+            self.txids_seen.push(txid);
+            match self.reactions.get(idx).unwrap_or(&Reaction::Timeout) {
+                Reaction::Timeout => QueryOutcome::Timeout,
+                Reaction::Answer => {
+                    let q = Message::query(txid, question);
+                    QueryOutcome::Response(Message::response_to(&q, Rcode::NoError))
+                }
+                Reaction::WrongTxid => {
+                    let q = Message::query(txid.wrapping_add(1), question);
+                    QueryOutcome::Response(Message::response_to(&q, Rcode::NoError))
+                }
+            }
+        }
+
+        fn backoff(&mut self, ms: u64) {
+            self.backoffs.push(ms);
+        }
+    }
+
+    fn opts(attempts: u32, backoff: u64) -> QueryOptions {
+        QueryOptions { attempts, retry_backoff_ms: backoff, ..QueryOptions::default() }
+    }
+
+    fn ask(t: &mut Script, o: QueryOptions) -> RetriedQuery {
+        let server: IpAddr = "192.0.2.1".parse().unwrap();
+        let q = Question::new("example.com".parse().unwrap(), dns_wire::RType::A);
+        let mut txids = TxidSequence::new(0x4000);
+        query_with_retry(t, server, &q, &mut txids, o)
+    }
+
+    #[test]
+    fn single_attempt_is_one_transport_call() {
+        let mut t = Script::new(vec![Reaction::Answer]);
+        let r = ask(&mut t, opts(1, 50));
+        assert_eq!(r.attempts_used, 1);
+        assert!(!r.outcome.is_timeout());
+        assert_eq!(t.calls, 1);
+        assert!(t.backoffs.is_empty());
+    }
+
+    #[test]
+    fn retries_recover_from_early_timeouts() {
+        let mut t = Script::new(vec![Reaction::Timeout, Reaction::Timeout, Reaction::Answer]);
+        let r = ask(&mut t, opts(3, 100));
+        assert_eq!(r.attempts_used, 3);
+        assert!(!r.outcome.is_timeout());
+        // Backoff runs before attempts 2 and 3, never before the first.
+        assert_eq!(t.backoffs, vec![100, 100]);
+        // Each attempt used a fresh ID.
+        assert_eq!(t.txids_seen, vec![0x4000, 0x4001, 0x4002]);
+    }
+
+    #[test]
+    fn all_attempts_exhausted_is_a_timeout() {
+        let mut t = Script::new(vec![Reaction::Timeout, Reaction::Timeout]);
+        let r = ask(&mut t, opts(2, 0));
+        assert_eq!(r.attempts_used, 2);
+        assert!(r.outcome.is_timeout());
+        assert!(t.backoffs.is_empty(), "zero backoff never calls backoff()");
+    }
+
+    #[test]
+    fn wrong_txid_responses_are_dropped_and_retried() {
+        let mut t = Script::new(vec![Reaction::WrongTxid, Reaction::Answer]);
+        let r = ask(&mut t, opts(2, 0));
+        assert_eq!(r.attempts_used, 2);
+        let msg = r.outcome.response().expect("second attempt answered");
+        assert_eq!(msg.header.id, 0x4001);
+    }
+
+    #[test]
+    fn wrong_txid_with_one_attempt_is_a_timeout() {
+        let mut t = Script::new(vec![Reaction::WrongTxid]);
+        let r = ask(&mut t, opts(1, 0));
+        assert!(r.outcome.is_timeout());
+        assert_eq!(r.attempts_used, 1);
+    }
+
+    #[test]
+    fn zero_attempts_is_clamped_to_one() {
+        let mut t = Script::new(vec![Reaction::Answer]);
+        let r = ask(&mut t, opts(0, 0));
+        assert_eq!(r.attempts_used, 1);
+        assert_eq!(t.calls, 1);
+    }
+
+    #[test]
+    fn txid_sequence_wraps() {
+        let mut s = TxidSequence::new(u16::MAX);
+        assert_eq!(s.next(), u16::MAX);
+        assert_eq!(s.next(), 0);
     }
 }

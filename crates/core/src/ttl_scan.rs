@@ -23,7 +23,9 @@
 //! known-clean baseline (or against the CPE distance of 1) localizes the
 //! interceptor to a hop count — finer than the paper's three-way verdict.
 
-use crate::transport::{QueryOptions, QueryOutcome, QueryTransport};
+use crate::transport::{
+    query_with_retry, QueryOptions, QueryOutcome, QueryTransport, TxidSequence,
+};
 use dns_wire::Question;
 use serde::{Deserialize, Serialize};
 use std::net::IpAddr;
@@ -35,7 +37,8 @@ pub struct TtlScanResult {
     pub first_response_ttl: Option<u8>,
     /// Largest TTL probed.
     pub max_ttl_probed: u8,
-    /// Queries spent.
+    /// Wire attempts spent (equals TTLs probed when
+    /// `QueryOptions::attempts` is 1).
     pub queries_sent: u32,
 }
 
@@ -57,14 +60,16 @@ pub fn ttl_scan<T: QueryTransport>(
     server: IpAddr,
     question: &Question,
     max_ttl: u8,
+    txids: &mut TxidSequence,
     base_opts: QueryOptions,
 ) -> TtlScanResult {
     let max_ttl = max_ttl.max(1);
     let mut queries_sent = 0;
     for ttl in 1..=max_ttl {
         let opts = QueryOptions { ttl: Some(ttl), ..base_opts };
-        queries_sent += 1;
-        if let QueryOutcome::Response(_) = transport.query(server, question.clone(), opts) {
+        let retried = query_with_retry(transport, server, question, txids, opts);
+        queries_sent += retried.attempts_used;
+        if let QueryOutcome::Response(_) = retried.outcome {
             return TtlScanResult { first_response_ttl: Some(ttl), max_ttl_probed: ttl, queries_sent };
         }
     }
@@ -113,10 +118,16 @@ mod tests {
     }
 
     impl QueryTransport for HopGate {
-        fn query(&mut self, server: IpAddr, q: Question, opts: QueryOptions) -> QueryOutcome {
+        fn query(
+            &mut self,
+            server: IpAddr,
+            q: Question,
+            txid: u16,
+            opts: QueryOptions,
+        ) -> QueryOutcome {
             match opts.ttl {
                 Some(ttl) if ttl < self.answer_at => QueryOutcome::Timeout,
-                _ => self.inner.query(server, q, opts),
+                _ => self.inner.query(server, q, txid, opts),
             }
         }
     }
@@ -134,7 +145,7 @@ mod tests {
     #[test]
     fn scan_finds_first_answering_ttl() {
         let mut t = gate(4);
-        let r = ttl_scan(&mut t, "1.1.1.1".parse().unwrap(), &q(), 8, QueryOptions::default());
+        let r = ttl_scan(&mut t, "1.1.1.1".parse().unwrap(), &q(), 8, &mut TxidSequence::new(0x6000), QueryOptions::default());
         assert_eq!(r.first_response_ttl, Some(4));
         assert_eq!(r.queries_sent, 4);
     }
@@ -142,7 +153,7 @@ mod tests {
     #[test]
     fn scan_gives_up_past_budget() {
         let mut t = gate(10);
-        let r = ttl_scan(&mut t, "1.1.1.1".parse().unwrap(), &q(), 5, QueryOptions::default());
+        let r = ttl_scan(&mut t, "1.1.1.1".parse().unwrap(), &q(), 5, &mut TxidSequence::new(0x6000), QueryOptions::default());
         assert_eq!(r.first_response_ttl, None);
         assert_eq!(r.queries_sent, 5);
     }
@@ -150,7 +161,7 @@ mod tests {
     #[test]
     fn hop_one_means_cpe() {
         let mut t = gate(1);
-        let r = ttl_scan(&mut t, "1.1.1.1".parse().unwrap(), &q(), 8, QueryOptions::default());
+        let r = ttl_scan(&mut t, "1.1.1.1".parse().unwrap(), &q(), 8, &mut TxidSequence::new(0x6000), QueryOptions::default());
         assert!(r.answered_at_first_hop());
         let baseline = TtlScanResult { first_response_ttl: Some(5), max_ttl_probed: 5, queries_sent: 5 };
         assert_eq!(interpret(&r, &baseline), TtlVerdict::AnsweredByCpe);

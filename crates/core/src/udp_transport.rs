@@ -10,17 +10,19 @@
 //! platform allows it without privileges; on failure the query proceeds
 //! with the default TTL (mirroring the §6 observation that TTL games need
 //! more privilege than DNS itself).
+//!
+//! Transaction IDs are supplied by the caller (see
+//! [`crate::TxidSequence`]); the transport stamps them on the wire and
+//! rejects responses carrying any other ID.
 
 use crate::transport::{QueryOptions, QueryOutcome, QueryTransport};
 use dns_wire::{Message, Question};
 use std::net::{IpAddr, SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
 
-/// UDP transport state: a transaction-id counter (deterministic per run,
-/// randomized by the starting value) and statistics.
+/// UDP transport state: socket configuration and statistics.
 #[derive(Debug)]
 pub struct UdpTransport {
-    next_txid: u16,
     /// Local address to bind (e.g. to pick an interface); `None` binds the
     /// unspecified address of the server's family.
     pub bind_addr: Option<IpAddr>,
@@ -33,15 +35,9 @@ pub struct UdpTransport {
 }
 
 impl UdpTransport {
-    /// Creates a transport whose transaction IDs start at `initial_txid`.
-    pub fn new(initial_txid: u16) -> UdpTransport {
-        UdpTransport { next_txid: initial_txid, bind_addr: None, port: 53, sent: 0, received: 0 }
-    }
-
-    fn alloc_txid(&mut self) -> u16 {
-        let id = self.next_txid;
-        self.next_txid = self.next_txid.wrapping_add(1);
-        id
+    /// Creates a transport with default socket settings.
+    pub fn new() -> UdpTransport {
+        UdpTransport { bind_addr: None, port: 53, sent: 0, received: 0 }
     }
 
     fn bind_for(&self, server: IpAddr) -> std::io::Result<UdpSocket> {
@@ -56,17 +52,18 @@ impl UdpTransport {
 
 impl Default for UdpTransport {
     fn default() -> Self {
-        // Derive a starting txid from the process-unique socket ephemeral
-        // port on first use is overkill; a fixed default keeps runs
-        // reproducible, and the per-query connected socket already defeats
-        // off-path spoofing in this measurement context.
-        UdpTransport::new(0x5244)
+        UdpTransport::new()
     }
 }
 
 impl QueryTransport for UdpTransport {
-    fn query(&mut self, server: IpAddr, question: Question, opts: QueryOptions) -> QueryOutcome {
-        let txid = self.alloc_txid();
+    fn query(
+        &mut self,
+        server: IpAddr,
+        question: Question,
+        txid: u16,
+        opts: QueryOptions,
+    ) -> QueryOutcome {
         let msg = Message::query(txid, question);
         let Ok(payload) = msg.encode() else { return QueryOutcome::Timeout };
 
@@ -109,11 +106,16 @@ impl QueryTransport for UdpTransport {
             }
         }
     }
+
+    fn backoff(&mut self, ms: u64) {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::{query_with_retry, TxidSequence};
     use dns_wire::{RData, RType, Rcode, Record};
     use std::net::Ipv4Addr;
     use std::sync::mpsc;
@@ -152,17 +154,18 @@ mod tests {
         Question::new("example.com".parse().unwrap(), RType::A)
     }
 
+    fn opts(timeout_ms: u64) -> QueryOptions {
+        QueryOptions { timeout_ms, ..QueryOptions::default() }
+    }
+
     #[test]
     fn loopback_roundtrip() {
         let mut t = UdpTransport::default();
         t.port = spawn_loopback_server(1, false);
-        let out = t.query(
-            "127.0.0.1".parse().unwrap(),
-            a_question(),
-            QueryOptions { timeout_ms: 2_000, ttl: None },
-        );
+        let out = t.query("127.0.0.1".parse().unwrap(), a_question(), 0x5244, opts(2_000));
         let resp = out.response().expect("loopback answer");
         assert_eq!(resp.answers[0].rdata, RData::A("93.184.216.34".parse().unwrap()));
+        assert_eq!(resp.header.id, 0x5244);
         assert_eq!(t.sent, 1);
         assert_eq!(t.received, 1);
     }
@@ -171,11 +174,7 @@ mod tests {
     fn mismatched_txid_is_rejected_until_timeout() {
         let mut t = UdpTransport::default();
         t.port = spawn_loopback_server(1, true);
-        let out = t.query(
-            "127.0.0.1".parse().unwrap(),
-            a_question(),
-            QueryOptions { timeout_ms: 300, ttl: None },
-        );
+        let out = t.query("127.0.0.1".parse().unwrap(), a_question(), 0x5244, opts(300));
         assert!(out.is_timeout());
         assert_eq!(t.received, 0);
     }
@@ -187,22 +186,38 @@ mod tests {
         let mut t = UdpTransport::default();
         t.port = silent.local_addr().unwrap().port();
         let started = Instant::now();
-        let out = t.query(
-            "127.0.0.1".parse().unwrap(),
-            a_question(),
-            QueryOptions { timeout_ms: 200, ttl: None },
-        );
+        let out = t.query("127.0.0.1".parse().unwrap(), a_question(), 0x5244, opts(200));
         assert!(out.is_timeout());
         assert!(started.elapsed() >= Duration::from_millis(180));
     }
 
     #[test]
-    fn txids_increment() {
-        let mut t = UdpTransport::new(10);
-        assert_eq!(t.alloc_txid(), 10);
-        assert_eq!(t.alloc_txid(), 11);
-        let mut t = UdpTransport::new(u16::MAX);
-        assert_eq!(t.alloc_txid(), u16::MAX);
-        assert_eq!(t.alloc_txid(), 0);
+    fn retry_recovers_from_a_wrong_txid_server() {
+        // The server answers two queries: the first reply carries a bad ID
+        // (rejected in the transport), the second query gets... also a bad
+        // ID — so even with retries the outcome stays Timeout, proving the
+        // pipeline never accepts a mismatched response.
+        let mut t = UdpTransport::default();
+        t.port = spawn_loopback_server(2, true);
+        let mut txids = TxidSequence::new(0x5244);
+        let r = query_with_retry(
+            &mut t,
+            "127.0.0.1".parse().unwrap(),
+            &a_question(),
+            &mut txids,
+            QueryOptions { timeout_ms: 200, attempts: 2, ..QueryOptions::default() },
+        );
+        assert!(r.outcome.is_timeout());
+        assert_eq!(r.attempts_used, 2);
+        assert_eq!(t.sent, 2);
+        assert_eq!(t.received, 0);
+    }
+
+    #[test]
+    fn backoff_sleeps() {
+        let mut t = UdpTransport::default();
+        let started = Instant::now();
+        t.backoff(50);
+        assert!(started.elapsed() >= Duration::from_millis(45));
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for the locator: validators never panic on
 //! arbitrary response content, and classification invariants hold.
 
-use dns_wire::{Message, Question, RData, Rcode, Record};
+use dns_wire::{Message, RData, Rcode, Record};
 use locator::{
     default_resolvers, HijackLocator, InterceptorLocation, LocatorConfig, MockTransport,
     Respond,

@@ -11,7 +11,8 @@ use crate::isp::{IspProfile, MiddleboxSpec, RedirectTarget, ResolverMode};
 use cpe::{models, CpeConfig, CpeDevice, DnsMode};
 use locator::{InterceptorLocation, LocatorConfig, ResolverKey};
 use netsim::{
-    Cidr, DnatRule, Host, IfaceId, NatEngine, NodeId, Proto, Router, SimDuration, Simulator,
+    BurstLoss, Cidr, DnatRule, FaultProfile, Host, IfaceId, LateDelivery, NatEngine, NodeId,
+    Proto, Router, SimDuration, Simulator,
 };
 use resolver_sim::{
     PublicBrand, PublicResolverSite, RecursiveResolver, ResolveCtx, SoftwareProfile, ZoneDb,
@@ -172,6 +173,17 @@ pub struct HomeScenario {
     /// Loss probability on the home's upstream link (flaky probes; lost
     /// queries become timeouts, which the technique treats conservatively).
     pub upstream_loss: f64,
+    /// Seeded burst loss on the upstream link: line flaps that eat several
+    /// consecutive packets, the failure mode a single retry rides out but
+    /// uniform loss cannot reproduce.
+    pub upstream_burst: Option<BurstLoss>,
+    /// Probability that an upstream traversal is delivered twice (duplicate
+    /// responses must not double-count or confuse the locator).
+    pub upstream_duplicate: f64,
+    /// Late delivery on the upstream link: responses that arrive after the
+    /// stub's timeout, draining into a later attempt's receive window with
+    /// a stale transaction ID.
+    pub upstream_late: Option<LateDelivery>,
     /// Run the ISP resolver as a *real iterative resolver* that walks
     /// packet-level authoritative servers (root → authoritative) instead
     /// of the instant zone-database recursor. Slower per probe; used by
@@ -202,6 +214,9 @@ impl HomeScenario {
             probe_has_v6: true,
             region: Region::NaEast,
             upstream_loss: 0.0,
+            upstream_burst: None,
+            upstream_duplicate: 0.0,
+            upstream_late: None,
             iterative_isp_resolver: false,
             background_clients: 0,
             inner_router: None,
@@ -808,7 +823,17 @@ impl HomeScenario {
             }
             None => (cpe, cpe::WAN),
         };
-        sim.connect_lossy(cpe_upstream, (edge, IfaceId(0)), ms(2), self.upstream_loss);
+        sim.connect_faulty(
+            cpe_upstream,
+            (edge, IfaceId(0)),
+            ms(2),
+            FaultProfile {
+                loss: self.upstream_loss,
+                burst: self.upstream_burst,
+                duplicate: self.upstream_duplicate,
+                late: self.upstream_late,
+            },
+        );
         if isp.resolver_in_as {
             sim.connect((edge, IfaceId(1)), (isp_resolver, IfaceId(0)), ms(3));
         }

@@ -7,6 +7,13 @@
 //! response whose source address matches the queried server — the same
 //! connected-UDP-socket check a real stub resolver performs, and the reason
 //! interceptors must spoof (§2).
+//!
+//! Transaction IDs are supplied by the caller (the locator's
+//! [`locator::TxidSequence`]); the transport stamps them on the wire and the
+//! receive loop rejects any response carrying a different ID. The
+//! [`corrupt_response_txid_xor`](SimTransport::corrupt_response_txid_xor)
+//! knob models a middlebox that rewrites IDs in flight, which must read as a
+//! timeout — never as an accepted answer.
 
 use crate::scenario::BuiltScenario;
 use dns_wire::{Message, Question};
@@ -19,22 +26,24 @@ pub struct SimTransport {
     /// The scenario being measured (public so harnesses can inspect ground
     /// truth and device state afterwards).
     pub scenario: BuiltScenario,
-    next_txid: u16,
     next_sport: u16,
     /// Queries injected so far.
     pub queries_injected: u64,
+    /// XOR mask applied to the transaction ID of every response as it comes
+    /// off the wire — 0 leaves responses untouched. Models an interceptor
+    /// that answers with a stale or rewritten ID.
+    pub corrupt_response_txid_xor: u16,
 }
 
 impl SimTransport {
     /// Wraps a scenario.
     pub fn new(scenario: BuiltScenario) -> SimTransport {
-        SimTransport { scenario, next_txid: 0x2000, next_sport: 40000, queries_injected: 0 }
-    }
-
-    fn alloc_txid(&mut self) -> u16 {
-        let id = self.next_txid;
-        self.next_txid = self.next_txid.wrapping_add(1);
-        id
+        SimTransport {
+            scenario,
+            next_sport: 40000,
+            queries_injected: 0,
+            corrupt_response_txid_xor: 0,
+        }
     }
 
     fn alloc_sport(&mut self) -> u16 {
@@ -45,8 +54,13 @@ impl SimTransport {
 }
 
 impl QueryTransport for SimTransport {
-    fn query(&mut self, server: IpAddr, question: Question, opts: QueryOptions) -> QueryOutcome {
-        let txid = self.alloc_txid();
+    fn query(
+        &mut self,
+        server: IpAddr,
+        question: Question,
+        txid: u16,
+        opts: QueryOptions,
+    ) -> QueryOutcome {
         let sport = self.alloc_sport();
         let msg = Message::query(txid, question);
         let Ok(payload) = msg.encode() else { return QueryOutcome::Timeout };
@@ -87,12 +101,22 @@ impl QueryTransport for SimTransport {
             if udp.dst_port != sport || udp.src_port != 53 {
                 continue;
             }
-            let Ok(resp) = Message::parse(&udp.payload) else { continue };
+            let Ok(mut resp) = Message::parse(&udp.payload) else { continue };
+            resp.header.id ^= self.corrupt_response_txid_xor;
             if resp.header.id == txid && resp.header.qr {
                 return QueryOutcome::Response(resp);
             }
         }
         QueryOutcome::Timeout
+    }
+
+    fn backoff(&mut self, ms: u64) {
+        // No wall-clock sleep in simulation: advance virtual time instead,
+        // which also lets late responses from the previous attempt drain
+        // into (and be rejected by) a later receive window.
+        let sim = &mut self.scenario.sim;
+        let deadline = sim.now() + SimDuration::from_millis(ms);
+        sim.run_until(deadline);
     }
 }
 
@@ -101,7 +125,7 @@ mod tests {
     use super::*;
     use crate::scenario::HomeScenario;
     use dns_wire::{RData, RType};
-    use locator::default_resolvers;
+    use locator::{default_resolvers, query_with_retry, TxidSequence};
 
     fn opts() -> QueryOptions {
         QueryOptions::default()
@@ -110,8 +134,8 @@ mod tests {
     #[test]
     fn clean_scenario_reaches_real_resolvers() {
         let mut t = SimTransport::new(HomeScenario::clean().build());
-        for resolver in default_resolvers() {
-            let out = t.query(resolver.v4[0], resolver.location_query(), opts());
+        for (i, resolver) in default_resolvers().into_iter().enumerate() {
+            let out = t.query(resolver.v4[0], resolver.location_query(), 0x2000 + i as u16, opts());
             let msg = out.response().unwrap_or_else(|| panic!("timeout for {:?}", resolver.key));
             assert!(
                 resolver.is_standard_location_response(msg),
@@ -125,8 +149,8 @@ mod tests {
     #[test]
     fn clean_scenario_v6_works_too() {
         let mut t = SimTransport::new(HomeScenario::clean().build());
-        for resolver in default_resolvers() {
-            let out = t.query(resolver.v6[0], resolver.location_query(), opts());
+        for (i, resolver) in default_resolvers().into_iter().enumerate() {
+            let out = t.query(resolver.v6[0], resolver.location_query(), 0x2100 + i as u16, opts());
             let msg = out.response().expect("v6 response");
             assert!(resolver.is_standard_location_response(msg), "{:?}", resolver.key);
         }
@@ -136,16 +160,17 @@ mod tests {
     fn ordinary_resolution_works_through_clean_path() {
         let mut t = SimTransport::new(HomeScenario::clean().build());
         let q = Question::new("example.com".parse().unwrap(), RType::A);
-        let out = t.query("8.8.8.8".parse().unwrap(), q, opts());
+        let out = t.query("8.8.8.8".parse().unwrap(), q, 0x2000, opts());
         let msg = out.response().expect("response");
         assert_eq!(msg.answers[0].rdata, RData::A("93.184.216.34".parse().unwrap()));
+        assert_eq!(msg.header.id, 0x2000);
     }
 
     #[test]
     fn bogon_queries_die_at_the_border_when_clean() {
         let mut t = SimTransport::new(HomeScenario::clean().build());
         let q = Question::new("probe.dns-hijack-study.example".parse().unwrap(), RType::A);
-        let out = t.query("198.51.100.53".parse().unwrap(), q, opts());
+        let out = t.query("198.51.100.53".parse().unwrap(), q, 0x2000, opts());
         assert!(out.is_timeout());
     }
 
@@ -155,7 +180,7 @@ mod tests {
         // even though Google never saw it.
         let mut t = SimTransport::new(HomeScenario::xb6_case_study().build());
         let q = Question::new("example.com".parse().unwrap(), RType::A);
-        let out = t.query("8.8.8.8".parse().unwrap(), q, opts());
+        let out = t.query("8.8.8.8".parse().unwrap(), q, 0x2000, opts());
         assert!(out.response().is_some());
     }
 
@@ -164,7 +189,7 @@ mod tests {
         let mut t =
             SimTransport::new(HomeScenario { probe_has_v6: false, ..HomeScenario::clean() }.build());
         let q = Question::chaos_txt("id.server".parse().unwrap());
-        let out = t.query("2606:4700:4700::1111".parse().unwrap(), q, opts());
+        let out = t.query("2606:4700:4700::1111".parse().unwrap(), q, 0x2000, opts());
         assert!(out.is_timeout());
     }
 
@@ -173,8 +198,43 @@ mod tests {
         let mut t = SimTransport::new(HomeScenario::clean().build());
         let q = Question::chaos_txt("id.server".parse().unwrap());
         let before = t.scenario.sim.now();
-        t.query("1.1.1.1".parse().unwrap(), q, opts());
+        t.query("1.1.1.1".parse().unwrap(), q, 0x2000, opts());
         let after = t.scenario.sim.now();
         assert_eq!(after.duration_since(before), SimDuration::from_millis(5_000));
+    }
+
+    #[test]
+    fn corrupted_txid_responses_are_dropped() {
+        // A middlebox that rewrites transaction IDs: every reply comes back
+        // with the wrong ID and the stub must treat the query as lost.
+        let mut t = SimTransport::new(HomeScenario::clean().build());
+        t.corrupt_response_txid_xor = 0x00FF;
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        let out = t.query("8.8.8.8".parse().unwrap(), q.clone(), 0x2000, opts());
+        assert!(out.is_timeout());
+        // And retries don't help while the corruption persists — each fresh
+        // txid is rewritten too.
+        let mut txids = TxidSequence::new(0x2100);
+        let r = query_with_retry(
+            &mut t,
+            "8.8.8.8".parse().unwrap(),
+            &q,
+            &mut txids,
+            QueryOptions { attempts: 3, ..QueryOptions::default() },
+        );
+        assert!(r.outcome.is_timeout());
+        assert_eq!(r.attempts_used, 3);
+        // Clearing the knob restores normal resolution.
+        t.corrupt_response_txid_xor = 0;
+        let out = t.query("8.8.8.8".parse().unwrap(), q, 0x2200, opts());
+        assert!(out.response().is_some());
+    }
+
+    #[test]
+    fn backoff_advances_virtual_time() {
+        let mut t = SimTransport::new(HomeScenario::clean().build());
+        let before = t.scenario.sim.now();
+        t.backoff(250);
+        assert_eq!(t.scenario.sim.now().duration_since(before), SimDuration::from_millis(250));
     }
 }

@@ -38,6 +38,9 @@ pub use packet::{
 };
 pub use route::{Cidr, CidrParseError, RouteTable};
 pub use router::{LocalPolicy, Router};
-pub use sim::{Attachment, Ctx, Device, IfaceId, LinkId, NodeId, Simulator, TraceEntry};
+pub use sim::{
+    Attachment, BurstLoss, Ctx, Device, FaultProfile, IfaceId, LateDelivery, LinkId, NodeId,
+    Simulator, TraceEntry,
+};
 pub use switch::Switch;
 pub use time::{SimDuration, SimTime};

@@ -99,6 +99,52 @@ pub struct Attachment {
     pub iface: IfaceId,
 }
 
+/// A burst-loss episode: once triggered, the link drops this many
+/// consecutive traversals — the shape of a last-mile line flapping or a
+/// Wi-Fi deep fade, which uniform loss cannot reproduce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstLoss {
+    /// Probability in [0,1] that a traversal *starts* a burst.
+    pub start: f64,
+    /// Traversals dropped per burst (including the triggering one).
+    pub length: u32,
+}
+
+/// Late delivery: the packet still arrives, but this much later — long
+/// after any reasonable DNS timeout, so the response drains into a
+/// *subsequent* query's receive window carrying a stale transaction ID.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LateDelivery {
+    /// Probability in [0,1] that a traversal is delivered late.
+    pub probability: f64,
+    /// Extra delay added on top of latency and jitter.
+    pub delay: SimDuration,
+}
+
+/// Fault model of one link, applied independently per traversal in a fixed
+/// order: burst loss, uniform loss, duplication, late delivery. All
+/// randomness comes from the simulator's seeded RNG, so fault patterns are
+/// reproducible.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultProfile {
+    /// Probability in [0,1] that a traversal is dropped (uniform).
+    pub loss: f64,
+    /// Seeded burst loss, if any.
+    pub burst: Option<BurstLoss>,
+    /// Probability in [0,1] that a traversal is delivered twice (the
+    /// second copy arrives one jitter-free latency later).
+    pub duplicate: f64,
+    /// Late delivery, if any.
+    pub late: Option<LateDelivery>,
+}
+
+impl FaultProfile {
+    /// Uniform loss only — what [`Simulator::connect_lossy`] configures.
+    pub fn lossy(loss: f64) -> FaultProfile {
+        FaultProfile { loss: loss.clamp(0.0, 1.0), ..FaultProfile::default() }
+    }
+}
+
 /// A bidirectional point-to-point link.
 #[derive(Debug, Clone)]
 pub struct Link {
@@ -107,8 +153,10 @@ pub struct Link {
     latency: SimDuration,
     /// Maximum extra latency added per traversal (uniform, seeded RNG).
     jitter: SimDuration,
-    /// Probability in [0,1] that a traversal is dropped.
-    loss: f64,
+    /// Fault model applied to each traversal.
+    faults: FaultProfile,
+    /// Traversals still to drop in the current burst episode.
+    burst_remaining: u32,
     up: bool,
 }
 
@@ -171,6 +219,8 @@ pub struct Simulator {
     trace: Vec<TraceEntry>,
     events_processed: u64,
     packets_dropped: u64,
+    packets_duplicated: u64,
+    packets_delayed: u64,
 }
 
 impl Simulator {
@@ -188,6 +238,8 @@ impl Simulator {
             trace: Vec::new(),
             events_processed: 0,
             packets_dropped: 0,
+            packets_duplicated: 0,
+            packets_delayed: 0,
         }
     }
 
@@ -216,6 +268,17 @@ impl Simulator {
         latency: SimDuration,
         loss: f64,
     ) -> LinkId {
+        self.connect_faulty(a, b, latency, FaultProfile::lossy(loss))
+    }
+
+    /// Connects two interfaces with latency and a full fault profile.
+    pub fn connect_faulty(
+        &mut self,
+        a: (NodeId, IfaceId),
+        b: (NodeId, IfaceId),
+        latency: SimDuration,
+        faults: FaultProfile,
+    ) -> LinkId {
         let id = LinkId(self.links.len());
         let a = Attachment { node: a.0, iface: a.1 };
         let b = Attachment { node: b.0, iface: b.1 };
@@ -224,12 +287,21 @@ impl Simulator {
             b,
             latency,
             jitter: SimDuration::ZERO,
-            loss: loss.clamp(0.0, 1.0),
+            faults,
+            burst_remaining: 0,
             up: true,
         });
         self.attachments.insert(a, id);
         self.attachments.insert(b, id);
         id
+    }
+
+    /// Replaces a link's fault profile (and resets any burst in progress).
+    pub fn set_link_faults(&mut self, link: LinkId, faults: FaultProfile) {
+        if let Some(l) = self.links.get_mut(link.0) {
+            l.faults = faults;
+            l.burst_remaining = 0;
+        }
     }
 
     /// Adds uniform random jitter (0..=`jitter`) to each traversal of a
@@ -275,6 +347,16 @@ impl Simulator {
     /// Packets dropped by loss, down links, or missing attachments.
     pub fn packets_dropped(&self) -> u64 {
         self.packets_dropped
+    }
+
+    /// Extra packet copies delivered by the duplication fault.
+    pub fn packets_duplicated(&self) -> u64 {
+        self.packets_duplicated
+    }
+
+    /// Packets hit by the late-delivery fault.
+    pub fn packets_delayed(&self) -> u64 {
+        self.packets_delayed
     }
 
     /// Injects a packet as if `node` transmitted it out of `iface` at the
@@ -385,20 +467,53 @@ impl Simulator {
             self.packets_dropped += 1;
             return;
         };
-        let link = &self.links[link_id.0];
-        if !link.up {
+        let idx = link_id.0;
+        if !self.links[idx].up {
             self.packets_dropped += 1;
             return;
         }
-        if link.loss > 0.0 && self.rng.gen::<f64>() < link.loss {
+        // Fault order: burst episode in progress, burst trigger, uniform
+        // loss, late delivery, duplication. Index accesses (rather than a
+        // held borrow) let each step roll the simulator RNG.
+        if self.links[idx].burst_remaining > 0 {
+            self.links[idx].burst_remaining -= 1;
             self.packets_dropped += 1;
             return;
         }
-        let dest = if link.a == from { link.b } else { link.a };
-        let mut at = self.now + link.latency;
-        if link.jitter > SimDuration::ZERO {
-            let extra = self.rng.gen_range(0..=link.jitter.as_nanos());
+        let faults = self.links[idx].faults;
+        if let Some(burst) = faults.burst {
+            if burst.start > 0.0 && burst.length > 0 && self.rng.gen::<f64>() < burst.start {
+                // The triggering packet counts against the burst length.
+                self.links[idx].burst_remaining = burst.length - 1;
+                self.packets_dropped += 1;
+                return;
+            }
+        }
+        if faults.loss > 0.0 && self.rng.gen::<f64>() < faults.loss {
+            self.packets_dropped += 1;
+            return;
+        }
+        let link = &self.links[idx];
+        let (dest, latency, jitter) =
+            (if link.a == from { link.b } else { link.a }, link.latency, link.jitter);
+        let mut at = self.now + latency;
+        if jitter > SimDuration::ZERO {
+            let extra = self.rng.gen_range(0..=jitter.as_nanos());
             at += SimDuration::from_nanos(extra);
+        }
+        if let Some(late) = faults.late {
+            if late.probability > 0.0 && self.rng.gen::<f64>() < late.probability {
+                at += late.delay;
+                self.packets_delayed += 1;
+            }
+        }
+        let duplicated = faults.duplicate > 0.0 && self.rng.gen::<f64>() < faults.duplicate;
+        if duplicated {
+            self.packets_duplicated += 1;
+            self.push_event(
+                at + latency,
+                EventKind::Arrival { node: dest.node, iface: dest.iface, packet: packet.clone() },
+            );
         }
         self.push_event(
             at,
@@ -606,6 +721,96 @@ mod tests {
         assert!(times.windows(2).any(|w| w[0] != w[1]));
         // Seeded: identical across runs.
         assert_eq!(times, run(3));
+    }
+
+    #[test]
+    fn burst_loss_drops_consecutive_packets() {
+        let mut sim = Simulator::new(11);
+        let a = sim.add_device(Probe::new("a", false));
+        let b = sim.add_device(Probe::new("b", false));
+        let faults =
+            FaultProfile { burst: Some(BurstLoss { start: 1.0, length: 2 }), ..FaultProfile::default() };
+        let l = sim.connect_faulty((a, IfaceId(0)), (b, IfaceId(0)), SimDuration::from_millis(1), faults);
+        // First packet triggers the burst, second is consumed by it.
+        sim.inject(a, IfaceId(0), pkt());
+        sim.inject(a, IfaceId(0), pkt());
+        sim.run_to_quiescence();
+        assert_eq!(sim.device::<Probe>(b).unwrap().received.len(), 0);
+        assert_eq!(sim.packets_dropped(), 2);
+        // Replacing the profile resets the episode; start = 0 never triggers.
+        sim.set_link_faults(l, FaultProfile { burst: Some(BurstLoss { start: 0.0, length: 2 }), ..FaultProfile::default() });
+        sim.inject(a, IfaceId(0), pkt());
+        sim.run_to_quiescence();
+        assert_eq!(sim.device::<Probe>(b).unwrap().received.len(), 1);
+        assert_eq!(sim.packets_dropped(), 2);
+    }
+
+    #[test]
+    fn duplication_delivers_two_copies() {
+        let mut sim = Simulator::new(5);
+        let a = sim.add_device(Probe::new("a", false));
+        let b = sim.add_device(Probe::new("b", false));
+        let faults = FaultProfile { duplicate: 1.0, ..FaultProfile::default() };
+        sim.connect_faulty((a, IfaceId(0)), (b, IfaceId(0)), SimDuration::from_millis(10), faults);
+        sim.inject(a, IfaceId(0), pkt());
+        sim.run_to_quiescence();
+        let probe = sim.device::<Probe>(b).unwrap();
+        assert_eq!(probe.received.len(), 2);
+        assert_eq!(probe.received[0].0, SimTime::from_nanos(10_000_000));
+        // The duplicate trails by one jitter-free latency.
+        assert_eq!(probe.received[1].0, SimTime::from_nanos(20_000_000));
+        assert_eq!(sim.packets_duplicated(), 1);
+        assert_eq!(sim.packets_dropped(), 0);
+    }
+
+    #[test]
+    fn late_delivery_arrives_after_the_extra_delay() {
+        let mut sim = Simulator::new(5);
+        let a = sim.add_device(Probe::new("a", false));
+        let b = sim.add_device(Probe::new("b", false));
+        let faults = FaultProfile {
+            late: Some(LateDelivery { probability: 1.0, delay: SimDuration::from_millis(500) }),
+            ..FaultProfile::default()
+        };
+        sim.connect_faulty((a, IfaceId(0)), (b, IfaceId(0)), SimDuration::from_millis(1), faults);
+        sim.inject(a, IfaceId(0), pkt());
+        sim.run_to_quiescence();
+        let probe = sim.device::<Probe>(b).unwrap();
+        assert_eq!(probe.received.len(), 1);
+        assert_eq!(probe.received[0].0, SimTime::from_nanos(501_000_000));
+        assert_eq!(sim.packets_delayed(), 1);
+    }
+
+    #[test]
+    fn fault_profiles_stay_deterministic_across_runs() {
+        let run = |seed: u64| -> (Vec<u64>, u64, u64, u64) {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_device(Probe::new("a", false));
+            let b = sim.add_device(Probe::new("b", false));
+            let faults = FaultProfile {
+                loss: 0.2,
+                burst: Some(BurstLoss { start: 0.1, length: 3 }),
+                duplicate: 0.15,
+                late: Some(LateDelivery { probability: 0.1, delay: SimDuration::from_millis(50) }),
+            };
+            sim.connect_faulty((a, IfaceId(0)), (b, IfaceId(0)), SimDuration::from_millis(2), faults);
+            for _ in 0..200 {
+                sim.inject(a, IfaceId(0), pkt());
+            }
+            sim.run_to_quiescence();
+            let times = sim
+                .device::<Probe>(b)
+                .unwrap()
+                .received
+                .iter()
+                .map(|(t, _, _)| t.as_nanos())
+                .collect();
+            (times, sim.packets_dropped(), sim.packets_duplicated(), sim.packets_delayed())
+        };
+        let first = run(99);
+        // Every fault class exercised at least once with this seed.
+        assert!(first.1 > 0 && first.2 > 0 && first.3 > 0);
+        assert_eq!(first, run(99));
     }
 
     #[test]

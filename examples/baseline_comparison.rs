@@ -17,7 +17,7 @@ use locator::baseline::{
     a_record_cpe_check, hostname_bind_root_check, own_authoritative_check, ARecordVerdict,
     PrevalenceVerdict, RootCheckVerdict,
 };
-use locator::{default_resolvers, HijackLocator, QueryOptions, ResolverKey};
+use locator::{default_resolvers, HijackLocator, QueryOptions, ResolverKey, TxidSequence};
 use std::net::IpAddr;
 
 fn main() {
@@ -42,6 +42,7 @@ fn main() {
         let truth = built.truth.clone();
         let config = built.locator_config();
         let mut transport = SimTransport::new(built);
+        let mut txids = TxidSequence::new(0x7000);
         let opts = QueryOptions::default();
 
         let a_record = a_record_cpe_check(
@@ -49,6 +50,7 @@ fn main() {
             cpe_public,
             "8.8.8.8".parse().unwrap(),
             &"example.com".parse().unwrap(),
+            &mut txids,
             opts,
         );
         let a_record = match a_record {
@@ -65,6 +67,7 @@ fn main() {
             &mut transport,
             &roots,
             |s| s.contains("root"),
+            &mut txids,
             opts,
         ) {
             RootCheckVerdict::Clean => "clean",
@@ -77,7 +80,7 @@ fn main() {
             .find(|r| r.key == ResolverKey::Google)
             .expect("catalog has Google");
         let reflect: dns_wire::Name = "reflect.dns-hijack-study.example".parse().unwrap();
-        let prevalence = match own_authoritative_check(&mut transport, &google, &reflect, opts) {
+        let prevalence = match own_authoritative_check(&mut transport, &google, &reflect, &mut txids, opts) {
             PrevalenceVerdict::Clean { .. } => "clean",
             PrevalenceVerdict::Intercepted { .. } => "intercepted (loc?)",
             PrevalenceVerdict::Inconclusive => "inconclusive",

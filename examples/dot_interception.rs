@@ -10,8 +10,8 @@ use locator::dot::{
 
 fn main() {
     println!(
-        "{:<16} {:<22} {:<26} {:<14} {}",
-        "profile", "path condition", "session outcome", "interceptable", "detected by location queries"
+        "{:<16} {:<22} {:<26} {:<14} detected by location queries",
+        "profile", "path condition", "session outcome", "interceptable"
     );
     for profile in [DotProfile::Strict, DotProfile::Opportunistic] {
         for path in [

@@ -9,7 +9,7 @@
 
 use interception::{HomeScenario, SimTransport};
 use locator::ttl_scan::{interpret, ttl_scan, TtlVerdict};
-use locator::{default_resolvers, QueryOptions};
+use locator::{default_resolvers, QueryOptions, TxidSequence};
 
 fn main() {
     let cloudflare = &default_resolvers()[0];
@@ -29,6 +29,7 @@ fn main() {
             cloudflare.v4[0],
             &question,
             12,
+            &mut TxidSequence::new(0x6000),
             QueryOptions::default(),
         );
         match result.first_response_ttl {

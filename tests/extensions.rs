@@ -3,7 +3,7 @@
 
 use interception::{HomeScenario, SimTransport};
 use locator::ttl_scan::{interpret, ttl_scan, TtlVerdict};
-use locator::{default_resolvers, QueryOptions, QueryTransport};
+use locator::{default_resolvers, QueryOptions, QueryTransport, TxidSequence};
 
 fn scan(scenario: HomeScenario) -> locator::ttl_scan::TtlScanResult {
     let mut transport = SimTransport::new(scenario.build());
@@ -13,6 +13,7 @@ fn scan(scenario: HomeScenario) -> locator::ttl_scan::TtlScanResult {
         cloudflare.v4[0],
         &cloudflare.location_query(),
         12,
+        &mut TxidSequence::new(0x6000),
         QueryOptions::default(),
     )
 }
@@ -150,13 +151,13 @@ fn ad_downgrade_corroborates_interception() {
     // Clean path to Google (a validating resolver over a signed zone): AD set.
     let mut clean = SimTransport::new(HomeScenario::clean().build());
     assert_eq!(
-        ad_downgrade_check(&mut clean, "8.8.8.8".parse().unwrap(), &signed, QueryOptions::default()),
+        ad_downgrade_check(&mut clean, "8.8.8.8".parse().unwrap(), &signed, &mut TxidSequence::new(0x3000), QueryOptions::default()),
         AdVerdict::Authenticated
     );
     // Intercepted path: the ISP's non-validating resolver answers — AD gone.
     let mut hijacked = SimTransport::new(HomeScenario::xb6_case_study().build());
     assert_eq!(
-        ad_downgrade_check(&mut hijacked, "8.8.8.8".parse().unwrap(), &signed, QueryOptions::default()),
+        ad_downgrade_check(&mut hijacked, "8.8.8.8".parse().unwrap(), &signed, &mut TxidSequence::new(0x3000), QueryOptions::default()),
         AdVerdict::Downgraded
     );
 }
@@ -169,7 +170,7 @@ fn nxdomain_wildcarding_detected_through_interceptor() {
     // Honest path.
     let mut clean = SimTransport::new(HomeScenario::clean().build());
     assert_eq!(
-        nxdomain_wildcard_check(&mut clean, "1.1.1.1".parse().unwrap(), &canary, QueryOptions::default()),
+        nxdomain_wildcard_check(&mut clean, "1.1.1.1".parse().unwrap(), &canary, &mut TxidSequence::new(0x3000), QueryOptions::default()),
         WildcardVerdict::Honest
     );
     // Interception toward a wildcarding ISP resolver.
@@ -183,7 +184,7 @@ fn nxdomain_wildcarding_detected_through_interceptor() {
     };
     let mut hijacked = SimTransport::new(scenario.build());
     assert_eq!(
-        nxdomain_wildcard_check(&mut hijacked, "1.1.1.1".parse().unwrap(), &canary, QueryOptions::default()),
+        nxdomain_wildcard_check(&mut hijacked, "1.1.1.1".parse().unwrap(), &canary, &mut TxidSequence::new(0x3000), QueryOptions::default()),
         WildcardVerdict::Wildcarded { substituted: "75.75.0.99".parse().unwrap() }
     );
 }
@@ -231,7 +232,7 @@ fn iterative_mode_whoami_reflects_isp_egress_under_interception() {
     // whoami "via Google": DNAT sends it to the iterative ISP resolver,
     // whose real egress address the akamai authoritative reflects.
     let q = Question::new("whoami.akamai.com".parse().unwrap(), RType::A);
-    let out = transport.query("8.8.8.8".parse().unwrap(), q, QueryOptions::default());
+    let out = transport.query("8.8.8.8".parse().unwrap(), q, 0x2000, QueryOptions::default());
     let resp = out.response().expect("answered by the interceptor");
     assert_eq!(
         resp.answers[0].rdata,

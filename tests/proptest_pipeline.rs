@@ -57,7 +57,8 @@ proptest! {
         let cpe_v4 = built.addrs.cpe_public_v4;
         let mut transport = SimTransport::new(built);
         let resolvers = locator::default_resolvers();
-        let opts = QueryOptions { timeout_ms: 4_000, ttl: None };
+        let opts = QueryOptions { timeout_ms: 4_000, ..QueryOptions::default() };
+        let mut txid: u16 = 0x2000;
         for kind in queries {
             let (server, question) = match kind {
                 QueryKind::LocationQuery(i) => {
@@ -82,7 +83,8 @@ proptest! {
                     ),
                 ),
             };
-            match transport.query(server, question.clone(), opts) {
+            txid = txid.wrapping_add(1);
+            match transport.query(server, question.clone(), txid, opts) {
                 QueryOutcome::Response(resp) => {
                     // Flow integrity: the answer echoes our question.
                     prop_assert!(resp.header.qr);
@@ -107,9 +109,9 @@ proptest! {
         let mut tb = SimTransport::new(sb.build());
         let resolvers = locator::default_resolvers();
         let opts = QueryOptions::default();
-        for r in &resolvers {
-            let a = ta.query(r.v4[0], r.location_query(), opts);
-            let b = tb.query(r.v4[0], r.location_query(), opts);
+        for (i, r) in resolvers.iter().enumerate() {
+            let a = ta.query(r.v4[0], r.location_query(), 0x2000 + i as u16, opts);
+            let b = tb.query(r.v4[0], r.location_query(), 0x2000 + i as u16, opts);
             // The XB6 home never sees a standard answer; the clean home
             // always does.
             if let QueryOutcome::Response(resp) = &a {
@@ -118,5 +120,30 @@ proptest! {
             let resp = b.response().expect("clean home answers");
             prop_assert!(r.is_standard_location_response(resp));
         }
+    }
+
+    #[test]
+    fn attempts_one_reproduces_single_shot_reports(scenario in arb_scenario(), seed in 0u64..500) {
+        // attempts=1 *is* the single-shot pipeline: with the retry budget
+        // at one, the report is bit-for-bit what the default configuration
+        // produces — backoff setting and all (it never fires before a
+        // first attempt).
+        use locator::HijackLocator;
+        let mut scenario = scenario;
+        scenario.seed = seed;
+
+        let built = scenario.clone().build();
+        let config = built.locator_config();
+        let default_report = HijackLocator::new(config).run(&mut SimTransport::new(built));
+
+        let built = scenario.build();
+        let mut config = built.locator_config();
+        config.query_options.attempts = 1;
+        config.query_options.retry_backoff_ms = 300;
+        let explicit_report = HijackLocator::new(config).run(&mut SimTransport::new(built));
+
+        prop_assert_eq!(&default_report, &explicit_report);
+        prop_assert_eq!(default_report.wire_attempts, default_report.queries_sent);
+        prop_assert_eq!(default_report.retried_queries, 0);
     }
 }

@@ -1,0 +1,89 @@
+//! Offline vendored subset of the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided, implemented on top of
+//! `std::thread::scope` (stable since 1.63), which gives the same borrow
+//! guarantees crossbeam pioneered. The crossbeam 0.8 API surface differs
+//! from std in two ways this shim papers over: the spawn closure receives
+//! a scope handle argument, and `scope` returns a `Result` capturing
+//! whether any spawned thread panicked.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle passed to [`Scope::spawn`] closures (crossbeam passes the
+    /// scope itself so nested spawns are possible).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a nested scope
+        /// handle, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                handle: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        handle: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish; `Err` when it panicked.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.handle.join()
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the enclosing
+    /// stack frame can be spawned. All spawned threads are joined before
+    /// `scope` returns. Returns `Err` if the main closure panicked (any
+    /// unjoined child panic propagates out of `std::thread::scope` and is
+    /// reported the same way).
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let mut data = vec![0u32; 8];
+            super::scope(|scope| {
+                for (i, slot) in data.iter_mut().enumerate() {
+                    scope.spawn(move |_| {
+                        *slot = i as u32 * 2;
+                    });
+                }
+            })
+            .expect("no panics");
+            assert_eq!(data, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        }
+
+        #[test]
+        fn panic_in_worker_is_reported_as_err() {
+            let result = super::scope(|scope| {
+                scope.spawn(|_| panic!("boom"));
+            });
+            assert!(result.is_err());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Generation from the `[class]{m,n}` regex subset used as string
+//! strategies in this workspace's tests.
+
+use crate::test_runner::TestRng;
+
+/// Generates a string matching `pattern`, which must be a single
+/// character class with a `{m,n}` repetition (e.g. `"[a-z0-9 .-]{1,40}"`,
+/// `"[ -~\n]{0,400}"`). Ranges, literal characters, and `\n`/`\t`/`\\`
+/// escapes are supported inside the class.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let (alphabet, min, max) = parse_pattern(pattern)
+        .unwrap_or_else(|| panic!("unsupported regex strategy pattern {pattern:?}"));
+    let len = min + rng.below((max - min + 1) as u64) as usize;
+    (0..len)
+        .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+        .collect()
+}
+
+fn parse_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let class_end = find_class_end(rest)?;
+    let class = &rest[..class_end];
+    let rest = &rest[class_end + 1..];
+    let rest = rest.strip_prefix('{')?;
+    let rest = rest.strip_suffix('}')?;
+    let (min_s, max_s) = rest.split_once(',')?;
+    let min: usize = min_s.parse().ok()?;
+    let max: usize = max_s.parse().ok()?;
+    if max < min {
+        return None;
+    }
+    let alphabet = expand_class(class)?;
+    if alphabet.is_empty() {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
+/// Index of the closing `]`, honoring backslash escapes.
+fn find_class_end(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b']' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn expand_class(class: &str) -> Option<Vec<char>> {
+    // Tokenize with escapes resolved first, then fold `a-b` ranges.
+    let mut tokens = Vec::new();
+    let mut chars = class.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            let esc = chars.next()?;
+            let resolved = match esc {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                '\\' => '\\',
+                ']' | '[' | '-' | '^' | '.' => esc,
+                _ => return None,
+            };
+            // Escaped characters never form ranges.
+            tokens.push((resolved, false));
+        } else {
+            tokens.push((c, true));
+        }
+    }
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (c, plain) = tokens[i];
+        // `a-b` range: a plain dash strictly between two tokens.
+        if i + 2 < tokens.len() && tokens[i + 1] == ('-', true) {
+            let (end, _) = tokens[i + 2];
+            if plain && c <= end {
+                out.extend(c..=end);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printable_ascii_class() {
+        let (alpha, min, max) = parse_pattern("[ -~]{0,80}").unwrap();
+        assert_eq!(min, 0);
+        assert_eq!(max, 80);
+        assert_eq!(alpha.len(), 95); // space through tilde
+        assert!(alpha.contains(&' ') && alpha.contains(&'~'));
+    }
+
+    #[test]
+    fn class_with_trailing_literals() {
+        let (alpha, ..) = parse_pattern("[a-z0-9 .-]{1,40}").unwrap();
+        assert!(alpha.contains(&'a') && alpha.contains(&'z'));
+        assert!(alpha.contains(&'0') && alpha.contains(&'9'));
+        assert!(alpha.contains(&' ') && alpha.contains(&'.') && alpha.contains(&'-'));
+        assert!(!alpha.contains(&'A'));
+    }
+
+    #[test]
+    fn escaped_newline_in_class() {
+        let (alpha, ..) = parse_pattern("[ -~\n]{0,400}").unwrap();
+        assert!(alpha.contains(&'\n'));
+        assert!(alpha.contains(&'x'));
+    }
+
+    #[test]
+    fn generated_strings_match_the_class() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z]{1,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Case execution: configuration, RNG, rejection/failure plumbing.
+
+use std::fmt;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property failed; the case is a counterexample.
+    Fail(String),
+    /// The inputs didn't satisfy an assumption; retry with fresh inputs.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Creates a rejection.
+    pub fn reject() -> TestCaseError {
+        TestCaseError::Reject
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Deterministic generator state handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Seeds deterministically from the test name so failures reproduce
+/// run-to-run (FNV-1a).
+fn seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `case` until `config.cases` cases pass, panicking on the first
+/// failure. Rejected cases are retried with fresh inputs.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let seed = seed_from_name(name);
+    let mut rng = TestRng::new(seed);
+    let mut rejects = 0u32;
+    let mut passed = 0u32;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest `{name}`: too many prop_assume! rejections \
+                         ({rejects}) after {passed} passing cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed after {passed} passing cases \
+                     (deterministic seed {seed:#018x}):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_number_of_cases() {
+        let mut count = 0;
+        run_cases(&ProptestConfig::with_cases(17), "t", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn rejects_do_not_count() {
+        let mut total = 0;
+        let mut passed = 0;
+        run_cases(&ProptestConfig::with_cases(10), "t2", |rng| {
+            total += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                passed += 1;
+                Ok(())
+            }
+        });
+        assert_eq!(passed, 10);
+        assert!(total > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        run_cases(&ProptestConfig::default(), "t3", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

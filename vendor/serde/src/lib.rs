@@ -1,0 +1,378 @@
+//! Offline vendored subset of the `serde` crate.
+//!
+//! Real serde abstracts over arbitrary data formats through a visitor
+//! architecture. The only format this workspace uses is JSON, so this
+//! subset collapses the model: [`Serialize`] renders a type into a
+//! [`Value`] tree and [`Deserialize`] rebuilds it, with `serde_json`
+//! handling text. The derive macros (re-exported from `serde_derive`
+//! behind the `derive` feature, like upstream) emit the same externally
+//! tagged representation real serde uses, so the JSON produced here is
+//! shaped identically to upstream's default output.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value tree — the data model every type serializes through.
+///
+/// Objects preserve insertion order (a `Vec` of pairs rather than a map)
+/// so that serialization is deterministic and field order round-trips.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, kept lossless for the integer cases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Anything with a fractional part or exponent.
+    Float(f64),
+}
+
+/// Deserialization error: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serializable types: rendered into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserializable types: rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks a field up in an object body; absent fields read as `null`,
+/// which lets `Option` fields default to `None` exactly as upstream
+/// serde's derive does.
+pub fn __get_field<'v>(obj: &'v [(String, Value)], name: &str) -> &'v Value {
+    static NULL: Value = Value::Null;
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v).unwrap_or(&NULL)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n = match v {
+                    Value::Number(Number::PosInt(n)) => *n,
+                    other => return Err(DeError::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {:?}"), other))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    concat!("value {} out of range for ", stringify!($t)), n)))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 {
+                    Value::Number(Number::NegInt(v))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n: i64 = match v {
+                    Value::Number(Number::NegInt(n)) => *n,
+                    Value::Number(Number::PosInt(n)) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("value {n} out of i64 range")))?,
+                    other => return Err(DeError::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {:?}"), other))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    concat!("value {} out of range for ", stringify!($t)), n)))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        match v {
+            Value::Number(Number::Float(f)) => Ok(*f),
+            Value::Number(Number::PosInt(n)) => Ok(*n as f64),
+            Value::Number(Number::NegInt(n)) => Ok(*n as f64),
+            other => Err(DeError::custom(format!("expected f64, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::custom(format!("expected single-char string, found {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<($($name,)+), DeError> {
+                const LEN: usize = 0 $( + { let _ = stringify!($idx); 1 } )+;
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected array of {LEN}, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+// ---------------------------------------------------------------------------
+// Network addresses (serialized as their display strings, like upstream)
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_display_fromstr {
+    ($($t:ty => $what:literal),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::String(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::String(s) => s.parse().map_err(|_| {
+                        DeError::custom(format!(concat!("invalid ", $what, ": {}"), s))
+                    }),
+                    other => Err(DeError::custom(format!(
+                        concat!("expected ", $what, " string, found {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_display_fromstr! {
+    IpAddr => "IP address",
+    Ipv4Addr => "IPv4 address",
+    Ipv6Addr => "IPv6 address"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_absent_field_reads_as_none() {
+        let obj = vec![("present".to_string(), Value::Bool(true))];
+        let v = __get_field(&obj, "missing");
+        assert_eq!(Option::<bool>::from_value(v), Ok(None));
+        assert_eq!(Option::<bool>::from_value(__get_field(&obj, "present")), Ok(Some(true)));
+    }
+
+    #[test]
+    fn u64_round_trips_losslessly() {
+        let big = u64::MAX - 3;
+        let v = big.to_value();
+        assert_eq!(u64::from_value(&v), Ok(big));
+        assert!(u8::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn ip_addrs_round_trip_as_strings() {
+        let ip: IpAddr = "2001:db8::1".parse().unwrap();
+        assert_eq!(IpAddr::from_value(&ip.to_value()), Ok(ip));
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let pair = ("x".to_string(), 3u32);
+        let v = pair.to_value();
+        assert_eq!(<(String, u32)>::from_value(&v), Ok(pair));
+    }
+}

@@ -1,0 +1,503 @@
+//! Offline vendored subset of `serde_derive`.
+//!
+//! Derives `serde::Serialize` / `serde::Deserialize` for named-field
+//! structs and enums (unit, tuple, and struct variants), emitting the
+//! externally tagged representation upstream serde uses by default.
+//! Implemented directly on `proc_macro` token trees — no `syn`/`quote` —
+//! because the build environment is fully offline. Only the shapes this
+//! workspace actually derives are supported; anything else produces a
+//! `compile_error!` naming the limitation.
+//!
+//! Generics: plain parameter lists (`<T>`, `<'a>`, `<'a, T>`) are
+//! supported; every type parameter gets the corresponding serde bound,
+//! matching upstream's behavior for types like `PerResolver<T>`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().expect("error tokens")
+        }
+    };
+    let code = match dir {
+        Direction::Serialize => gen_serialize(&item),
+        Direction::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive internal codegen error: {e}\");")
+            .parse()
+            .expect("error tokens")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    lifetimes: Vec<String>,
+    type_params: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+impl Item {
+    /// `<'a, T>` — the parameter list used on both the impl and the type.
+    fn generics(&self) -> String {
+        if self.lifetimes.is_empty() && self.type_params.is_empty() {
+            return String::new();
+        }
+        let all: Vec<String> =
+            self.lifetimes.iter().chain(&self.type_params).cloned().collect();
+        format!("<{}>", all.join(", "))
+    }
+
+    /// `<'a, T: ::serde::Serialize>` — impl parameters with serde bounds.
+    fn bounded_generics(&self, bound: &str) -> String {
+        if self.lifetimes.is_empty() && self.type_params.is_empty() {
+            return String::new();
+        }
+        let mut all: Vec<String> = self.lifetimes.clone();
+        all.extend(self.type_params.iter().map(|t| format!("{t}: {bound}")));
+        format!("<{}>", all.join(", "))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("serde derive does not support `{other}` items")),
+    };
+    let name = expect_ident(&tokens, &mut pos)?;
+
+    let (lifetimes, type_params) = parse_generics(&tokens, &mut pos)?;
+
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "serde derive supports only named-field structs; `{name}` is a tuple struct"
+            ))
+        }
+        _ => return Err(format!("could not find the body of `{name}`")),
+    };
+
+    let kind = if is_enum {
+        Kind::Enum(parse_variants(body)?)
+    } else {
+        Kind::Struct(parse_named_fields(body)?)
+    };
+    Ok(Item { name, lifetimes, type_params, kind })
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(*pos) {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Parses `<'a, T>`-style parameter lists. Bounds, defaults, and const
+/// generics are rejected — nothing in this workspace uses them on
+/// serde-derived types.
+fn parse_generics(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+) -> Result<(Vec<String>, Vec<String>), String> {
+    let mut lifetimes = Vec::new();
+    let mut type_params = Vec::new();
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => *pos += 1,
+        _ => return Ok((lifetimes, type_params)),
+    }
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                *pos += 1;
+                return Ok((lifetimes, type_params));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => *pos += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                *pos += 1;
+                let name = expect_ident(tokens, pos)?;
+                lifetimes.push(format!("'{name}"));
+            }
+            Some(TokenTree::Ident(id)) => {
+                type_params.push(id.to_string());
+                *pos += 1;
+                if let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+                    if p.as_char() == ':' || p.as_char() == '=' {
+                        return Err(
+                            "serde derive supports only plain generic parameters \
+                             (no bounds or defaults in the parameter list)"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            other => return Err(format!("unsupported generic parameter: {other:?}")),
+        }
+    }
+}
+
+/// Parses `field: Type, ...` bodies, returning field names in order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos)?;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(name);
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a `,` outside all angle brackets.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos)?;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        pos += 1; // past the comma (or the end)
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+                pairs.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{imp} ::serde::Serialize for {name}{gen} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        imp = item.bounded_generics("::serde::Serialize"),
+        gen = item.generics(),
+    )
+}
+
+fn ser_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::String(::std::string::String::from({vname:?})),"
+        ),
+        Shape::Tuple(1) => format!(
+            "{enum_name}::{vname}(__f0) => ::serde::Value::Object(::std::vec::Vec::from([\
+             (::std::string::String::from({vname:?}), ::serde::Serialize::to_value(__f0))])),"
+        ),
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let elems: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({binds}) => \
+                 ::serde::Value::Object(::std::vec::Vec::from([\
+                 (::std::string::String::from({vname:?}), \
+                 ::serde::Value::Array(::std::vec::Vec::from([{elems}])))])),",
+                binds = binds.join(", "),
+                elems = elems.join(", "),
+            )
+        }
+        Shape::Struct(fields) => {
+            let binds = fields.join(", ");
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => \
+                 ::serde::Value::Object(::std::vec::Vec::from([\
+                 (::std::string::String::from({vname:?}), \
+                 ::serde::Value::Object(::std::vec::Vec::from([{pairs}])))])),",
+                pairs = pairs.join(", "),
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::__get_field(__obj, {f:?}))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Object(__obj) => \
+                     ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"expected object for struct {name}, found {{:?}}\", __other))),\n\
+                 }}",
+                inits = inits.join(" "),
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .map(|v| de_variant_arm(name, v))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {units}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"unknown {name} variant {{:?}}\", __other))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__obj) if __obj.len() == 1 => {{\n\
+                         let (__tag, __content) = &__obj[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown {name} variant {{:?}}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"expected {name} variant, found {{:?}}\", __other))),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{imp} ::serde::Deserialize for {name}{gen} {{\n\
+             fn from_value(__v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}",
+        imp = item.bounded_generics("::serde::Deserialize"),
+        gen = item.generics(),
+    )
+}
+
+fn de_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => unreachable!("unit variants handled in the string arm"),
+        Shape::Tuple(1) => format!(
+            "{vn:?} => ::std::result::Result::Ok({enum_name}::{vn}(\
+             ::serde::Deserialize::from_value(__content)?)),"
+        ),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{vn:?} => match __content {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} => \
+                     ::std::result::Result::Ok({enum_name}::{vn}({elems})),\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"expected {n}-element array for {enum_name}::{vn}, \
+                     found {{:?}}\", __other))),\n\
+                 }},",
+                elems = elems.join(", "),
+            )
+        }
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::__get_field(__inner, {f:?}))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "{vn:?} => match __content {{\n\
+                     ::serde::Value::Object(__inner) => \
+                     ::std::result::Result::Ok({enum_name}::{vn} {{ {inits} }}),\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"expected object for {enum_name}::{vn}, \
+                     found {{:?}}\", __other))),\n\
+                 }},",
+                inits = inits.join(" "),
+            )
+        }
+    }
+}
