@@ -469,10 +469,13 @@ mod tests {
     use super::*;
     use crate::campaign::run_campaign;
     use crate::fleet::{generate, FleetConfig};
+    use std::sync::OnceLock;
 
-    fn campaign() -> (Fleet, Vec<ProbeResult>) {
-        let fleet = generate(FleetConfig { size: 800, ..FleetConfig::default() });
-        let results = run_campaign(&fleet, 8);
+    fn campaign() -> (&'static Fleet, Vec<ProbeResult<'static>>) {
+        static FLEET: OnceLock<Fleet> = OnceLock::new();
+        let fleet =
+            FLEET.get_or_init(|| generate(FleetConfig { size: 800, ..FleetConfig::default() }));
+        let results = run_campaign(fleet, 8);
         (fleet, results)
     }
 

@@ -2,15 +2,18 @@
 //! responding probe, in parallel, deterministically.
 
 use crate::fleet::{scenario_for, Fleet, ProbeSpec};
+use crate::metrics::MetricsRegistry;
 use crossbeam::thread;
 use interception::{GroundTruth, SimTransport};
-use locator::{HijackLocator, ProbeReport};
+use locator::{HijackLocator, MetricsFolder, ProbeReport};
 
-/// The outcome of measuring one probe.
+/// The outcome of measuring one probe. Borrows its [`ProbeSpec`] from the
+/// fleet rather than cloning it: a 10k-probe campaign allocates reports,
+/// not another copy of the fleet.
 #[derive(Debug, Clone)]
-pub struct ProbeResult {
+pub struct ProbeResult<'a> {
     /// The probe that was measured.
-    pub probe: ProbeSpec,
+    pub probe: &'a ProbeSpec,
     /// The locator's report.
     pub report: ProbeReport,
     /// Simulator ground truth.
@@ -22,21 +25,33 @@ pub struct ProbeResult {
 /// Runs the full campaign. Results come back ordered by probe id; the
 /// computation is embarrassingly parallel and each probe's world is seeded
 /// independently, so thread count does not affect the outcome.
-pub fn run_campaign(fleet: &Fleet, threads: usize) -> Vec<ProbeResult> {
+pub fn run_campaign(fleet: &Fleet, threads: usize) -> Vec<ProbeResult<'_>> {
+    run_campaign_metered(fleet, threads, None)
+}
+
+/// [`run_campaign`], optionally aggregating per-probe metrics into a
+/// shared [`MetricsRegistry`] as workers finish each probe. Because the
+/// registry only ever adds commutative counters, the aggregate — like the
+/// results themselves — is independent of thread count.
+pub fn run_campaign_metered<'a>(
+    fleet: &'a Fleet,
+    threads: usize,
+    registry: Option<&MetricsRegistry>,
+) -> Vec<ProbeResult<'a>> {
     let responding: Vec<&ProbeSpec> = fleet.responding().collect();
     let threads = threads.max(1);
     let chunk = responding.len().div_ceil(threads);
     if chunk == 0 {
         return Vec::new();
     }
-    let mut results: Vec<Option<ProbeResult>> = vec![None; responding.len()];
+    let mut results: Vec<Option<ProbeResult<'a>>> = vec![None; responding.len()];
     thread::scope(|scope| {
         for (slot_chunk, probe_chunk) in
             results.chunks_mut(chunk).zip(responding.chunks(chunk))
         {
             scope.spawn(move |_| {
                 for (slot, probe) in slot_chunk.iter_mut().zip(probe_chunk) {
-                    *slot = Some(measure_probe(fleet, probe));
+                    *slot = Some(measure_probe_metered(fleet, probe, registry));
                 }
             });
         }
@@ -45,49 +60,71 @@ pub fn run_campaign(fleet: &Fleet, threads: usize) -> Vec<ProbeResult> {
     results.into_iter().flatten().collect()
 }
 
-/// Measures a single probe.
-pub fn measure_probe(fleet: &Fleet, probe: &ProbeSpec) -> ProbeResult {
-    let scenario = scenario_for(fleet, probe);
-    let built = scenario.build();
+fn probe_config(fleet: &Fleet, built: &interception::BuiltScenario) -> locator::LocatorConfig {
     let mut config = built.locator_config();
     config.query_options.attempts = fleet.config.attempts;
     config.query_options.retry_backoff_ms = fleet.config.retry_backoff_ms;
-    let truth = built.truth.clone();
+    config
+}
+
+/// Measures a single probe.
+pub fn measure_probe<'a>(fleet: &Fleet, probe: &'a ProbeSpec) -> ProbeResult<'a> {
+    measure_probe_metered(fleet, probe, None)
+}
+
+/// Measures a single probe, folding its trace into `registry` when given.
+pub fn measure_probe_metered<'a>(
+    fleet: &Fleet,
+    probe: &'a ProbeSpec,
+    registry: Option<&MetricsRegistry>,
+) -> ProbeResult<'a> {
+    let built = scenario_for(fleet, probe).build();
+    let config = probe_config(fleet, &built);
     let expected = built.expected;
     let mut transport = SimTransport::new(built);
-    let report = HijackLocator::new(config).run(&mut transport);
-    ProbeResult { probe: probe.clone(), report, truth, expected }
+    let report = match registry {
+        None => HijackLocator::new(config).run(&mut transport),
+        Some(registry) => {
+            let mut folder = MetricsFolder::default();
+            let report = HijackLocator::new(config).run_traced(&mut transport, &mut folder);
+            registry.record(probe.org, &report, &folder.finish());
+            report
+        }
+    };
+    // Ground truth moves out of the consumed scenario — nothing is cloned.
+    let truth = transport.scenario.truth;
+    ProbeResult { probe, report, truth, expected }
 }
 
 /// Measures a single probe while archiving every query/response byte —
 /// the raw dataset a real measurement study publishes.
-pub fn measure_probe_archived(
+pub fn measure_probe_archived<'a>(
     fleet: &Fleet,
-    probe: &ProbeSpec,
-) -> (ProbeResult, crate::raw::RawMeasurement) {
-    let scenario = scenario_for(fleet, probe);
-    let built = scenario.build();
-    let mut config = built.locator_config();
-    config.query_options.attempts = fleet.config.attempts;
-    config.query_options.retry_backoff_ms = fleet.config.retry_backoff_ms;
-    let truth = built.truth.clone();
+    probe: &'a ProbeSpec,
+) -> (ProbeResult<'a>, crate::raw::RawMeasurement) {
+    let built = scenario_for(fleet, probe).build();
+    let config = probe_config(fleet, &built);
     let expected = built.expected;
     let mut recording = crate::raw::RecordingTransport::new(SimTransport::new(built));
     let report = HijackLocator::new(config).run(&mut recording);
-    (
-        ProbeResult { probe: probe.clone(), report, truth, expected },
-        recording.into_measurement(),
-    )
+    let (inner, measurement) = recording.into_parts();
+    let truth = inner.scenario.truth;
+    (ProbeResult { probe, report, truth, expected }, measurement)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fleet::{generate, FleetConfig};
+    use std::sync::OnceLock;
 
-    fn tiny_campaign(threads: usize) -> Vec<ProbeResult> {
-        let fleet = generate(FleetConfig { size: 120, ..FleetConfig::default() });
-        run_campaign(&fleet, threads)
+    fn tiny_fleet() -> &'static Fleet {
+        static FLEET: OnceLock<Fleet> = OnceLock::new();
+        FLEET.get_or_init(|| generate(FleetConfig { size: 120, ..FleetConfig::default() }))
+    }
+
+    fn tiny_campaign(threads: usize) -> Vec<ProbeResult<'static>> {
+        run_campaign(tiny_fleet(), threads)
     }
 
     #[test]
@@ -113,6 +150,41 @@ mod tests {
     }
 
     #[test]
+    fn metered_campaign_changes_no_report_and_aggregates_every_probe() {
+        let fleet = tiny_fleet();
+        let registry = MetricsRegistry::new(fleet.config.orgs.len());
+        let metered = run_campaign_metered(fleet, 4, Some(&registry));
+        let plain = tiny_campaign(4);
+        assert_eq!(metered.len(), plain.len());
+        for (a, b) in metered.iter().zip(&plain) {
+            assert_eq!(a.report, b.report, "metering must not change probe {}", a.probe.id);
+        }
+        let snap = registry.snapshot(&fleet.config.orgs);
+        assert_eq!(snap.probes as usize, metered.len());
+        assert_eq!(
+            snap.intercepted as usize,
+            metered.iter().filter(|r| r.report.intercepted).count()
+        );
+        let total_queries: u64 =
+            metered.iter().map(|r| r.report.queries_sent as u64).sum();
+        let counted: u64 = snap.steps.iter().map(|s| s.queries).sum();
+        assert_eq!(counted, total_queries);
+        // Location-step latency histograms fill in (sim clocks run).
+        assert!(snap.steps[locator::Step::Location.index()].latency.count() > 0);
+    }
+
+    #[test]
+    fn metered_aggregation_is_thread_count_invariant() {
+        let fleet = tiny_fleet();
+        let snapshot = |threads: usize| {
+            let registry = MetricsRegistry::new(fleet.config.orgs.len());
+            run_campaign_metered(fleet, threads, Some(&registry));
+            registry.snapshot(&fleet.config.orgs)
+        };
+        assert_eq!(snapshot(1), snapshot(7));
+    }
+
+    #[test]
     fn archived_measurement_matches_live_report() {
         let fleet = generate(FleetConfig { size: 60, ..FleetConfig::default() });
         let probe = fleet.responding().next().unwrap();
@@ -129,8 +201,10 @@ mod tests {
         // Timeout cells) but never flip an interception verdict — quota
         // probes are loss-free, so their wire traffic is identical.
         let base = FleetConfig { size: 300, flaky_rate: 0.25, ..FleetConfig::default() };
-        let single = run_campaign(&generate(base.clone()), 4);
-        let retried = run_campaign(&generate(FleetConfig { attempts: 3, ..base }), 4);
+        let fleet_single = generate(base.clone());
+        let fleet_retried = generate(FleetConfig { attempts: 3, ..base });
+        let single = run_campaign(&fleet_single, 4);
+        let retried = run_campaign(&fleet_retried, 4);
         let timeout_cells = |results: &[ProbeResult]| -> usize {
             results
                 .iter()

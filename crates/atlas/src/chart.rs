@@ -126,4 +126,44 @@ mod tests {
         let chart = figure4_chart(&Figure4::default());
         assert!(chart.contains("CPE"));
     }
+
+    #[test]
+    fn empty_campaign_charts_are_legend_only() {
+        // An aggregated-then-charted campaign with zero probes: the full
+        // pipeline must degrade to just the legends, one per figure.
+        let fleet = crate::fleet::generate(crate::fleet::FleetConfig {
+            size: 0,
+            ..crate::fleet::FleetConfig::default()
+        });
+        let results = crate::campaign::run_campaign(&fleet, 4);
+        assert!(results.is_empty());
+        let f3 = figure3_chart(&crate::aggregate::figure3(&fleet, &results, 15));
+        assert_eq!(f3.lines().count(), 1, "no bars, only the legend: {f3:?}");
+        let f4 = figure4_chart(&crate::aggregate::figure4(&fleet, &results, 15));
+        assert_eq!(f4.lines().count(), 3, "legend plus two empty panel headers: {f4:?}");
+    }
+
+    #[test]
+    fn zero_valued_bars_render_without_glyphs() {
+        let fig = Figure3 {
+            bars: vec![
+                Figure3Bar { org: "Comcast".into(), asn: 7922, transparent: 12, ..Default::default() },
+                Figure3Bar { org: "Ghost".into(), asn: 1, ..Default::default() },
+            ],
+        };
+        let chart = figure3_chart(&fig);
+        let ghost = chart.lines().find(|l| l.contains("Ghost")).unwrap();
+        assert!(ghost.ends_with('|'), "zero bar draws nothing after the axis: {ghost:?}");
+        assert!(ghost.contains("(  0)"));
+    }
+
+    #[test]
+    fn segments_never_exceed_the_bar_area_individually() {
+        // Rounding up each stacked segment must still cap at BAR_WIDTH.
+        let segments = bar_segments(&[(1_000_000, '█')], 1);
+        assert_eq!(segments.chars().count(), BAR_WIDTH);
+        let tiny = bar_segments(&[(1, '█'), (1, '▒')], 1_000_000);
+        // Nonzero counts always show at least one cell each (div_ceil).
+        assert_eq!(tiny, "█▒");
+    }
 }

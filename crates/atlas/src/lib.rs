@@ -16,6 +16,7 @@ mod campaign;
 mod chart;
 mod flavor;
 mod fleet;
+mod metrics;
 mod orgs;
 mod raw;
 
@@ -23,8 +24,12 @@ pub use aggregate::{
     accuracy, figure3, figure4, retry_stats, table4, table5, table5_pattern, AccuracyStats,
     Figure3, Figure3Bar, Figure4, Figure4Bar, RetryStats, Table4, Table4Row, Table5,
 };
-pub use campaign::{measure_probe, measure_probe_archived, run_campaign, ProbeResult};
+pub use campaign::{
+    measure_probe, measure_probe_archived, measure_probe_metered, run_campaign,
+    run_campaign_metered, ProbeResult,
+};
 pub use chart::{figure3_chart, figure4_chart};
+pub use metrics::{AsVerdicts, CampaignMetrics, MetricsRegistry};
 pub use flavor::{region_of_country, Flavor};
 pub use fleet::{generate, scenario_for, Fleet, FleetConfig, ProbeSpec};
 pub use orgs::{default_catalog, OrgSpec};

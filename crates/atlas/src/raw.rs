@@ -66,6 +66,11 @@ impl<T> RecordingTransport<T> {
     pub fn into_measurement(self) -> RawMeasurement {
         self.measurement
     }
+
+    /// Finishes, returning the wrapped transport alongside the archive.
+    pub fn into_parts(self) -> (T, RawMeasurement) {
+        (self.inner, self.measurement)
+    }
 }
 
 impl<T: QueryTransport> QueryTransport for RecordingTransport<T> {
@@ -94,6 +99,12 @@ impl<T: QueryTransport> QueryTransport for RecordingTransport<T> {
 
     fn backoff(&mut self, ms: u64) {
         self.inner.backoff(ms);
+    }
+
+    fn now_us(&self) -> Option<u64> {
+        // Recording is transparent to tracing: timestamps come from the
+        // wrapped transport's clock.
+        self.inner.now_us()
     }
 }
 

@@ -1,8 +1,35 @@
 //! Campaign scalability: wall time of the fleet survey as the probe count
-//! grows (the pilot study runs ~10k; these sizes keep criterion honest).
+//! grows (the pilot study runs ~10k; these sizes keep criterion honest),
+//! plus an allocation-flatness regression gate — the campaign must
+//! allocate O(probes), with a constant per-probe cost that does not creep
+//! up with fleet size (e.g. by re-cloning fleet-wide state per probe).
 
 use atlas_sim::{generate, run_campaign, FleetConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts allocations made anywhere in the process; the flatness gate
+/// reads deltas around a campaign run.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
 
 fn bench_fleet_sizes(c: &mut Criterion) {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
@@ -24,5 +51,49 @@ fn bench_fleet_generation(c: &mut Criterion) {
     });
 }
 
+/// Allocations per responding probe for a benign-only fleet of `size`
+/// (quotas cleared so the household mix — and thus the per-probe query
+/// count — is the same at every size).
+fn allocations_per_probe(size: usize) -> (f64, f64) {
+    let mut config = FleetConfig { size, ..FleetConfig::default() };
+    for org in &mut config.orgs {
+        org.quotas.clear();
+    }
+    let fleet = generate(config);
+    let probes = fleet.responding().count() as f64;
+    let (count0, bytes0) =
+        (ALLOCATIONS.load(Ordering::Relaxed), ALLOCATED_BYTES.load(Ordering::Relaxed));
+    let results = run_campaign(&fleet, 1);
+    let (count1, bytes1) =
+        (ALLOCATIONS.load(Ordering::Relaxed), ALLOCATED_BYTES.load(Ordering::Relaxed));
+    drop(results);
+    ((count1 - count0) as f64 / probes, (bytes1 - bytes0) as f64 / probes)
+}
+
+/// The regression gate itself: per-probe allocation cost must not grow
+/// with the fleet. `measure_probe` borrowing the spec and moving ground
+/// truth (instead of cloning both) keeps this flat; an accidental
+/// per-probe clone of anything fleet-sized would fail the ratio check.
+fn assert_allocation_flatness() {
+    let (small_count, small_bytes) = allocations_per_probe(300);
+    let (large_count, large_bytes) = allocations_per_probe(1200);
+    eprintln!(
+        "allocation flatness: {small_count:.0} allocs/probe ({small_bytes:.0} B) at 300 \
+         vs {large_count:.0} allocs/probe ({large_bytes:.0} B) at 1200"
+    );
+    assert!(
+        large_count <= small_count * 1.10,
+        "per-probe allocation count grew with fleet size: {small_count:.0} -> {large_count:.0}"
+    );
+    assert!(
+        large_bytes <= small_bytes * 1.10,
+        "per-probe allocated bytes grew with fleet size: {small_bytes:.0} -> {large_bytes:.0}"
+    );
+}
+
 criterion_group!(benches, bench_fleet_sizes, bench_fleet_generation);
-criterion_main!(benches);
+
+fn main() {
+    assert_allocation_flatness();
+    benches();
+}

@@ -10,8 +10,8 @@
 //! ```
 
 use atlas_sim::{
-    accuracy, figure3, figure4, generate, retry_stats, run_campaign, table4, table5, Fleet,
-    FleetConfig, ProbeResult,
+    accuracy, figure3, figure4, generate, retry_stats, run_campaign_metered, table4, table5,
+    Fleet, FleetConfig, MetricsRegistry, ProbeResult,
 };
 use interception::{CpeModelKind, HomeScenario, MiddleboxSpec, SimTransport};
 use locator::{
@@ -33,6 +33,7 @@ struct Args {
     retry_backoff_ms: u64,
     json: Option<String>,
     archives: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +50,7 @@ fn parse_args() -> Args {
         retry_backoff_ms: 0,
         json: None,
         archives: None,
+        metrics: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -70,11 +72,12 @@ fn parse_args() -> Args {
             "--retry-backoff" => args.retry_backoff_ms = take(&mut i).parse().unwrap_or(0),
             "--json" => args.json = Some(take(&mut i)),
             "--archives" => args.archives = Some(take(&mut i)),
+            "--metrics" => args.metrics = Some(take(&mut i)),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--all] [--table N] [--figure N] [--case xb6] \
                      [--appendix a] [--size N] [--seed N] [--threads N] [--attempts N] \
-                     [--retry-backoff MS] [--json PATH] [--archives PATH]"
+                     [--retry-backoff MS] [--json PATH] [--archives PATH] [--metrics PATH]"
                 );
                 std::process::exit(0);
             }
@@ -98,7 +101,8 @@ fn main() {
         || matches!(args.table, Some(4) | Some(5))
         || args.figure.is_some()
         || args.json.is_some()
-        || args.archives.is_some();
+        || args.archives.is_some()
+        || args.metrics.is_some();
 
     if args.all || args.table == Some(1) {
         print_table1();
@@ -107,29 +111,35 @@ fn main() {
         print_tables_2_and_3();
     }
 
-    let campaign = needs_campaign.then(|| {
+    // Results borrow probe specs from the fleet, so the fleet must outlive
+    // them — generate first, then measure.
+    let fleet = needs_campaign.then(|| {
         eprintln!(
             "running campaign: {} probes, seed {}, {} threads…",
             args.size, args.seed, args.threads
         );
-        let fleet = generate(FleetConfig {
+        generate(FleetConfig {
             size: args.size,
             seed: args.seed,
             attempts: args.attempts,
             retry_backoff_ms: args.retry_backoff_ms,
             ..FleetConfig::default()
-        });
+        })
+    });
+    let campaign = fleet.as_ref().map(|fleet| {
+        let registry =
+            args.metrics.as_ref().map(|_| MetricsRegistry::new(fleet.config.orgs.len()));
         let started = std::time::Instant::now();
-        let results = run_campaign(&fleet, args.threads);
+        let results = run_campaign_metered(fleet, args.threads, registry.as_ref());
         eprintln!(
             "campaign done: {} probes measured in {:.1}s",
             results.len(),
             started.elapsed().as_secs_f64()
         );
-        (fleet, results)
+        (fleet, results, registry)
     });
 
-    if let Some((fleet, results)) = &campaign {
+    if let Some((fleet, results, registry)) = &campaign {
         if args.all || args.table == Some(4) {
             println!("{}", table4(results));
         }
@@ -157,6 +167,9 @@ fn main() {
         }
         if let Some(path) = &args.archives {
             write_archives(path, fleet, results);
+        }
+        if let (Some(path), Some(registry)) = (&args.metrics, registry) {
+            write_metrics(path, fleet, registry);
         }
     }
 
@@ -199,20 +212,9 @@ fn print_table1() {
 /// version.bind answers.
 fn print_tables_2_and_3() {
     // Probe 1053: clean. Probe 11992: ISP middlebox whose resolver answers
-    // CHAOS with NOTIMP. Probe 21823: unbound-based CPE interceptor.
-    let probes: Vec<(&str, HomeScenario)> = vec![
-        ("1053", HomeScenario::clean()),
-        ("11992", {
-            let mut s = HomeScenario::isp_middlebox();
-            s.isp.resolver_version = "NOTIMP".into();
-            s.cpe_model = CpeModelKind::OpenWanForwarderNxDomain;
-            s
-        }),
-        ("21823", HomeScenario {
-            cpe_model: CpeModelKind::UnboundInterceptor { version: "1.9.0".into() },
-            ..HomeScenario::clean()
-        }),
-    ];
+    // CHAOS with NOTIMP. Probe 21823: unbound-based CPE interceptor. The
+    // same households anchor the golden-trace suite.
+    let probes = HomeScenario::worked_examples();
 
     let resolvers = default_resolvers();
     let cloudflare = &resolvers[0];
@@ -336,7 +338,7 @@ fn write_archives(path: &str, fleet: &Fleet, results: &[ProbeResult]) {
     let mut out = String::new();
     let mut count = 0;
     for r in results.iter().filter(|r| r.report.intercepted) {
-        let (_, measurement) = atlas_sim::measure_probe_archived(fleet, &r.probe);
+        let (_, measurement) = atlas_sim::measure_probe_archived(fleet, r.probe);
         let org = &fleet.config.orgs[r.probe.org];
         let line = Line {
             probe_id: r.probe.id,
@@ -350,6 +352,20 @@ fn write_archives(path: &str, fleet: &Fleet, results: &[ProbeResult]) {
     }
     match std::fs::write(path, out) {
         Ok(()) => eprintln!("wrote raw archives for {count} intercepted probes to {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+/// Writes the campaign's aggregated metrics (per-step counters, latency
+/// histograms in sim-time, per-AS verdict tallies) as JSON. The output is
+/// bit-for-bit reproducible for a given fleet configuration, so CI can
+/// diff it against a checked-in expectation.
+fn write_metrics(path: &str, fleet: &Fleet, registry: &MetricsRegistry) {
+    let snapshot = registry.snapshot(&fleet.config.orgs);
+    let mut json = serde_json::to_string_pretty(&snapshot).expect("serializable");
+    json.push('\n');
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote campaign metrics to {path}"),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }
 }

@@ -30,6 +30,8 @@ struct Options {
     retry_backoff_ms: u64,
     test_v6: bool,
     json: bool,
+    trace: bool,
+    metrics_json: bool,
     run_ttl_scan: bool,
     investigate: bool,
     help: bool,
@@ -45,6 +47,8 @@ impl Default for Options {
             retry_backoff_ms: 0,
             test_v6: true,
             json: false,
+            trace: false,
+            metrics_json: false,
             run_ttl_scan: false,
             investigate: false,
             help: false,
@@ -90,6 +94,15 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--no-v6" => opts.test_v6 = false,
             "--json" => opts.json = true,
+            "--trace" => opts.trace = true,
+            "--metrics" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("json") => opts.metrics_json = true,
+                    Some(other) => return Err(format!("unknown metrics format {other}")),
+                    None => return Err("--metrics needs a format (json)".into()),
+                }
+            }
             "--ttl-scan" => opts.run_ttl_scan = true,
             "--investigate" => opts.investigate = true,
             "--help" | "-h" => opts.help = true,
@@ -112,6 +125,9 @@ options:
   --retry-backoff <ms>  wait between attempts (default 0)
   --no-v6           skip IPv6 location queries
   --json            print the full report as JSON
+  --trace           print one line per trace event (queries, wire
+                    attempts, accepted/dropped responses, verdicts)
+  --metrics json    print per-step query/latency metrics as JSON
   --ttl-scan        additionally run the TTL-scan hop localization (§6)
   --investigate     run the full battery (three-step + DNSSEC-AD +
                     NXDOMAIN-wildcard corroboration) and print a summary
@@ -144,13 +160,24 @@ fn main() -> ExitCode {
         ..LocatorConfig::default()
     };
     let mut transport = UdpTransport::default();
+    // One recorder serves both observability flags: --trace prints the
+    // events, --metrics folds them. Without either, the locator runs with
+    // the zero-cost NullSink.
+    let tracing = opts.trace || opts.metrics_json;
+    let mut recorder = locator::TraceRecorder::default();
     if opts.investigate {
         let inv_config = locator::InvestigationConfig {
             locator: config,
             ttl_budget: opts.run_ttl_scan.then_some(20),
             ..locator::InvestigationConfig::default()
         };
-        let investigation = locator::Investigator::new(inv_config).run(&mut transport);
+        let investigator = locator::Investigator::new(inv_config);
+        let investigation = if tracing {
+            investigator.run_traced(&mut transport, &mut recorder)
+        } else {
+            investigator.run(&mut transport)
+        };
+        print_observability(&opts, &recorder.events);
         if opts.json {
             match serde_json::to_string_pretty(&investigation) {
                 Ok(json) => println!("{json}"),
@@ -169,7 +196,13 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         };
     }
-    let report = HijackLocator::new(config).run(&mut transport);
+    let mut locator = HijackLocator::new(config);
+    let report = if tracing {
+        locator.run_traced(&mut transport, &mut recorder)
+    } else {
+        locator.run(&mut transport)
+    };
+    print_observability(&opts, &recorder.events);
 
     if opts.json {
         match serde_json::to_string_pretty(&report) {
@@ -191,6 +224,25 @@ fn main() -> ExitCode {
         ExitCode::FAILURE // non-zero so scripts can alert on interception
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Renders the recorded trace and/or folded metrics, per the flags.
+fn print_observability(opts: &Options, events: &[locator::TraceEvent]) {
+    if opts.trace {
+        for event in events {
+            println!("{event}");
+        }
+        if !events.is_empty() {
+            println!();
+        }
+    }
+    if opts.metrics_json {
+        let metrics = locator::ProbeMetrics::from_events(events);
+        match serde_json::to_string_pretty(&metrics) {
+            Ok(json) => println!("{json}"),
+            Err(e) => eprintln!("error rendering metrics: {e}"),
+        }
     }
 }
 
@@ -318,6 +370,18 @@ mod tests {
         let o = parse(&[]).unwrap();
         assert_eq!(o.attempts, 1);
         assert_eq!(o.retry_backoff_ms, 0);
+    }
+
+    #[test]
+    fn observability_flags() {
+        let o = parse(&args(&["--trace", "--metrics", "json"])).unwrap();
+        assert!(o.trace);
+        assert!(o.metrics_json);
+        let o = parse(&[]).unwrap();
+        assert!(!o.trace);
+        assert!(!o.metrics_json);
+        assert!(parse(&args(&["--metrics"])).is_err());
+        assert!(parse(&args(&["--metrics", "xml"])).is_err());
     }
 
     #[test]

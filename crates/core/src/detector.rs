@@ -15,12 +15,14 @@
 //! reveals whether intercepted queries still resolve correctly.
 
 use crate::report::{
-    BogonEvidence, BogonOutcome, CpeEvidence, InterceptionMatrix, InterceptorLocation,
-    LocationTestResult, PerResolver, ProbeReport, Transparency, VersionBindAnswer,
+    BogonEvidence, BogonOutcome, CpeEvidence, EvidenceRef, InterceptionMatrix,
+    InterceptorLocation, LocationTestResult, PerResolver, ProbeReport, Provenance,
+    StepProvenance, Transparency, VersionBindAnswer,
 };
 use crate::resolvers::{default_resolvers, PublicResolver};
+use crate::trace::{NullSink, Step, TraceEvent, TraceSink};
 use crate::transport::{
-    query_with_retry, QueryOptions, QueryOutcome, QueryTransport, TxidSequence,
+    query_with_retry_traced, QueryCtx, QueryOptions, QueryOutcome, QueryTransport, TxidSequence,
 };
 use dns_wire::debug_queries;
 use dns_wire::{Message, Name, Question, RData, RType, Rcode};
@@ -97,12 +99,30 @@ impl HijackLocator {
     }
 
     /// Runs the full three-step technique plus the transparency test.
+    ///
+    /// Equivalent to [`run_traced`](HijackLocator::run_traced) with the
+    /// disabled sink; the report (provenance included) is identical.
     pub fn run<T: QueryTransport>(&mut self, transport: &mut T) -> ProbeReport {
+        self.run_traced(transport, &mut NullSink)
+    }
+
+    /// Runs the full technique, delivering structured events to `sink`.
+    ///
+    /// Provenance on the returned report is collected unconditionally — it
+    /// is part of the result, not of the trace — so disabling tracing
+    /// changes no verdict and no report field.
+    pub fn run_traced<T: QueryTransport, S: TraceSink>(
+        &mut self,
+        transport: &mut T,
+        sink: &mut S,
+    ) -> ProbeReport {
         self.queries_sent = 0;
         self.wire_attempts = 0;
         self.retried_queries = 0;
-        let matrix = self.step1_location_queries(transport);
+        let (matrix, p1) = self.step1_traced(transport, sink);
+        emit_verdict(transport, sink, Step::Location, &p1);
         let intercepted = matrix.any_intercepted();
+        let mut provenance = Provenance { step1: Some(p1), ..Provenance::default() };
 
         let mut cpe = None;
         let mut bogon = None;
@@ -110,24 +130,45 @@ impl HijackLocator {
         let mut transparency = None;
 
         if intercepted {
-            let evidence = self.step2_cpe_check(transport, &matrix);
+            let (evidence, p2) = self.step2_traced(transport, sink, &matrix);
             let cpe_is_interceptor =
                 evidence.as_ref().map(|e| e.cpe_is_interceptor).unwrap_or(false);
             cpe = evidence;
+            if let Some(p2) = p2 {
+                emit_verdict(transport, sink, Step::CpeCheck, &p2);
+                provenance.step2 = Some(p2);
+            }
             if cpe_is_interceptor {
                 location = Some(InterceptorLocation::Cpe);
             } else {
-                let ev = self.step3_bogon_check(transport);
+                let (ev, p3) = self.step3_traced(transport, sink);
                 let answered = matches!(ev.v4, BogonOutcome::Answered { .. })
                     || matches!(ev.v6, BogonOutcome::Answered { .. });
                 bogon = Some(ev);
+                emit_verdict(transport, sink, Step::Bogon, &p3);
+                provenance.step3 = Some(p3);
                 location = Some(if answered {
                     InterceptorLocation::WithinIsp
                 } else {
                     InterceptorLocation::BeyondOrUnknown
                 });
             }
-            transparency = self.transparency_check(transport, &matrix);
+            let (t, pt) = self.transparency_traced(transport, sink, &matrix);
+            transparency = t;
+            if let Some(pt) = pt {
+                emit_verdict(transport, sink, Step::Transparency, &pt);
+                provenance.transparency = Some(pt);
+            }
+        }
+
+        if sink.enabled() {
+            sink.record(TraceEvent::RunFinished {
+                intercepted,
+                location: location.map(|l| l.to_string()),
+                queries_sent: self.queries_sent,
+                wire_attempts: self.wire_attempts,
+                at_us: transport.now_us(),
+            });
         }
 
         ProbeReport {
@@ -140,6 +181,7 @@ impl HijackLocator {
             queries_sent: self.queries_sent,
             wire_attempts: self.wire_attempts,
             retried_queries: self.retried_queries,
+            provenance,
         }
     }
 
@@ -149,45 +191,75 @@ impl HijackLocator {
         &mut self,
         transport: &mut T,
     ) -> InterceptionMatrix {
-        let mut matrix = InterceptionMatrix::default();
-        let resolvers = self.config.resolvers.clone();
-        for resolver in &resolvers {
-            *matrix.v4.get_mut(resolver.key) =
-                self.location_test(transport, resolver, &resolver.v4);
-            if self.config.test_ipv6 {
-                *matrix.v6.get_mut(resolver.key) =
-                    self.location_test(transport, resolver, &resolver.v6);
-            }
-        }
-        matrix
+        self.step1_traced(transport, &mut NullSink).0
     }
 
-    fn location_test<T: QueryTransport>(
+    fn step1_traced<T: QueryTransport, S: TraceSink>(
         &mut self,
         transport: &mut T,
+        sink: &mut S,
+    ) -> (InterceptionMatrix, StepProvenance) {
+        let mut matrix = InterceptionMatrix::default();
+        // Every query's evidence, in issue order; `deciding` keeps only the
+        // non-standard responses that flipped cells to intercepted.
+        let mut all_refs = Vec::new();
+        let mut deciding = Vec::new();
+        let resolvers = self.config.resolvers.clone();
+        for resolver in &resolvers {
+            let mut families: Vec<&[IpAddr; 2]> = vec![&resolver.v4];
+            if self.config.test_ipv6 {
+                families.push(&resolver.v6);
+            }
+            for (fi, addrs) in families.into_iter().enumerate() {
+                let (result, refs) = self.location_test(transport, sink, resolver, addrs);
+                if result.is_intercepted() {
+                    // The early-return rule makes the last query the
+                    // non-standard one.
+                    deciding.extend(refs.last().cloned());
+                }
+                all_refs.extend(refs);
+                let side = if fi == 0 { &mut matrix.v4 } else { &mut matrix.v6 };
+                *side.get_mut(resolver.key) = result;
+            }
+        }
+        let intercepted = matrix.any_intercepted();
+        let provenance = StepProvenance {
+            verdict: if intercepted { "intercepted" } else { "not intercepted" }.into(),
+            cited: if intercepted { deciding } else { all_refs },
+        };
+        (matrix, provenance)
+    }
+
+    fn location_test<T: QueryTransport, S: TraceSink>(
+        &mut self,
+        transport: &mut T,
+        sink: &mut S,
         resolver: &PublicResolver,
         addrs: &[IpAddr; 2],
-    ) -> LocationTestResult {
+    ) -> (LocationTestResult, Vec<EvidenceRef>) {
         let mut saw_response = false;
+        let mut refs = Vec::new();
         for &addr in addrs {
             let question = resolver.location_query();
-            match self.send(transport, addr, question) {
+            let sent = self.send(transport, sink, Step::Location, addr, question);
+            let outcome = sent.outcome;
+            refs.push(sent.evidence);
+            match outcome {
                 QueryOutcome::Response(msg) => {
                     saw_response = true;
                     if !resolver.is_standard_location_response(&msg) {
-                        return LocationTestResult::NonStandard {
-                            observed: describe_response(&msg),
-                        };
+                        return (
+                            LocationTestResult::NonStandard { observed: describe_response(&msg) },
+                            refs,
+                        );
                     }
                 }
                 QueryOutcome::Timeout => {}
             }
         }
-        if saw_response {
-            LocationTestResult::Standard
-        } else {
-            LocationTestResult::Timeout
-        }
+        let result =
+            if saw_response { LocationTestResult::Standard } else { LocationTestResult::Timeout };
+        (result, refs)
     }
 
     /// Step 2 (§3.2): `version.bind` to the CPE's public IP and to each
@@ -200,6 +272,15 @@ impl HijackLocator {
         transport: &mut T,
         matrix: &InterceptionMatrix,
     ) -> Option<CpeEvidence> {
+        self.step2_traced(transport, &mut NullSink, matrix).0
+    }
+
+    fn step2_traced<T: QueryTransport, S: TraceSink>(
+        &mut self,
+        transport: &mut T,
+        sink: &mut S,
+        matrix: &InterceptionMatrix,
+    ) -> (Option<CpeEvidence>, Option<StepProvenance>) {
         // Follow the paper: v4 is the primary lens. Fall back to the v6
         // lens when v4 cannot be used — either interception was exclusively
         // observed on v6, or the probe never learned its public v4 address
@@ -208,22 +289,30 @@ impl HijackLocator {
         let intercepted_v6 = matrix.intercepted_v6();
         let (cpe_addr, intercepted, use_v4) =
             if !intercepted_v4.is_empty() && self.config.cpe_public_v4.is_some() {
-                (self.config.cpe_public_v4?, intercepted_v4, true)
+                match self.config.cpe_public_v4 {
+                    Some(addr) => (addr, intercepted_v4, true),
+                    None => return (None, None),
+                }
             } else if !intercepted_v6.is_empty() && self.config.cpe_public_v6.is_some() {
-                (self.config.cpe_public_v6?, intercepted_v6, false)
+                match self.config.cpe_public_v6 {
+                    Some(addr) => (addr, intercepted_v6, false),
+                    None => return (None, None),
+                }
             } else {
-                return None;
+                return (None, None);
             };
 
-        let cpe_response = self.version_bind_to(transport, cpe_addr);
+        let (cpe_response, cpe_ref) = self.version_bind_to(transport, sink, cpe_addr);
 
         let mut resolver_responses: PerResolver<Option<VersionBindAnswer>> =
             PerResolver::default();
+        let mut resolver_refs: PerResolver<Option<EvidenceRef>> = PerResolver::default();
         let resolvers = self.config.resolvers.clone();
         for resolver in &resolvers {
             let addr = if use_v4 { resolver.v4[0] } else { resolver.v6[0] };
-            let answer = self.version_bind_to(transport, addr);
+            let (answer, evidence) = self.version_bind_to(transport, sink, addr);
             *resolver_responses.get_mut(resolver.key) = Some(answer);
+            *resolver_refs.get_mut(resolver.key) = Some(evidence);
         }
 
         // Verdict: the CPE answered with a string, and every *intercepted*
@@ -240,30 +329,74 @@ impl HijackLocator {
             None => false,
         };
 
-        Some(CpeEvidence { cpe_response, resolver_responses, cpe_is_interceptor })
+        // Cite the CPE's own answer plus the answers attributed to the
+        // *intercepted* resolvers — exactly the strings the verdict compared.
+        let mut cited = vec![cpe_ref];
+        for &key in &intercepted {
+            cited.extend(resolver_refs.get(key).clone());
+        }
+        let provenance = StepProvenance {
+            verdict: if cpe_is_interceptor { "CPE is the interceptor" } else { "CPE ruled out" }
+                .into(),
+            cited,
+        };
+        (
+            Some(CpeEvidence { cpe_response, resolver_responses, cpe_is_interceptor }),
+            Some(provenance),
+        )
     }
 
     /// Step 3 (§3.3): bogon queries in both families.
     pub fn step3_bogon_check<T: QueryTransport>(&mut self, transport: &mut T) -> BogonEvidence {
+        self.step3_traced(transport, &mut NullSink).0
+    }
+
+    fn step3_traced<T: QueryTransport, S: TraceSink>(
+        &mut self,
+        transport: &mut T,
+        sink: &mut S,
+    ) -> (BogonEvidence, StepProvenance) {
+        let mut refs = Vec::new();
+        let mut answered_refs = Vec::new();
         let q4 = Question::new(self.config.probe_domain.clone(), RType::A);
-        let v4 = match self.send(transport, self.config.bogon_v4, q4) {
+        let sent = self.send(transport, sink, Step::Bogon, self.config.bogon_v4, q4);
+        let v4 = match sent.outcome {
             QueryOutcome::Response(msg) => {
+                answered_refs.push(sent.evidence.clone());
                 BogonOutcome::Answered { observed: describe_response(&msg) }
             }
             QueryOutcome::Timeout => BogonOutcome::Silent,
         };
+        refs.push(sent.evidence);
         let v6 = if self.config.test_ipv6 {
             let q6 = Question::new(self.config.probe_domain.clone(), RType::Aaaa);
-            match self.send(transport, self.config.bogon_v6, q6) {
+            let sent = self.send(transport, sink, Step::Bogon, self.config.bogon_v6, q6);
+            let outcome = match sent.outcome {
                 QueryOutcome::Response(msg) => {
+                    answered_refs.push(sent.evidence.clone());
                     BogonOutcome::Answered { observed: describe_response(&msg) }
                 }
                 QueryOutcome::Timeout => BogonOutcome::Silent,
-            }
+            };
+            refs.push(sent.evidence);
+            outcome
         } else {
             BogonOutcome::NotTested
         };
-        BogonEvidence { v4, v6 }
+        let answered = !answered_refs.is_empty();
+        let provenance = StepProvenance {
+            verdict: if answered {
+                "answered: interceptor within ISP"
+            } else {
+                "silent: beyond or unknown"
+            }
+            .into(),
+            // An answer is positive proof — cite it alone. Silence cites
+            // every (unanswered) bogon query: the verdict rests on all of
+            // them staying quiet.
+            cited: if answered { answered_refs } else { refs },
+        };
+        (BogonEvidence { v4, v6 }, provenance)
     }
 
     /// Transparency test (§4.1.2): `A` query for the whoami name to every
@@ -273,8 +406,18 @@ impl HijackLocator {
         transport: &mut T,
         matrix: &InterceptionMatrix,
     ) -> Option<Transparency> {
+        self.transparency_traced(transport, &mut NullSink, matrix).0
+    }
+
+    fn transparency_traced<T: QueryTransport, S: TraceSink>(
+        &mut self,
+        transport: &mut T,
+        sink: &mut S,
+        matrix: &InterceptionMatrix,
+    ) -> (Option<Transparency>, Option<StepProvenance>) {
         let mut transparent = 0u32;
         let mut modified = 0u32;
+        let mut cited = Vec::new();
         let resolvers = self.config.resolvers.clone();
         for resolver in &resolvers {
             let intercepted_v4 = matrix.v4.get(resolver.key).is_intercepted();
@@ -285,8 +428,10 @@ impl HijackLocator {
             let addr = if intercepted_v4 { resolver.v4[0] } else { resolver.v6[0] };
             let qtype = if intercepted_v4 { RType::A } else { RType::Aaaa };
             let q = Question::new(self.config.whoami_domain.clone(), qtype);
-            match self.send(transport, addr, q) {
+            let sent = self.send(transport, sink, Step::Transparency, addr, q);
+            match sent.outcome {
                 QueryOutcome::Response(msg) => {
+                    cited.push(sent.evidence);
                     if msg.header.rcode.is_error() {
                         modified += 1;
                     } else if msg
@@ -302,53 +447,110 @@ impl HijackLocator {
                 QueryOutcome::Timeout => {}
             }
         }
-        match (transparent, modified) {
-            (0, 0) => None,
-            (_, 0) => Some(Transparency::Transparent),
-            (0, _) => Some(Transparency::StatusModified),
-            _ => Some(Transparency::Both),
-        }
+        let verdict = match (transparent, modified) {
+            (0, 0) => return (None, None),
+            (_, 0) => Transparency::Transparent,
+            (0, _) => Transparency::StatusModified,
+            _ => Transparency::Both,
+        };
+        (Some(verdict), Some(StepProvenance { verdict: verdict.to_string(), cited }))
     }
 
-    fn version_bind_to<T: QueryTransport>(
+    fn version_bind_to<T: QueryTransport, S: TraceSink>(
         &mut self,
         transport: &mut T,
+        sink: &mut S,
         addr: IpAddr,
-    ) -> VersionBindAnswer {
+    ) -> (VersionBindAnswer, EvidenceRef) {
         let q = Question::chaos_txt(debug_queries::version_bind());
-        match self.send(transport, addr, q) {
+        let sent = self.send(transport, sink, Step::CpeCheck, addr, q);
+        let answer = match sent.outcome {
             QueryOutcome::Response(msg) => {
                 if msg.header.rcode != Rcode::NoError {
-                    return VersionBindAnswer::Error(msg.header.rcode.to_string());
-                }
-                match msg.answers.iter().find_map(|r| r.rdata.txt_string()) {
-                    Some(text) => VersionBindAnswer::Text(text),
-                    None => VersionBindAnswer::Error("EMPTY".into()),
+                    VersionBindAnswer::Error(msg.header.rcode.to_string())
+                } else {
+                    match msg.answers.iter().find_map(|r| r.rdata.txt_string()) {
+                        Some(text) => VersionBindAnswer::Text(text),
+                        None => VersionBindAnswer::Error("EMPTY".into()),
+                    }
                 }
             }
             QueryOutcome::Timeout => VersionBindAnswer::Timeout,
-        }
+        };
+        (answer, sent.evidence)
     }
 
-    fn send<T: QueryTransport>(
+    fn send<T: QueryTransport, S: TraceSink>(
         &mut self,
         transport: &mut T,
+        sink: &mut S,
+        step: Step,
         server: IpAddr,
         question: Question,
-    ) -> QueryOutcome {
+    ) -> Sent {
+        let seq = self.queries_sent;
         self.queries_sent += 1;
-        let retried = query_with_retry(
+        if sink.enabled() {
+            sink.record(TraceEvent::QueryIssued {
+                seq,
+                step,
+                server,
+                qname: question.qname.to_string(),
+                qtype: question.qtype.to_u16(),
+                qclass: question.qclass.to_u16(),
+                at_us: transport.now_us(),
+            });
+        }
+        let retried = query_with_retry_traced(
             transport,
             server,
             &question,
             &mut self.txids,
             self.config.query_options,
+            sink,
+            QueryCtx { seq, step },
         );
         self.wire_attempts += retried.attempts_used;
         if retried.attempts_used > 1 {
             self.retried_queries += 1;
         }
-        retried.outcome
+        let observed = match &retried.outcome {
+            QueryOutcome::Response(msg) => describe_response(msg),
+            QueryOutcome::Timeout => "TIMEOUT".into(),
+        };
+        Sent {
+            outcome: retried.outcome,
+            evidence: EvidenceRef {
+                seq,
+                server,
+                txid: retried.txid,
+                attempts: retried.attempts_used,
+                observed,
+            },
+        }
+    }
+}
+
+/// Outcome of one locator query plus the evidence reference describing it.
+struct Sent {
+    outcome: QueryOutcome,
+    evidence: EvidenceRef,
+}
+
+/// Emits a `StepVerdict` event mirroring `provenance` when `sink` is live.
+fn emit_verdict<T: QueryTransport, S: TraceSink>(
+    transport: &T,
+    sink: &mut S,
+    step: Step,
+    provenance: &StepProvenance,
+) {
+    if sink.enabled() {
+        sink.record(TraceEvent::StepVerdict {
+            step,
+            verdict: provenance.verdict.clone(),
+            cited: provenance.cited.clone(),
+            at_us: transport.now_us(),
+        });
     }
 }
 
@@ -600,6 +802,123 @@ mod tests {
         let mut locator = HijackLocator::new(config_with_cpe());
         let report = locator.run(&mut t);
         assert_eq!(report.transparency, Some(Transparency::Transparent));
+    }
+
+    #[test]
+    fn clean_run_cites_all_sixteen_location_answers() {
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let report = locator.run(&mut clean_transport());
+        let p1 = report.provenance.step1.expect("step 1 always decides");
+        assert_eq!(p1.verdict, "not intercepted");
+        assert_eq!(p1.cited.len(), 16, "a clean verdict rests on every answer");
+        assert!(report.provenance.step2.is_none());
+        assert!(report.provenance.step3.is_none());
+        assert!(report.provenance.transparency.is_none());
+        // Citations are in issue order and match the txid sequence.
+        for (i, e) in p1.cited.iter().enumerate() {
+            assert_eq!(e.seq, i as u32);
+            assert_eq!(e.txid, 0x1000 + i as u16);
+            assert_eq!(e.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn cpe_verdict_provenance_cites_the_version_bind_matches() {
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        t.intercept_all_v4_with_forwarder("dnsmasq-2.85");
+        t.cpe_version_bind("73.22.1.5".parse().unwrap(), "dnsmasq-2.85");
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let report = locator.run(&mut t);
+        let p1 = report.provenance.step1.unwrap();
+        assert_eq!(p1.verdict, "intercepted");
+        assert_eq!(p1.cited.len(), 4, "one deciding non-standard answer per v4 resolver");
+        // Each citation carries exactly the observation the matrix recorded.
+        let observed: Vec<&str> = p1.cited.iter().map(|e| e.observed.as_str()).collect();
+        for (_, cell) in report.matrix.v4.iter() {
+            match cell {
+                LocationTestResult::NonStandard { observed: o } => {
+                    assert!(observed.contains(&o.as_str()), "matrix evidence {o} is cited");
+                }
+                other => panic!("every v4 cell is intercepted, got {other:?}"),
+            }
+        }
+        let p2 = report.provenance.step2.unwrap();
+        assert_eq!(p2.verdict, "CPE is the interceptor");
+        // CPE's own answer first, then the four intercepted resolvers'.
+        assert_eq!(p2.cited.len(), 5);
+        assert_eq!(p2.cited[0].server, "73.22.1.5".parse::<IpAddr>().unwrap());
+        assert!(p2.cited.iter().all(|e| e.observed == "dnsmasq-2.85"));
+        assert!(report.provenance.step3.is_none(), "step 3 is skipped when the CPE is blamed");
+    }
+
+    #[test]
+    fn bogon_provenance_distinguishes_answers_from_silence() {
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        t.intercept_all_v4_with_forwarder("unbound 1.9.0");
+        t.cpe_version_bind("73.22.1.5".parse().unwrap(), "dnsmasq-2.80");
+        t.answer_bogon_v4("NOTIMP");
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let report = locator.run(&mut t);
+        let p3 = report.provenance.step3.unwrap();
+        assert_eq!(p3.verdict, "answered: interceptor within ISP");
+        assert_eq!(p3.cited.len(), 1, "the answer alone proves the verdict");
+        assert_eq!(p3.cited[0].observed, "NOTIMP");
+
+        // Silence instead: every unanswered bogon query is cited.
+        let mut t = MockTransport::new();
+        t.standard_public_resolvers();
+        t.intercept_all_v4_with_forwarder("PowerDNS Recursor 4.1");
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let report = locator.run(&mut t);
+        let p3 = report.provenance.step3.unwrap();
+        assert_eq!(p3.verdict, "silent: beyond or unknown");
+        assert_eq!(p3.cited.len(), 2);
+        assert!(p3.cited.iter().all(|e| e.observed == "TIMEOUT"));
+    }
+
+    #[test]
+    fn tracing_changes_no_verdict_and_mirrors_provenance() {
+        use crate::trace::TraceRecorder;
+        let make = || {
+            let mut t = MockTransport::new();
+            t.standard_public_resolvers();
+            t.intercept_all_v4_with_forwarder("dnsmasq-2.85");
+            t.cpe_version_bind("73.22.1.5".parse().unwrap(), "dnsmasq-2.85");
+            t.answer_whoami_with("10.100.0.53");
+            t
+        };
+        let silent = HijackLocator::new(config_with_cpe()).run(&mut make());
+        let mut rec = TraceRecorder::default();
+        let traced =
+            HijackLocator::new(config_with_cpe()).run_traced(&mut make(), &mut rec);
+        assert_eq!(silent, traced, "the sink must not perturb the pipeline");
+        // One QueryIssued per logical query; verdict events echo provenance.
+        let issued = rec
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::QueryIssued { .. }))
+            .count();
+        assert_eq!(issued as u32, traced.queries_sent);
+        let verdicts: Vec<_> = rec
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::StepVerdict { step, verdict, cited, .. } => {
+                    Some((*step, verdict.clone(), cited.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        let p = &traced.provenance;
+        assert_eq!(verdicts.len(), 3, "location, cpe-check, transparency");
+        assert_eq!(verdicts[0].0, Step::Location);
+        assert_eq!(verdicts[0].2, p.step1.as_ref().unwrap().cited);
+        assert_eq!(verdicts[1].0, Step::CpeCheck);
+        assert_eq!(verdicts[1].1, p.step2.as_ref().unwrap().verdict);
+        assert_eq!(verdicts[2].0, Step::Transparency);
+        assert!(matches!(rec.events.last(), Some(TraceEvent::RunFinished { .. })));
     }
 
     #[test]

@@ -9,10 +9,11 @@
 use crate::detector::{HijackLocator, LocatorConfig};
 use crate::report::{InterceptorLocation, ProbeReport};
 use crate::side_checks::{
-    ad_downgrade_check, nxdomain_wildcard_check, AdVerdict, WildcardVerdict,
+    ad_downgrade_check_traced, nxdomain_wildcard_check_traced, AdVerdict, WildcardVerdict,
 };
+use crate::trace::{NullSink, TraceSink};
 use crate::transport::{QueryTransport, TxidSequence};
-use crate::ttl_scan::{ttl_scan, TtlScanResult};
+use crate::ttl_scan::{ttl_scan_traced, TtlScanResult};
 use dns_wire::Name;
 use serde::{Deserialize, Serialize};
 
@@ -76,12 +77,25 @@ impl Investigator {
 
     /// Runs the full battery over `transport`.
     pub fn run<T: QueryTransport>(&self, transport: &mut T) -> Investigation {
+        self.run_traced(transport, &mut NullSink)
+    }
+
+    /// Runs the full battery, delivering structured events — the locator's
+    /// and the side checks', under one continuous query numbering — to
+    /// `sink`.
+    pub fn run_traced<T: QueryTransport, S: TraceSink>(
+        &self,
+        transport: &mut T,
+        sink: &mut S,
+    ) -> Investigation {
         let mut locator = HijackLocator::new(self.config.locator.clone());
-        let report = locator.run(transport);
+        let report = locator.run_traced(transport, sink);
         let opts = self.config.locator.query_options;
         // The side checks draw transaction IDs from a block well past the
         // locator's so the two never collide.
         let mut txids = TxidSequence::new(self.config.locator.initial_txid.wrapping_add(0x4000));
+        // Their trace numbering, by contrast, continues the locator's.
+        let mut seq = report.queries_sent;
 
         let first_resolver = self.config.locator.resolvers.first();
 
@@ -89,25 +103,39 @@ impl Investigator {
         // if it is intercepted, they see the interceptor; if not, they
         // see the genuine service and stay quiet.
         let ad_check = match (&self.config.signed_name, first_resolver) {
-            (Some(name), Some(resolver)) => {
-                Some(ad_downgrade_check(transport, resolver.v4[0], name, &mut txids, opts))
-            }
+            (Some(name), Some(resolver)) => Some(ad_downgrade_check_traced(
+                transport,
+                resolver.v4[0],
+                name,
+                &mut txids,
+                opts,
+                sink,
+                &mut seq,
+            )),
             _ => None,
         };
         let wildcard_check = match (&self.config.canary_name, first_resolver) {
-            (Some(name), Some(resolver)) => {
-                Some(nxdomain_wildcard_check(transport, resolver.v4[0], name, &mut txids, opts))
-            }
+            (Some(name), Some(resolver)) => Some(nxdomain_wildcard_check_traced(
+                transport,
+                resolver.v4[0],
+                name,
+                &mut txids,
+                opts,
+                sink,
+                &mut seq,
+            )),
             _ => None,
         };
         let ttl = match (self.config.ttl_budget, first_resolver) {
-            (Some(budget), Some(resolver)) => Some(ttl_scan(
+            (Some(budget), Some(resolver)) => Some(ttl_scan_traced(
                 transport,
                 resolver.v4[0],
                 &resolver.location_query(),
                 budget,
                 &mut txids,
                 opts,
+                sink,
+                &mut seq,
             )),
             _ => None,
         };

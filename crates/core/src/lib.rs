@@ -34,25 +34,31 @@ pub mod baseline;
 pub mod dot;
 mod detector;
 mod investigator;
+pub mod metrics;
 mod mock;
 mod prefix;
 mod report;
 mod resolvers;
 pub mod side_checks;
+pub mod trace;
 mod transport;
 pub mod ttl_scan;
 mod udp_transport;
 
 pub use detector::{describe_response, HijackLocator, LocatorConfig};
 pub use investigator::{Investigation, InvestigationConfig, Investigator};
+pub use metrics::{LatencyHistogram, MetricsFolder, ProbeMetrics, StepMetrics, LATENCY_BUCKETS};
 pub use mock::{MockTransport, Respond};
 pub use prefix::{IpPrefix, PrefixParseError};
 pub use report::{
-    BogonEvidence, BogonOutcome, CpeEvidence, InterceptionMatrix, InterceptorLocation,
-    LocationTestResult, PerResolver, ProbeReport, Transparency, VersionBindAnswer,
+    BogonEvidence, BogonOutcome, CpeEvidence, EvidenceRef, InterceptionMatrix,
+    InterceptorLocation, LocationTestResult, PerResolver, ProbeReport, Provenance,
+    StepProvenance, Transparency, VersionBindAnswer,
 };
 pub use resolvers::{default_resolvers, PublicResolver, ResolverKey};
+pub use trace::{NullSink, Step, TraceEvent, TraceRecorder, TraceSink};
 pub use transport::{
-    query_with_retry, QueryOptions, QueryOutcome, QueryTransport, RetriedQuery, TxidSequence,
+    query_with_retry, query_with_retry_traced, QueryCtx, QueryOptions, QueryOutcome,
+    QueryTransport, RetriedQuery, TxidSequence,
 };
 pub use udp_transport::UdpTransport;

@@ -3,6 +3,7 @@
 
 use crate::resolvers::ResolverKey;
 use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
 
 /// A value held once per studied public resolver. Serde-friendly (named
 /// fields rather than a map) and iterable.
@@ -219,6 +220,92 @@ impl std::fmt::Display for Transparency {
     }
 }
 
+/// One response (or definitive silence) cited as evidence for a verdict.
+///
+/// The reference identifies a logical query by its sequence number (`seq`
+/// matches the `QueryIssued` trace event for the same query), names the
+/// server it targeted and the transaction ID of the decisive wire attempt,
+/// and summarizes what was observed. It deliberately carries **no
+/// timestamp**: provenance is part of the report, and reports must compare
+/// bit-for-bit between live, replayed, and re-ordered runs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvidenceRef {
+    /// Sequence number of the logical query (issue order, 0-based).
+    pub seq: u32,
+    /// Server the query targeted.
+    pub server: IpAddr,
+    /// Transaction ID of the decisive attempt (the accepted response's ID,
+    /// or the last attempt's ID for a timeout).
+    pub txid: u16,
+    /// Wire attempts the query used.
+    pub attempts: u32,
+    /// Summarized observation: an answer payload, an rcode, or `TIMEOUT`.
+    pub observed: String,
+}
+
+/// One step's verdict plus the responses that justified it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepProvenance {
+    /// Human-stable verdict string (frozen by the golden traces).
+    pub verdict: String,
+    /// The evidence that decided the verdict, in citation order.
+    pub cited: Vec<EvidenceRef>,
+}
+
+impl StepProvenance {
+    /// True when the step recorded a verdict.
+    pub fn is_decided(&self) -> bool {
+        !self.verdict.is_empty()
+    }
+}
+
+/// The full evidence chain behind a [`ProbeReport`]: which responses
+/// flipped which decision, for each step that ran.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct Provenance {
+    /// Step 1: the location-query verdict.
+    pub step1: Option<StepProvenance>,
+    /// Step 2: the `version.bind` comparison verdict.
+    pub step2: Option<StepProvenance>,
+    /// Step 3: the bogon-query verdict.
+    pub step3: Option<StepProvenance>,
+    /// The §4.1.2 whoami transparency verdict.
+    pub transparency: Option<StepProvenance>,
+}
+
+// Manual impl rather than derived: archives written before provenance
+// existed omit the field entirely (read back as `null`), and those must
+// keep deserializing — as the empty provenance.
+impl Deserialize for Provenance {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Null => Ok(Provenance::default()),
+            serde::Value::Object(obj) => Ok(Provenance {
+                step1: Deserialize::from_value(serde::__get_field(obj, "step1"))?,
+                step2: Deserialize::from_value(serde::__get_field(obj, "step2"))?,
+                step3: Deserialize::from_value(serde::__get_field(obj, "step3"))?,
+                transparency: Deserialize::from_value(serde::__get_field(obj, "transparency"))?,
+            }),
+            _ => Err(serde::DeError::custom("Provenance: expected object or null")),
+        }
+    }
+}
+
+impl Provenance {
+    /// (label, provenance) for every step that ran, in pipeline order.
+    pub fn decided_steps(&self) -> Vec<(&'static str, &StepProvenance)> {
+        [
+            ("step1", self.step1.as_ref()),
+            ("step2", self.step2.as_ref()),
+            ("step3", self.step3.as_ref()),
+            ("transparency", self.transparency.as_ref()),
+        ]
+        .into_iter()
+        .filter_map(|(label, p)| p.map(|p| (label, p)))
+        .collect()
+    }
+}
+
 /// Everything the locator learned about one probe.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProbeReport {
@@ -243,6 +330,9 @@ pub struct ProbeReport {
     /// Questions that needed more than one attempt before an answer (or
     /// before giving up).
     pub retried_queries: u32,
+    /// The evidence chain behind each step verdict. Always populated —
+    /// provenance collection does not depend on tracing being enabled.
+    pub provenance: Provenance,
 }
 
 impl std::fmt::Display for ProbeReport {
@@ -357,6 +447,7 @@ mod tests {
             queries_sent: 16,
             wire_attempts: 16,
             retried_queries: 0,
+            provenance: Provenance::default(),
         };
         let text = clean.to_string();
         assert!(text.contains("not intercepted"));
@@ -378,6 +469,7 @@ mod tests {
             queries_sent: 21,
             wire_attempts: 25,
             retried_queries: 3,
+            provenance: Provenance::default(),
         };
         let text = hijacked.to_string();
         assert!(text.contains("NON-STANDARD (NOTIMP)"));
@@ -385,6 +477,39 @@ mod tests {
         assert!(text.contains("dnsmasq-2.85"));
         assert!(text.contains("Transparent"));
         assert!(text.contains("25 wire attempts; 3 queries retried"));
+    }
+
+    #[test]
+    fn provenance_tracks_decided_steps() {
+        let mut p = Provenance::default();
+        assert!(p.decided_steps().is_empty());
+        p.step1 = Some(StepProvenance { verdict: "intercepted".into(), cited: Vec::new() });
+        p.step3 = Some(StepProvenance {
+            verdict: "answered: interceptor within ISP".into(),
+            cited: vec![EvidenceRef {
+                seq: 17,
+                server: "198.51.100.53".parse().unwrap(),
+                txid: 0x1011,
+                attempts: 1,
+                observed: "A 192.0.2.1".into(),
+            }],
+        });
+        let labels: Vec<_> = p.decided_steps().iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, vec!["step1", "step3"]);
+        assert!(p.step3.as_ref().unwrap().is_decided());
+        assert!(!StepProvenance::default().is_decided());
+    }
+
+    #[test]
+    fn reports_without_provenance_still_deserialize() {
+        // Pre-provenance archives omit the field; serde fills the default.
+        let json = r#"{"matrix":{"v4":{"cloudflare":"Standard","google":"Standard",
+            "quad9":"Standard","opendns":"Standard"},"v6":{"cloudflare":"NotTested",
+            "google":"NotTested","quad9":"NotTested","opendns":"NotTested"}},
+            "intercepted":false,"cpe":null,"bogon":null,"location":null,
+            "transparency":null,"queries_sent":8,"wire_attempts":8,"retried_queries":0}"#;
+        let report: ProbeReport = serde_json::from_str(json).unwrap();
+        assert_eq!(report.provenance, Provenance::default());
     }
 
     #[test]
@@ -399,6 +524,7 @@ mod tests {
             queries_sent: 16,
             wire_attempts: 16,
             retried_queries: 0,
+            provenance: Provenance::default(),
         };
         let json = serde_json::to_string(&report).unwrap();
         let back: ProbeReport = serde_json::from_str(&json).unwrap();

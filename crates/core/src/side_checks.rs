@@ -15,12 +15,50 @@
 //! Both checks are *corroborating*, not primary: the location queries of
 //! step 1 remain the detection workhorse.
 
+use crate::trace::{NullSink, Step, TraceEvent, TraceSink};
 use crate::transport::{
-    query_with_retry, QueryOptions, QueryOutcome, QueryTransport, TxidSequence,
+    query_with_retry_traced, QueryCtx, QueryOptions, QueryOutcome, QueryTransport, TxidSequence,
 };
 use dns_wire::{Name, Question, RData, RType, Rcode};
 use serde::{Deserialize, Serialize};
 use std::net::IpAddr;
+
+/// Issues one side-check query, emitting `QueryIssued` (and the per-attempt
+/// events via the traced retry pipeline). `seq` continues whatever numbering
+/// the caller's earlier queries used and is advanced by one.
+fn send_check<T: QueryTransport, S: TraceSink>(
+    transport: &mut T,
+    sink: &mut S,
+    server: IpAddr,
+    question: &Question,
+    txids: &mut TxidSequence,
+    opts: QueryOptions,
+    seq: &mut u32,
+) -> QueryOutcome {
+    let this_seq = *seq;
+    *seq += 1;
+    if sink.enabled() {
+        sink.record(TraceEvent::QueryIssued {
+            seq: this_seq,
+            step: Step::SideCheck,
+            server,
+            qname: question.qname.to_string(),
+            qtype: question.qtype.to_u16(),
+            qclass: question.qclass.to_u16(),
+            at_us: transport.now_us(),
+        });
+    }
+    query_with_retry_traced(
+        transport,
+        server,
+        question,
+        txids,
+        opts,
+        sink,
+        QueryCtx { seq: this_seq, step: Step::SideCheck },
+    )
+    .outcome
+}
 
 /// Outcome of the AD-bit downgrade check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,8 +81,22 @@ pub fn ad_downgrade_check<T: QueryTransport>(
     txids: &mut TxidSequence,
     opts: QueryOptions,
 ) -> AdVerdict {
+    ad_downgrade_check_traced(transport, server, signed_name, txids, opts, &mut NullSink, &mut 0)
+}
+
+/// [`ad_downgrade_check`] with trace events delivered to `sink`; `seq`
+/// continues the caller's query numbering.
+pub fn ad_downgrade_check_traced<T: QueryTransport, S: TraceSink>(
+    transport: &mut T,
+    server: IpAddr,
+    signed_name: &Name,
+    txids: &mut TxidSequence,
+    opts: QueryOptions,
+    sink: &mut S,
+    seq: &mut u32,
+) -> AdVerdict {
     let q = Question::new(signed_name.clone(), RType::A);
-    match query_with_retry(transport, server, &q, txids, opts).outcome {
+    match send_check(transport, sink, server, &q, txids, opts, seq) {
         QueryOutcome::Response(m) if m.header.rcode == Rcode::NoError => {
             if m.header.ad {
                 AdVerdict::Authenticated
@@ -79,8 +131,30 @@ pub fn nxdomain_wildcard_check<T: QueryTransport>(
     txids: &mut TxidSequence,
     opts: QueryOptions,
 ) -> WildcardVerdict {
+    nxdomain_wildcard_check_traced(
+        transport,
+        server,
+        nonexistent_name,
+        txids,
+        opts,
+        &mut NullSink,
+        &mut 0,
+    )
+}
+
+/// [`nxdomain_wildcard_check`] with trace events delivered to `sink`;
+/// `seq` continues the caller's query numbering.
+pub fn nxdomain_wildcard_check_traced<T: QueryTransport, S: TraceSink>(
+    transport: &mut T,
+    server: IpAddr,
+    nonexistent_name: &Name,
+    txids: &mut TxidSequence,
+    opts: QueryOptions,
+    sink: &mut S,
+    seq: &mut u32,
+) -> WildcardVerdict {
     let q = Question::new(nonexistent_name.clone(), RType::A);
-    match query_with_retry(transport, server, &q, txids, opts).outcome {
+    match send_check(transport, sink, server, &q, txids, opts, seq) {
         QueryOutcome::Response(m) => match m.header.rcode {
             Rcode::NxDomain => WildcardVerdict::Honest,
             Rcode::NoError => {
@@ -164,6 +238,38 @@ mod tests {
             nxdomain_wildcard_check(&mut t, server(), &name, &mut txids(), opts()),
             WildcardVerdict::Inconclusive
         );
+    }
+
+    #[test]
+    fn traced_checks_continue_the_callers_numbering() {
+        use crate::trace::{TraceEvent, TraceRecorder};
+        let name: Name = "example.com".parse().unwrap();
+        let mut t = MockTransport::new();
+        t.push_rule(None, Some(name.clone()), None, Respond::A("1.2.3.4".parse().unwrap()));
+        let mut rec = TraceRecorder::default();
+        let mut seq = 21; // pretend the locator already issued 21 queries
+        let verdict = ad_downgrade_check_traced(
+            &mut t,
+            server(),
+            &name,
+            &mut txids(),
+            opts(),
+            &mut rec,
+            &mut seq,
+        );
+        assert_eq!(verdict, AdVerdict::Downgraded);
+        assert_eq!(seq, 22);
+        match &rec.events[0] {
+            TraceEvent::QueryIssued { seq, step, .. } => {
+                assert_eq!(*seq, 21);
+                assert_eq!(*step, Step::SideCheck);
+            }
+            other => panic!("expected QueryIssued first, got {other:?}"),
+        }
+        assert!(rec
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ResponseAccepted { seq: 21, .. })));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! response to a previous attempt can never be mistaken for the current
 //! one.
 
+use crate::trace::{Step, TraceEvent, TraceSink};
 use dns_wire::{Message, Question};
 use std::net::IpAddr;
 
@@ -89,6 +90,15 @@ pub trait QueryTransport {
     /// Waits `ms` milliseconds between retry attempts. Real transports
     /// sleep; simulated ones advance virtual time; mocks do nothing.
     fn backoff(&mut self, _ms: u64) {}
+
+    /// The transport's deterministic clock in microseconds, if it has one.
+    ///
+    /// Simulated transports report virtual time so trace events are
+    /// bit-for-bit reproducible; real-network transports return `None`
+    /// rather than leak a wall clock into the trace record.
+    fn now_us(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Blanket implementation so `&mut T` works wherever `T` does.
@@ -105,6 +115,10 @@ impl<T: QueryTransport + ?Sized> QueryTransport for &mut T {
 
     fn backoff(&mut self, ms: u64) {
         (**self).backoff(ms)
+    }
+
+    fn now_us(&self) -> Option<u64> {
+        (**self).now_us()
     }
 }
 
@@ -143,6 +157,20 @@ pub struct RetriedQuery {
     pub outcome: QueryOutcome,
     /// Wire attempts actually made (1..=`opts.attempts`).
     pub attempts_used: u32,
+    /// Transaction ID of the decisive attempt: the accepted response's ID,
+    /// or the final attempt's ID when every attempt went unanswered.
+    pub txid: u16,
+}
+
+/// Trace context for one logical query: its sequence number and the
+/// pipeline step it belongs to. Attached to every event
+/// [`query_with_retry_traced`] emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCtx {
+    /// Logical-query sequence number (issue order, 0-based).
+    pub seq: u32,
+    /// The pipeline stage issuing the query.
+    pub step: Step,
 }
 
 /// Sends `question` up to `opts.attempts` times, with a fresh transaction
@@ -160,24 +188,94 @@ pub fn query_with_retry<T: QueryTransport>(
     txids: &mut TxidSequence,
     opts: QueryOptions,
 ) -> RetriedQuery {
+    query_with_retry_traced(
+        transport,
+        server,
+        question,
+        txids,
+        opts,
+        &mut crate::trace::NullSink,
+        QueryCtx { seq: 0, step: Step::Location },
+    )
+}
+
+/// [`query_with_retry`] with per-attempt trace events.
+///
+/// Emits `AttemptSent` for every wire attempt, then exactly one of
+/// `ResponseAccepted`, `ResponseDropped` (wrong transaction ID), or
+/// `AttemptTimedOut` for it — all stamped with the transport's clock and
+/// tagged with `ctx`. When `sink.enabled()` is false (the [`NullSink`]
+/// path) no event is ever constructed and this is exactly
+/// [`query_with_retry`].
+///
+/// [`NullSink`]: crate::trace::NullSink
+pub fn query_with_retry_traced<T: QueryTransport, S: TraceSink>(
+    transport: &mut T,
+    server: IpAddr,
+    question: &Question,
+    txids: &mut TxidSequence,
+    opts: QueryOptions,
+    sink: &mut S,
+    ctx: QueryCtx,
+) -> RetriedQuery {
     let attempts = opts.attempts.max(1);
+    let mut last_txid = 0;
     for attempt in 0..attempts {
         if attempt > 0 && opts.retry_backoff_ms > 0 {
             transport.backoff(opts.retry_backoff_ms);
         }
         let txid = txids.next();
+        last_txid = txid;
+        if sink.enabled() {
+            sink.record(TraceEvent::AttemptSent {
+                seq: ctx.seq,
+                attempt: attempt + 1,
+                txid,
+                at_us: transport.now_us(),
+            });
+        }
         match transport.query(server, question.clone(), txid, opts) {
             QueryOutcome::Response(msg) if msg.header.id == txid => {
+                if sink.enabled() {
+                    sink.record(TraceEvent::ResponseAccepted {
+                        seq: ctx.seq,
+                        attempt: attempt + 1,
+                        txid,
+                        observed: crate::detector::describe_response(&msg),
+                        at_us: transport.now_us(),
+                    });
+                }
                 return RetriedQuery {
                     outcome: QueryOutcome::Response(msg),
                     attempts_used: attempt + 1,
+                    txid,
                 };
             }
             // Wrong-ID responses and timeouts both burn the attempt.
-            QueryOutcome::Response(_) | QueryOutcome::Timeout => {}
+            QueryOutcome::Response(msg) => {
+                if sink.enabled() {
+                    sink.record(TraceEvent::ResponseDropped {
+                        seq: ctx.seq,
+                        attempt: attempt + 1,
+                        expected_txid: txid,
+                        got_txid: msg.header.id,
+                        at_us: transport.now_us(),
+                    });
+                }
+            }
+            QueryOutcome::Timeout => {
+                if sink.enabled() {
+                    sink.record(TraceEvent::AttemptTimedOut {
+                        seq: ctx.seq,
+                        attempt: attempt + 1,
+                        txid,
+                        at_us: transport.now_us(),
+                    });
+                }
+            }
         }
     }
-    RetriedQuery { outcome: QueryOutcome::Timeout, attempts_used: attempts }
+    RetriedQuery { outcome: QueryOutcome::Timeout, attempts_used: attempts, txid: last_txid }
 }
 
 #[cfg(test)]
@@ -299,6 +397,55 @@ mod tests {
         let r = ask(&mut t, opts(0, 0));
         assert_eq!(r.attempts_used, 1);
         assert_eq!(t.calls, 1);
+    }
+
+    #[test]
+    fn traced_retry_emits_one_event_pair_per_attempt() {
+        use crate::trace::{TraceEvent, TraceRecorder};
+        let mut t = Script::new(vec![Reaction::Timeout, Reaction::WrongTxid, Reaction::Answer]);
+        let server: IpAddr = "192.0.2.1".parse().unwrap();
+        let q = Question::new("example.com".parse().unwrap(), dns_wire::RType::A);
+        let mut txids = TxidSequence::new(0x4000);
+        let mut rec = TraceRecorder::default();
+        let r = query_with_retry_traced(
+            &mut t,
+            server,
+            &q,
+            &mut txids,
+            opts(3, 0),
+            &mut rec,
+            QueryCtx { seq: 9, step: Step::Location },
+        );
+        assert_eq!(r.attempts_used, 3);
+        assert_eq!(r.txid, 0x4002, "decisive txid is the accepted response's");
+        let kinds: Vec<&str> = rec
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::AttemptSent { .. } => "sent",
+                TraceEvent::AttemptTimedOut { .. } => "timeout",
+                TraceEvent::ResponseDropped { .. } => "dropped",
+                TraceEvent::ResponseAccepted { .. } => "accepted",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["sent", "timeout", "sent", "dropped", "sent", "accepted"]);
+        assert!(rec.events.iter().all(|e| e.seq() == Some(9)));
+        match &rec.events[3] {
+            TraceEvent::ResponseDropped { expected_txid, got_txid, .. } => {
+                assert_eq!(*expected_txid, 0x4001);
+                assert_eq!(*got_txid, 0x4002, "wrong-id response carried txid+1");
+            }
+            other => panic!("expected drop event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untraced_retry_reports_last_txid_on_timeout() {
+        let mut t = Script::new(vec![Reaction::Timeout, Reaction::Timeout]);
+        let r = ask(&mut t, opts(2, 0));
+        assert!(r.outcome.is_timeout());
+        assert_eq!(r.txid, 0x4001, "timeout reports the final attempt's txid");
     }
 
     #[test]

@@ -23,8 +23,9 @@
 //! known-clean baseline (or against the CPE distance of 1) localizes the
 //! interceptor to a hop count — finer than the paper's three-way verdict.
 
+use crate::trace::{NullSink, Step, TraceEvent, TraceSink};
 use crate::transport::{
-    query_with_retry, QueryOptions, QueryOutcome, QueryTransport, TxidSequence,
+    query_with_retry_traced, QueryCtx, QueryOptions, QueryOutcome, QueryTransport, TxidSequence,
 };
 use dns_wire::Question;
 use serde::{Deserialize, Serialize};
@@ -63,11 +64,48 @@ pub fn ttl_scan<T: QueryTransport>(
     txids: &mut TxidSequence,
     base_opts: QueryOptions,
 ) -> TtlScanResult {
+    ttl_scan_traced(transport, server, question, max_ttl, txids, base_opts, &mut NullSink, &mut 0)
+}
+
+/// [`ttl_scan`] with trace events delivered to `sink`; `seq` continues the
+/// caller's query numbering, one logical query per TTL probed.
+#[allow(clippy::too_many_arguments)]
+pub fn ttl_scan_traced<T: QueryTransport, S: TraceSink>(
+    transport: &mut T,
+    server: IpAddr,
+    question: &Question,
+    max_ttl: u8,
+    txids: &mut TxidSequence,
+    base_opts: QueryOptions,
+    sink: &mut S,
+    seq: &mut u32,
+) -> TtlScanResult {
     let max_ttl = max_ttl.max(1);
     let mut queries_sent = 0;
     for ttl in 1..=max_ttl {
         let opts = QueryOptions { ttl: Some(ttl), ..base_opts };
-        let retried = query_with_retry(transport, server, question, txids, opts);
+        let this_seq = *seq;
+        *seq += 1;
+        if sink.enabled() {
+            sink.record(TraceEvent::QueryIssued {
+                seq: this_seq,
+                step: Step::TtlScan,
+                server,
+                qname: question.qname.to_string(),
+                qtype: question.qtype.to_u16(),
+                qclass: question.qclass.to_u16(),
+                at_us: transport.now_us(),
+            });
+        }
+        let retried = query_with_retry_traced(
+            transport,
+            server,
+            question,
+            txids,
+            opts,
+            sink,
+            QueryCtx { seq: this_seq, step: Step::TtlScan },
+        );
         queries_sent += retried.attempts_used;
         if let QueryOutcome::Response(_) = retried.outcome {
             return TtlScanResult { first_response_ttl: Some(ttl), max_ttl_probed: ttl, queries_sent };
@@ -148,6 +186,35 @@ mod tests {
         let r = ttl_scan(&mut t, "1.1.1.1".parse().unwrap(), &q(), 8, &mut TxidSequence::new(0x6000), QueryOptions::default());
         assert_eq!(r.first_response_ttl, Some(4));
         assert_eq!(r.queries_sent, 4);
+    }
+
+    #[test]
+    fn traced_scan_emits_one_query_per_ttl() {
+        use crate::trace::{TraceEvent, TraceRecorder};
+        let mut t = gate(3);
+        let mut rec = TraceRecorder::default();
+        let mut seq = 100;
+        let r = ttl_scan_traced(
+            &mut t,
+            "1.1.1.1".parse().unwrap(),
+            &q(),
+            8,
+            &mut TxidSequence::new(0x6000),
+            QueryOptions::default(),
+            &mut rec,
+            &mut seq,
+        );
+        assert_eq!(r.first_response_ttl, Some(3));
+        assert_eq!(seq, 103, "three TTL probes, three logical queries");
+        let issued: Vec<u32> = rec
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::QueryIssued { seq, step: Step::TtlScan, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(issued, vec![100, 101, 102]);
     }
 
     #[test]

@@ -233,6 +233,31 @@ impl HomeScenario {
         HomeScenario { middlebox: Some(MiddleboxSpec::redirect_all_to_isp()), ..HomeScenario::clean() }
     }
 
+    /// The three §3.4 worked-example probes, as `(probe id, scenario)`
+    /// pairs: 1053 is clean, 11992 sits behind an ISP middlebox whose
+    /// resolver answers CHAOS with NOTIMP, and 21823's CPE runs an
+    /// unbound-based interceptor. Shared by the repro binary's Tables 2–3
+    /// rendering and the golden-trace suite so both always measure the
+    /// same households.
+    pub fn worked_examples() -> Vec<(&'static str, HomeScenario)> {
+        vec![
+            ("1053", HomeScenario::clean()),
+            ("11992", {
+                let mut s = HomeScenario::isp_middlebox();
+                s.isp.resolver_version = "NOTIMP".into();
+                s.cpe_model = CpeModelKind::OpenWanForwarderNxDomain;
+                s
+            }),
+            (
+                "21823",
+                HomeScenario {
+                    cpe_model: CpeModelKind::UnboundInterceptor { version: "1.9.0".into() },
+                    ..HomeScenario::clean()
+                },
+            ),
+        ]
+    }
+
     /// Ground truth implied by the specification. CPE interception shadows
     /// anything further out because queries meet the CPE first.
     pub fn truth(&self) -> GroundTruth {
@@ -936,6 +961,17 @@ impl HomeScenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn worked_examples_cover_all_three_verdict_shapes() {
+        let examples = HomeScenario::worked_examples();
+        let ids: Vec<&str> = examples.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, ["1053", "11992", "21823"]);
+        let truths: Vec<GroundTruth> = examples.iter().map(|(_, s)| s.truth()).collect();
+        assert_eq!(truths[0], GroundTruth::NotIntercepted);
+        assert_eq!(truths[1], GroundTruth::IspMiddlebox);
+        assert_eq!(truths[2], GroundTruth::Cpe { version: Some("unbound 1.9.0".into()) });
+    }
 
     #[test]
     fn truth_derivation() {

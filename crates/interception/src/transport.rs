@@ -118,6 +118,12 @@ impl QueryTransport for SimTransport {
         let deadline = sim.now() + SimDuration::from_millis(ms);
         sim.run_until(deadline);
     }
+
+    fn now_us(&self) -> Option<u64> {
+        // Virtual time: trace timestamps from this transport are
+        // bit-for-bit reproducible across runs and thread counts.
+        Some(self.scenario.sim.now().as_micros())
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +234,18 @@ mod tests {
         t.corrupt_response_txid_xor = 0;
         let out = t.query("8.8.8.8".parse().unwrap(), q, 0x2200, opts());
         assert!(out.response().is_some());
+    }
+
+    #[test]
+    fn now_us_tracks_virtual_time() {
+        let mut t = SimTransport::new(HomeScenario::clean().build());
+        assert_eq!(t.now_us(), Some(0));
+        t.backoff(250);
+        assert_eq!(t.now_us(), Some(250_000));
+        let q = Question::chaos_txt("id.server".parse().unwrap());
+        t.query("1.1.1.1".parse().unwrap(), q, 0x2000, opts());
+        // The whole receive window elapses before query() returns.
+        assert_eq!(t.now_us(), Some(250_000 + 5_000_000));
     }
 
     #[test]

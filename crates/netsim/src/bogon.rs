@@ -116,4 +116,73 @@ mod tests {
         assert!(is_bogon(ip("100.127.255.255")));
         assert!(!is_bogon(ip("100.128.0.1")));
     }
+
+    #[test]
+    fn v4_martian_range_borders_are_exact() {
+        // First/last address inside each tricky range, and the routable
+        // neighbors one address either side of the border.
+        assert!(is_bogon(ip("0.0.0.0")));
+        assert!(is_bogon(ip("0.255.255.255")));
+        assert!(!is_bogon(ip("1.0.0.0")));
+        assert!(!is_bogon(ip("9.255.255.255")));
+        assert!(is_bogon(ip("10.0.0.0")));
+        assert!(is_bogon(ip("10.255.255.255")));
+        assert!(!is_bogon(ip("11.0.0.0")));
+        assert!(!is_bogon(ip("169.253.255.255")));
+        assert!(is_bogon(ip("169.254.0.0")));
+        assert!(is_bogon(ip("169.254.255.255")));
+        assert!(!is_bogon(ip("169.255.0.0")));
+        // IETF protocol assignments stop at /24 — 192.0.1.0 is routable,
+        // TEST-NET-1 starts again at 192.0.2.0.
+        assert!(is_bogon(ip("192.0.0.255")));
+        assert!(!is_bogon(ip("192.0.1.0")));
+        assert!(is_bogon(ip("192.0.2.0")));
+        assert!(is_bogon(ip("192.0.2.255")));
+        assert!(!is_bogon(ip("192.0.3.0")));
+        // Benchmarking is a /15: exactly 198.18.0.0–198.19.255.255.
+        assert!(!is_bogon(ip("198.17.255.255")));
+        assert!(is_bogon(ip("198.18.0.0")));
+        assert!(is_bogon(ip("198.19.255.255")));
+        assert!(!is_bogon(ip("198.20.0.0")));
+        // The step-3 probe address sits inside TEST-NET-2's borders.
+        assert!(!is_bogon(ip("198.51.99.255")));
+        assert!(is_bogon(ip("198.51.100.0")));
+        assert!(is_bogon(ip("198.51.100.255")));
+        assert!(!is_bogon(ip("198.51.101.0")));
+        // Multicast and reserved cover everything from 224.0.0.0 up.
+        assert!(!is_bogon(ip("223.255.255.255")));
+        assert!(is_bogon(ip("224.0.0.0")));
+        assert!(is_bogon(ip("239.255.255.255")));
+        assert!(is_bogon(ip("240.0.0.0")));
+        assert!(is_bogon(ip("255.255.255.255")));
+    }
+
+    #[test]
+    fn v6_martian_range_borders_are_exact() {
+        // ::/8 ends at ff:… — 100:: starts a *separate* discard /64.
+        assert!(is_bogon(ip("::1")));
+        assert!(is_bogon(ip("ff:ffff:ffff:ffff:ffff:ffff:ffff:ffff")));
+        // Discard-only is a /64: interface bits are bogon, the next subnet
+        // is not.
+        assert!(is_bogon(ip("100::")));
+        assert!(is_bogon(ip("100::ffff:ffff:ffff:ffff")));
+        assert!(!is_bogon(ip("100:0:0:1::")));
+        // Documentation /32 borders.
+        assert!(!is_bogon(ip("2001:db7:ffff:ffff::1")));
+        assert!(is_bogon(ip("2001:db8::")));
+        assert!(is_bogon(ip("2001:db8:ffff:ffff:ffff:ffff:ffff:ffff")));
+        assert!(!is_bogon(ip("2001:db9::")));
+        // Unique-local /7 spans fc00–fdff only.
+        assert!(is_bogon(ip("fc00::1")));
+        assert!(is_bogon(ip("fdff:ffff:ffff:ffff:ffff:ffff:ffff:ffff")));
+        assert!(!is_bogon(ip("fe00::1")));
+        // Link-local /10 spans fe80–febf; the old site-local fec0 block is
+        // not on the list.
+        assert!(is_bogon(ip("fe80::")));
+        assert!(is_bogon(ip("febf:ffff:ffff:ffff:ffff:ffff:ffff:ffff")));
+        assert!(!is_bogon(ip("fec0::1")));
+        // Multicast /8.
+        assert!(is_bogon(ip("ff00::")));
+        assert!(is_bogon(ip("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff")));
+    }
 }

@@ -25,6 +25,12 @@ impl SimTime {
         self.0
     }
 
+    /// Whole microseconds since simulation start, truncating. Trace events
+    /// carry sim-time at this resolution.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
     /// Time elapsed since `earlier`; saturates at zero rather than wrapping.
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
@@ -137,6 +143,7 @@ mod tests {
     #[test]
     fn conversions() {
         assert_eq!(SimDuration::from_secs(2).as_millis(), 2000);
+        assert_eq!(SimTime::from_nanos(2_500_999).as_micros(), 2_500);
         assert_eq!(SimDuration::from_millis(3).as_nanos(), 3_000_000);
         assert_eq!(SimDuration::from_millis(7).mul(3).as_millis(), 21);
     }

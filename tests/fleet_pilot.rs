@@ -7,9 +7,11 @@ use atlas_sim::{
 
 /// One shared campaign for all shape assertions (2,500 probes keeps CI
 /// fast while preserving the quota structure of the larger orgs).
-fn pilot() -> (atlas_sim::Fleet, Vec<atlas_sim::ProbeResult>) {
-    let fleet = generate(FleetConfig { size: 2_500, ..FleetConfig::default() });
-    let results = run_campaign(&fleet, 4);
+fn pilot() -> (&'static atlas_sim::Fleet, Vec<atlas_sim::ProbeResult<'static>>) {
+    static FLEET: std::sync::OnceLock<atlas_sim::Fleet> = std::sync::OnceLock::new();
+    let fleet =
+        FLEET.get_or_init(|| generate(FleetConfig { size: 2_500, ..FleetConfig::default() }));
+    let results = run_campaign(fleet, 4);
     (fleet, results)
 }
 
@@ -49,7 +51,7 @@ fn pilot_study_reproduces_paper_shapes() {
     }
 
     // Figure 3: Comcast is the top organization.
-    let f3 = figure3(&fleet, &results, 15);
+    let f3 = figure3(fleet, &results, 15);
     assert_eq!(f3.bars.first().map(|b| b.org.as_str()), Some("Comcast"));
     // Transparent interception dominates overall.
     let transparent: u32 = f3.bars.iter().map(|b| b.transparent).sum();
@@ -57,7 +59,7 @@ fn pilot_study_reproduces_paper_shapes() {
     assert!(transparent > modified);
 
     // Figure 4: a majority of interception is at CPE-or-ISP.
-    let f4 = figure4(&fleet, &results, 15);
+    let f4 = figure4(fleet, &results, 15);
     let close = f4.total.cpe + f4.total.within_isp;
     assert!(close * 2 > f4.total.total(), "close {close} of {}", f4.total.total());
     assert!(f4.total.cpe > 0);
