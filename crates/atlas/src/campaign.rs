@@ -1,11 +1,21 @@
 //! The measurement campaign: runs the three-step technique from every
 //! responding probe, in parallel, deterministically.
+//!
+//! Scheduling is work-stealing: workers claim the next unmeasured probe
+//! from a shared atomic cursor instead of receiving a fixed chunk up
+//! front. Probe costs are heavily skewed — intercepted probes run extra
+//! pipeline steps, flaky probes burn retry backoff — so static chunks
+//! leave most workers idle while one drags the tail. Results are keyed by
+//! claim index and merged after the joins, so output stays ordered by
+//! probe id and bitwise identical across thread counts.
 
 use crate::fleet::{scenario_for, Fleet, ProbeSpec};
 use crate::metrics::MetricsRegistry;
 use crossbeam::thread;
-use interception::{GroundTruth, SimTransport};
-use locator::{HijackLocator, MetricsFolder, ProbeReport};
+use dns_wire::QueryEncoder;
+use interception::{GroundTruth, SimTransport, WorldTemplate};
+use locator::{HijackLocator, MetricsFolder, ProbeReport, QueryTransport};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The outcome of measuring one probe. Borrows its [`ProbeSpec`] from the
 /// fleet rather than cloning it: a 10k-probe campaign allocates reports,
@@ -39,19 +49,89 @@ pub fn run_campaign_metered<'a>(
     registry: Option<&MetricsRegistry>,
 ) -> Vec<ProbeResult<'a>> {
     let responding: Vec<&ProbeSpec> = fleet.responding().collect();
+    if responding.is_empty() {
+        return Vec::new();
+    }
+    let template = WorldTemplate::shared();
+    let threads = threads.clamp(1, responding.len());
+    if threads == 1 {
+        // Inline fast path: no scope, no cursor, one warm encoder.
+        let mut encoder = QueryEncoder::new();
+        return responding
+            .into_iter()
+            .map(|probe| measure_probe_with(fleet, probe, registry, &template, &mut encoder))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let batches: Vec<Vec<(usize, ProbeResult<'a>)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let responding = &responding;
+                let template = &template;
+                scope.spawn(move |_| {
+                    let mut encoder = QueryEncoder::new();
+                    let mut out: Vec<(usize, ProbeResult<'a>)> = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(probe) = responding.get(idx) else { break };
+                        out.push((
+                            idx,
+                            measure_probe_with(fleet, probe, registry, template, &mut encoder),
+                        ));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    })
+    .expect("campaign scope");
+
+    // Merge by claim index: `responding` is id-ordered, so the output is too.
+    let mut slots: Vec<Option<ProbeResult<'a>>> = vec![None; responding.len()];
+    for batch in batches {
+        for (idx, result) in batch {
+            slots[idx] = Some(result);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every claimed index yields a result"))
+        .collect()
+}
+
+/// The pre-work-stealing scheduler: splits the responding probes into one
+/// static chunk per thread. Kept for benchmarking scheduler imbalance on
+/// heavy-tail fleets (everything else — template, scratch reuse — is
+/// identical to [`run_campaign_metered`], isolating the scheduling
+/// effect); produces bitwise-identical results.
+pub fn run_campaign_chunked<'a>(
+    fleet: &'a Fleet,
+    threads: usize,
+    registry: Option<&MetricsRegistry>,
+) -> Vec<ProbeResult<'a>> {
+    let responding: Vec<&ProbeSpec> = fleet.responding().collect();
     let threads = threads.max(1);
     let chunk = responding.len().div_ceil(threads);
     if chunk == 0 {
         return Vec::new();
     }
+    let template = WorldTemplate::shared();
     let mut results: Vec<Option<ProbeResult<'a>>> = vec![None; responding.len()];
     thread::scope(|scope| {
         for (slot_chunk, probe_chunk) in
             results.chunks_mut(chunk).zip(responding.chunks(chunk))
         {
+            let template = &template;
             scope.spawn(move |_| {
+                let mut encoder = QueryEncoder::new();
                 for (slot, probe) in slot_chunk.iter_mut().zip(probe_chunk) {
-                    *slot = Some(measure_probe_metered(fleet, probe, registry));
+                    *slot = Some(measure_probe_with(fleet, probe, registry, template, &mut encoder));
                 }
             });
         }
@@ -78,22 +158,51 @@ pub fn measure_probe_metered<'a>(
     probe: &'a ProbeSpec,
     registry: Option<&MetricsRegistry>,
 ) -> ProbeResult<'a> {
-    let built = scenario_for(fleet, probe).build();
+    let template = WorldTemplate::shared();
+    let mut encoder = QueryEncoder::new();
+    measure_probe_with(fleet, probe, registry, &template, &mut encoder)
+}
+
+/// The single measurement path every campaign entry point funnels
+/// through: build the probe's world from the shared template, run the
+/// locator over a transport that reuses the worker's encode scratch, and
+/// hand the (now warm) encoder back for the worker's next probe.
+fn measure_probe_with<'a>(
+    fleet: &Fleet,
+    probe: &'a ProbeSpec,
+    registry: Option<&MetricsRegistry>,
+    template: &WorldTemplate,
+    encoder: &mut QueryEncoder,
+) -> ProbeResult<'a> {
+    let built = scenario_for(fleet, probe).build_with(template);
     let config = probe_config(fleet, &built);
     let expected = built.expected;
-    let mut transport = SimTransport::new(built);
-    let report = match registry {
-        None => HijackLocator::new(config).run(&mut transport),
-        Some(registry) => {
-            let mut folder = MetricsFolder::default();
-            let report = HijackLocator::new(config).run_traced(&mut transport, &mut folder);
-            registry.record(probe.org, &report, &folder.finish());
-            report
-        }
-    };
+    let mut transport = SimTransport::with_encoder(built, std::mem::take(encoder));
+    let report = run_locator(config, &mut transport, registry, probe.org);
+    *encoder = transport.take_encoder();
     // Ground truth moves out of the consumed scenario — nothing is cloned.
     let truth = transport.scenario.truth;
     ProbeResult { probe, report, truth, expected }
+}
+
+/// Runs the locator over any transport, recording metrics when asked.
+/// Shared by the live and archiving paths so both always measure — and
+/// meter — identically.
+fn run_locator<T: QueryTransport>(
+    config: locator::LocatorConfig,
+    transport: &mut T,
+    registry: Option<&MetricsRegistry>,
+    org: usize,
+) -> ProbeReport {
+    match registry {
+        None => HijackLocator::new(config).run(transport),
+        Some(registry) => {
+            let mut folder = MetricsFolder::default();
+            let report = HijackLocator::new(config).run_traced(transport, &mut folder);
+            registry.record(org, &report, &folder.finish());
+            report
+        }
+    }
 }
 
 /// Measures a single probe while archiving every query/response byte —
@@ -102,11 +211,26 @@ pub fn measure_probe_archived<'a>(
     fleet: &Fleet,
     probe: &'a ProbeSpec,
 ) -> (ProbeResult<'a>, crate::raw::RawMeasurement) {
-    let built = scenario_for(fleet, probe).build();
+    measure_probe_archived_metered(fleet, probe, None)
+}
+
+/// [`measure_probe_archived`] with optional metrics aggregation: the same
+/// template-backed build and metered locator path as
+/// [`measure_probe_metered`], wrapped in a [`RecordingTransport`] — so
+/// archiving composes with metrics instead of duplicating the build.
+///
+/// [`RecordingTransport`]: crate::raw::RecordingTransport
+pub fn measure_probe_archived_metered<'a>(
+    fleet: &Fleet,
+    probe: &'a ProbeSpec,
+    registry: Option<&MetricsRegistry>,
+) -> (ProbeResult<'a>, crate::raw::RawMeasurement) {
+    let template = WorldTemplate::shared();
+    let built = scenario_for(fleet, probe).build_with(&template);
     let config = probe_config(fleet, &built);
     let expected = built.expected;
     let mut recording = crate::raw::RecordingTransport::new(SimTransport::new(built));
-    let report = HijackLocator::new(config).run(&mut recording);
+    let report = run_locator(config, &mut recording, registry, probe.org);
     let (inner, measurement) = recording.into_parts();
     let truth = inner.scenario.truth;
     (ProbeResult { probe, report, truth, expected }, measurement)
@@ -182,6 +306,50 @@ mod tests {
             registry.snapshot(&fleet.config.orgs)
         };
         assert_eq!(snapshot(1), snapshot(7));
+    }
+
+    #[test]
+    fn chunked_scheduler_matches_work_stealing_bitwise() {
+        let fleet = tiny_fleet();
+        let stealing = run_campaign_metered(fleet, 5, None);
+        let chunked = run_campaign_chunked(fleet, 5, None);
+        assert_eq!(stealing.len(), chunked.len());
+        for (a, b) in stealing.iter().zip(&chunked) {
+            assert_eq!(a.probe.id, b.probe.id);
+            assert_eq!(a.report, b.report);
+            assert_eq!(a.truth, b.truth);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_thread_count_is_clamped_and_identical() {
+        // More workers than probes must neither deadlock nor change output.
+        let fleet = generate(FleetConfig { size: 24, ..FleetConfig::default() });
+        let few = run_campaign(&fleet, 1);
+        let many = run_campaign(&fleet, 64);
+        assert_eq!(few.len(), many.len());
+        for (a, b) in few.iter().zip(&many) {
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn archived_metered_composes_with_metrics() {
+        // Archiving through the metered path feeds the registry exactly as
+        // the live metered path does, and the reports stay identical.
+        let fleet = generate(FleetConfig { size: 60, ..FleetConfig::default() });
+        let probe = fleet.responding().next().unwrap();
+        let live_registry = MetricsRegistry::new(fleet.config.orgs.len());
+        let live = measure_probe_metered(&fleet, probe, Some(&live_registry));
+        let archived_registry = MetricsRegistry::new(fleet.config.orgs.len());
+        let (archived, measurement) =
+            measure_probe_archived_metered(&fleet, probe, Some(&archived_registry));
+        assert_eq!(live.report, archived.report);
+        assert_eq!(measurement.records.len() as u32, live.report.wire_attempts);
+        assert_eq!(
+            live_registry.snapshot(&fleet.config.orgs),
+            archived_registry.snapshot(&fleet.config.orgs)
+        );
     }
 
     #[test]

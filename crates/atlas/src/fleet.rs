@@ -78,6 +78,10 @@ pub struct Fleet {
     pub config: FleetConfig,
     /// The probes, ordered by id.
     pub probes: Vec<ProbeSpec>,
+    /// Per-org ISP profiles, built once at generation time. A campaign
+    /// calls [`scenario_for`] once per probe; cloning a prebuilt profile
+    /// is much cheaper than re-deriving it from the org spec each time.
+    pub isps: Vec<interception::IspProfile>,
 }
 
 impl Fleet {
@@ -168,7 +172,8 @@ pub fn generate(config: FleetConfig) -> Fleet {
             id += 1;
         }
     }
-    Fleet { config, probes }
+    let isps = config.orgs.iter().enumerate().map(|(i, o)| o.isp_profile(i)).collect();
+    Fleet { config, probes, isps }
 }
 
 /// Builds the [`interception::HomeScenario`] for one probe.
@@ -176,7 +181,7 @@ pub fn scenario_for(fleet: &Fleet, probe: &ProbeSpec) -> interception::HomeScena
     let org = &fleet.config.orgs[probe.org];
     let mut scenario = interception::HomeScenario {
         seed: probe.sim_seed,
-        isp: org.isp_profile(probe.org),
+        isp: fleet.isps[probe.org].clone(),
         customer_index: probe.customer_index,
         cpe_model: interception::CpeModelKind::Plain,
         cpe_intercept_v6: false,

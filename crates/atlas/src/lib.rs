@@ -25,8 +25,9 @@ pub use aggregate::{
     Figure3, Figure3Bar, Figure4, Figure4Bar, RetryStats, Table4, Table4Row, Table5,
 };
 pub use campaign::{
-    measure_probe, measure_probe_archived, measure_probe_metered, run_campaign,
-    run_campaign_metered, ProbeResult,
+    measure_probe, measure_probe_archived, measure_probe_archived_metered,
+    measure_probe_metered, run_campaign, run_campaign_chunked, run_campaign_metered,
+    ProbeResult,
 };
 pub use chart::{figure3_chart, figure4_chart};
 pub use metrics::{AsVerdicts, CampaignMetrics, MetricsRegistry};

@@ -77,11 +77,11 @@ impl<T: QueryTransport> QueryTransport for RecordingTransport<T> {
     fn query(
         &mut self,
         server: IpAddr,
-        question: Question,
+        question: &Question,
         txid: u16,
         opts: QueryOptions,
     ) -> QueryOutcome {
-        let outcome = self.inner.query(server, question.clone(), txid, opts);
+        let outcome = self.inner.query(server, question, txid, opts);
         let response = match &outcome {
             QueryOutcome::Response(m) => m.encode().ok(),
             QueryOutcome::Timeout => None,
@@ -134,7 +134,7 @@ impl QueryTransport for ReplayTransport {
     fn query(
         &mut self,
         server: IpAddr,
-        question: Question,
+        question: &Question,
         txid: u16,
         _opts: QueryOptions,
     ) -> QueryOutcome {
@@ -142,7 +142,7 @@ impl QueryTransport for ReplayTransport {
             self.mismatches += 1;
             return QueryOutcome::Timeout;
         };
-        if !record.matches(server, &question, txid) {
+        if !record.matches(server, question, txid) {
             self.mismatches += 1;
             return QueryOutcome::Timeout;
         }
@@ -235,7 +235,7 @@ mod tests {
         // Ask something the archive never saw.
         let out = replay.query(
             "203.0.113.1".parse().unwrap(),
-            dns_wire::Question::chaos_txt("id.server".parse().unwrap()),
+            &dns_wire::Question::chaos_txt("id.server".parse().unwrap()),
             0x1000,
             locator::QueryOptions::default(),
         );
@@ -248,7 +248,7 @@ mod tests {
         let mut replay = ReplayTransport::new(RawMeasurement::default());
         let out = replay.query(
             "1.1.1.1".parse().unwrap(),
-            dns_wire::Question::chaos_txt("id.server".parse().unwrap()),
+            &dns_wire::Question::chaos_txt("id.server".parse().unwrap()),
             0x1000,
             locator::QueryOptions::default(),
         );

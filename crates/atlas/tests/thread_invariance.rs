@@ -1,0 +1,71 @@
+//! Property test for the campaign scheduler's core contract: scheduling
+//! is an implementation detail. Work stealing at any thread count — and
+//! the legacy static-chunk schedule — must produce results, ground
+//! truth, expectations, and metrics snapshots bitwise identical to a
+//! single-threaded run, on fleets with a heavy retry tail where the
+//! schedules themselves diverge the most.
+
+use atlas_sim::{
+    generate, run_campaign_chunked, run_campaign_metered, FleetConfig, MetricsRegistry,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    #[test]
+    fn campaign_is_schedule_invariant(
+        seed in any::<u64>(),
+        flaky_permille in 200u32..450,
+    ) {
+        let fleet = generate(FleetConfig {
+            size: 140,
+            seed,
+            flaky_rate: flaky_permille as f64 / 1000.0,
+            attempts: 2,
+            retry_backoff_ms: 30,
+            ..FleetConfig::default()
+        });
+
+        let baseline_registry = MetricsRegistry::new(fleet.config.orgs.len());
+        let baseline = run_campaign_metered(&fleet, 1, Some(&baseline_registry));
+        let baseline_snap = baseline_registry.snapshot(&fleet.config.orgs);
+        let baseline_json =
+            serde_json::to_string(&baseline_snap).expect("snapshot serializes");
+
+        for threads in [3usize, 7, 16] {
+            let registry = MetricsRegistry::new(fleet.config.orgs.len());
+            let results = run_campaign_metered(&fleet, threads, Some(&registry));
+            prop_assert_eq!(results.len(), baseline.len());
+            for (a, b) in results.iter().zip(&baseline) {
+                prop_assert_eq!(a.probe.id, b.probe.id);
+                prop_assert_eq!(&a.report, &b.report);
+                prop_assert_eq!(&a.truth, &b.truth);
+                prop_assert_eq!(&a.expected, &b.expected);
+            }
+            let snap = registry.snapshot(&fleet.config.orgs);
+            prop_assert_eq!(&snap, &baseline_snap);
+            // The serialized form is what CI diffs — pin it too, so a
+            // non-deterministic map ordering can never sneak in.
+            prop_assert_eq!(
+                &serde_json::to_string(&snap).expect("snapshot serializes"),
+                &baseline_json
+            );
+        }
+
+        // The static-chunk schedule visits probes in a different
+        // interleaving entirely; it must still be indistinguishable.
+        let chunked_registry = MetricsRegistry::new(fleet.config.orgs.len());
+        let chunked = run_campaign_chunked(&fleet, 5, Some(&chunked_registry));
+        prop_assert_eq!(chunked.len(), baseline.len());
+        for (a, b) in chunked.iter().zip(&baseline) {
+            prop_assert_eq!(a.probe.id, b.probe.id);
+            prop_assert_eq!(&a.report, &b.report);
+            prop_assert_eq!(&a.truth, &b.truth);
+        }
+        prop_assert_eq!(
+            chunked_registry.snapshot(&fleet.config.orgs),
+            baseline_snap
+        );
+    }
+}

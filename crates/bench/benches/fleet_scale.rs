@@ -4,9 +4,11 @@
 //! allocate O(probes), with a constant per-probe cost that does not creep
 //! up with fleet size (e.g. by re-cloning fleet-wide state per probe).
 
-use atlas_sim::{generate, run_campaign, FleetConfig};
+use atlas_sim::{generate, run_campaign, run_campaign_chunked, scenario_for, FleetConfig};
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use interception::WorldTemplate;
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counts allocations made anywhere in the process; the flatness gate
@@ -51,6 +53,56 @@ fn bench_fleet_generation(c: &mut Criterion) {
     });
 }
 
+/// Scheduler comparison on the workload that separates them: a heavy-tail
+/// fleet where a quarter of the probes burn three attempts with backoff.
+/// Both paths share the world template and encode scratch, so the delta
+/// is pure scheduling.
+fn bench_scheduler_heavy_tail(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let fleet = generate(FleetConfig {
+        size: 2000,
+        flaky_rate: 0.25,
+        attempts: 3,
+        retry_backoff_ms: 40,
+        ..FleetConfig::default()
+    });
+    let mut group = c.benchmark_group("fleet/heavy_tail_2000");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(fleet.responding().count() as u64));
+    group.bench_function("work_stealing", |b| b.iter(|| run_campaign(&fleet, threads)));
+    group.bench_function("static_chunks", |b| {
+        b.iter(|| run_campaign_chunked(&fleet, threads, None))
+    });
+    group.finish();
+}
+
+/// Isolates the world-template saving: the same probe worlds, built from
+/// the campaign-shared template vs. re-deriving the immutable state
+/// (standard-world zones, resolver table, root addresses) per build.
+fn bench_world_build(c: &mut Criterion) {
+    let fleet = generate(FleetConfig { size: 300, ..FleetConfig::default() });
+    let probes: Vec<_> = fleet.responding().take(64).collect();
+    let template = WorldTemplate::shared();
+    let mut group = c.benchmark_group("scenario/build");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("shared_template", |b| {
+        b.iter(|| {
+            for probe in &probes {
+                black_box(scenario_for(&fleet, probe).build_with(&template));
+            }
+        })
+    });
+    group.bench_function("fresh_world", |b| {
+        b.iter(|| {
+            for probe in &probes {
+                let fresh = WorldTemplate::new();
+                black_box(scenario_for(&fleet, probe).build_with(&fresh));
+            }
+        })
+    });
+    group.finish();
+}
+
 /// Allocations per responding probe for a benign-only fleet of `size`
 /// (quotas cleared so the household mix — and thus the per-probe query
 /// count — is the same at every size).
@@ -74,6 +126,14 @@ fn allocations_per_probe(size: usize) -> (f64, f64) {
 /// with the fleet. `measure_probe` borrowing the spec and moving ground
 /// truth (instead of cloning both) keeps this flat; an accidental
 /// per-probe clone of anything fleet-sized would fail the ratio check.
+/// Absolute per-probe allocation budgets at the 1200-probe point,
+/// measured after the template/scratch-reuse work with ~15% headroom.
+/// Regressing past these means a per-query or per-build allocation came
+/// back (e.g. re-encoding location queries, rebuilding the resolver
+/// table); the flatness *ratio* alone would not catch a uniform creep.
+const MAX_ALLOCS_PER_PROBE: f64 = 850.0;
+const MAX_BYTES_PER_PROBE: f64 = 110_000.0;
+
 fn assert_allocation_flatness() {
     let (small_count, small_bytes) = allocations_per_probe(300);
     let (large_count, large_bytes) = allocations_per_probe(1200);
@@ -89,9 +149,25 @@ fn assert_allocation_flatness() {
         large_bytes <= small_bytes * 1.10,
         "per-probe allocated bytes grew with fleet size: {small_bytes:.0} -> {large_bytes:.0}"
     );
+    assert!(
+        large_count <= MAX_ALLOCS_PER_PROBE,
+        "per-probe allocation count regressed past the budget: \
+         {large_count:.0} > {MAX_ALLOCS_PER_PROBE}"
+    );
+    assert!(
+        large_bytes <= MAX_BYTES_PER_PROBE,
+        "per-probe allocated bytes regressed past the budget: \
+         {large_bytes:.0} > {MAX_BYTES_PER_PROBE}"
+    );
 }
 
-criterion_group!(benches, bench_fleet_sizes, bench_fleet_generation);
+criterion_group!(
+    benches,
+    bench_fleet_sizes,
+    bench_fleet_generation,
+    bench_scheduler_heavy_tail,
+    bench_world_build
+);
 
 fn main() {
     assert_allocation_flatness();

@@ -74,7 +74,7 @@ fn bench_query_path(c: &mut Criterion) {
         let resolvers = locator::default_resolvers();
         let q = resolvers[0].location_query();
         b.iter(|| {
-            transport.query(resolvers[0].v4[0], q.clone(), 0x1000, QueryOptions::default())
+            transport.query(resolvers[0].v4[0], &q, 0x1000, QueryOptions::default())
         })
     });
     group.bench_function("intercepted_roundtrip", |b| {
@@ -82,7 +82,7 @@ fn bench_query_path(c: &mut Criterion) {
         let resolvers = locator::default_resolvers();
         let q = resolvers[0].location_query();
         b.iter(|| {
-            transport.query(resolvers[0].v4[0], q.clone(), 0x1000, QueryOptions::default())
+            transport.query(resolvers[0].v4[0], &q, 0x1000, QueryOptions::default())
         })
     });
     group.finish();

@@ -10,10 +10,11 @@
 //! ```
 
 use atlas_sim::{
-    accuracy, figure3, figure4, generate, retry_stats, run_campaign_metered, table4, table5,
-    Fleet, FleetConfig, MetricsRegistry, ProbeResult,
+    accuracy, figure3, figure4, generate, retry_stats, run_campaign_chunked,
+    run_campaign_metered, scenario_for, table4, table5, Fleet, FleetConfig, MetricsRegistry,
+    ProbeResult,
 };
-use interception::{CpeModelKind, HomeScenario, MiddleboxSpec, SimTransport};
+use interception::{CpeModelKind, HomeScenario, MiddleboxSpec, SimTransport, WorldTemplate};
 use locator::{
     baseline, default_resolvers, describe_response, HijackLocator, QueryOptions,
     QueryTransport, TxidSequence,
@@ -34,6 +35,34 @@ struct Args {
     json: Option<String>,
     archives: Option<String>,
     metrics: Option<String>,
+    bench_json: Option<String>,
+}
+
+const USAGE: &str = "usage: repro [--all] [--table N] [--figure N] [--case xb6] \
+[--appendix a] [--size N] [--seed N] [--threads N] [--attempts N] \
+[--retry-backoff MS] [--json PATH] [--archives PATH] [--metrics PATH] \
+[--bench-json PATH]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    if value.is_empty() {
+        fail(&format!("{flag} needs a value"));
+    }
+    value
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("{flag}: invalid value {value:?}")))
+}
+
+fn path_value(flag: &str, value: String) -> String {
+    if value.is_empty() {
+        fail(&format!("{flag} needs a value"));
+    }
+    value
 }
 
 fn parse_args() -> Args {
@@ -51,6 +80,7 @@ fn parse_args() -> Args {
         json: None,
         archives: None,
         metrics: None,
+        bench_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -60,35 +90,46 @@ fn parse_args() -> Args {
             argv.get(*i).cloned().unwrap_or_default()
         };
         match argv[i].as_str() {
-            "--table" => args.table = take(&mut i).parse().ok(),
-            "--figure" => args.figure = take(&mut i).parse().ok(),
-            "--case" => args.case = Some(take(&mut i)),
-            "--appendix" => args.appendix = Some(take(&mut i)),
+            "--table" => args.table = Some(parse_value("--table", &take(&mut i))),
+            "--figure" => args.figure = Some(parse_value("--figure", &take(&mut i))),
+            "--case" => args.case = Some(path_value("--case", take(&mut i))),
+            "--appendix" => args.appendix = Some(path_value("--appendix", take(&mut i))),
             "--all" => args.all = true,
-            "--size" => args.size = take(&mut i).parse().unwrap_or(10_000),
-            "--seed" => args.seed = take(&mut i).parse().unwrap_or(0x41544C53),
-            "--threads" => args.threads = take(&mut i).parse().unwrap_or(4),
-            "--attempts" => args.attempts = take(&mut i).parse().unwrap_or(1),
-            "--retry-backoff" => args.retry_backoff_ms = take(&mut i).parse().unwrap_or(0),
-            "--json" => args.json = Some(take(&mut i)),
-            "--archives" => args.archives = Some(take(&mut i)),
-            "--metrics" => args.metrics = Some(take(&mut i)),
+            "--size" => args.size = parse_value("--size", &take(&mut i)),
+            "--seed" => args.seed = parse_value("--seed", &take(&mut i)),
+            "--threads" => args.threads = parse_value("--threads", &take(&mut i)),
+            "--attempts" => args.attempts = parse_value("--attempts", &take(&mut i)),
+            "--retry-backoff" => {
+                args.retry_backoff_ms = parse_value("--retry-backoff", &take(&mut i))
+            }
+            "--json" => args.json = Some(path_value("--json", take(&mut i))),
+            "--archives" => args.archives = Some(path_value("--archives", take(&mut i))),
+            "--metrics" => args.metrics = Some(path_value("--metrics", take(&mut i))),
+            "--bench-json" => {
+                args.bench_json = Some(path_value("--bench-json", take(&mut i)))
+            }
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: repro [--all] [--table N] [--figure N] [--case xb6] \
-                     [--appendix a] [--size N] [--seed N] [--threads N] [--attempts N] \
-                     [--retry-backoff MS] [--json PATH] [--archives PATH] [--metrics PATH]"
-                );
+                eprintln!("{USAGE}");
                 std::process::exit(0);
             }
-            other => eprintln!("ignoring unknown argument {other}"),
+            other => fail(&format!("unknown argument {other}")),
         }
         i += 1;
+    }
+    if args.size == 0 {
+        fail("--size must be at least 1");
+    }
+    if args.threads == 0 {
+        fail("--threads must be at least 1");
+    }
+    if args.attempts == 0 {
+        fail("--attempts must be at least 1");
     }
     if args.table.is_none()
         && args.figure.is_none()
         && args.case.is_none()
         && args.appendix.is_none()
+        && args.bench_json.is_none()
     {
         args.all = true;
     }
@@ -97,6 +138,10 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.bench_json {
+        run_bench_json(path, args.size, args.seed, args.threads);
+        return;
+    }
     let needs_campaign = args.all
         || matches!(args.table, Some(4) | Some(5))
         || args.figure.is_some()
@@ -181,6 +226,205 @@ fn main() {
     }
 }
 
+/// `--bench-json`: times the campaign schedulers against each other on a
+/// heavy-tail fleet (25% flaky probes burning retry backoff — the
+/// workload where static chunking leaves workers idle), isolates the
+/// once-per-campaign world-template saving, and writes one JSON report.
+/// Timings vary run to run; the *schema* is stable, so CI diffs keys
+/// against the committed `BENCH_campaign.json`, never numbers.
+fn run_bench_json(path: &str, size: usize, seed: u64, threads: usize) {
+    use std::time::Instant;
+
+    #[derive(serde::Serialize)]
+    struct Timing {
+        seconds: f64,
+        probes_per_sec: f64,
+    }
+    #[derive(serde::Serialize)]
+    struct BenchConfig {
+        size: usize,
+        responding: usize,
+        seed: u64,
+        threads: usize,
+        flaky_rate: f64,
+        attempts: u32,
+        retry_backoff_ms: u64,
+    }
+    #[derive(serde::Serialize)]
+    struct Scheduler {
+        single_thread: Timing,
+        static_chunks: Timing,
+        work_stealing: Timing,
+        speedup_vs_static: f64,
+        speedup_vs_single: f64,
+        parallel_efficiency: f64,
+        results_identical: bool,
+    }
+    #[derive(serde::Serialize)]
+    struct ScheduleProjection {
+        per_probe_total_seconds: f64,
+        static_chunks_makespan_seconds: f64,
+        work_stealing_makespan_seconds: f64,
+        projected_speedup: f64,
+    }
+    #[derive(serde::Serialize)]
+    struct WorldBuild {
+        probes: usize,
+        fresh_world_us_per_probe: f64,
+        shared_template_us_per_probe: f64,
+        template_speedup: f64,
+    }
+    #[derive(serde::Serialize)]
+    struct BenchReport {
+        schema_version: u32,
+        config: BenchConfig,
+        scheduler: Scheduler,
+        schedule_projection: ScheduleProjection,
+        world_build: WorldBuild,
+    }
+
+    let fleet = generate(FleetConfig {
+        size,
+        seed,
+        flaky_rate: 0.25,
+        attempts: 3,
+        retry_backoff_ms: 40,
+        ..FleetConfig::default()
+    });
+    let responding = fleet.responding().count();
+    eprintln!(
+        "bench: {size} probes ({responding} responding, heavy tail), {threads} threads"
+    );
+
+    // Warm the shared template and the allocator before any timed run.
+    let _ = WorldTemplate::shared();
+    let _ = run_campaign_metered(&fleet, threads, None);
+
+    let timed = |results: &[ProbeResult], seconds: f64| Timing {
+        seconds,
+        probes_per_sec: results.len() as f64 / seconds,
+    };
+    let t = Instant::now();
+    let single = run_campaign_metered(&fleet, 1, None);
+    let single_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let chunked = run_campaign_chunked(&fleet, threads, None);
+    let chunked_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let stealing = run_campaign_metered(&fleet, threads, None);
+    let stealing_s = t.elapsed().as_secs_f64();
+    let results_identical = single.len() == stealing.len()
+        && chunked.len() == stealing.len()
+        && stealing
+            .iter()
+            .zip(&single)
+            .zip(&chunked)
+            .all(|((a, b), c)| a.report == b.report && a.report == c.report);
+    eprintln!(
+        "bench: single {single_s:.2}s, static chunks {chunked_s:.2}s, \
+         work stealing {stealing_s:.2}s (identical results: {results_identical})"
+    );
+
+    // Schedule projection: wall-clock deltas need as many cores as
+    // threads, so also measure each probe's individual cost and compute
+    // the makespan (critical path) each schedule induces — the wall
+    // clock a wide-enough machine would see, independent of this host.
+    let probes: Vec<_> = fleet.responding().collect();
+    let mut costs = Vec::with_capacity(probes.len());
+    for probe in &probes {
+        let t = Instant::now();
+        std::hint::black_box(atlas_sim::measure_probe(&fleet, probe));
+        costs.push(t.elapsed().as_secs_f64());
+    }
+    let per_probe_total: f64 = costs.iter().sum();
+    // Static chunking hands each worker one contiguous slice.
+    let chunk = probes.len().div_ceil(threads);
+    let static_makespan = costs
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>())
+        .fold(0.0f64, f64::max);
+    // Work stealing claims the next probe the moment a worker frees up.
+    let mut workers = vec![0.0f64; threads];
+    for &cost in &costs {
+        let next = workers
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite cost"))
+            .map(|(i, _)| i)
+            .expect("threads >= 1");
+        workers[next] += cost;
+    }
+    let stealing_makespan = workers.iter().fold(0.0f64, |a, &b| a.max(b));
+    eprintln!(
+        "bench: projected makespan at {threads} workers — static chunks \
+         {static_makespan:.3}s vs work stealing {stealing_makespan:.3}s \
+         ({:.2}x)",
+        static_makespan / stealing_makespan
+    );
+
+    // Build-cost isolation: the same worlds, built from the shared
+    // template vs. from a template re-derived per probe (the old cost).
+    let build_probes: Vec<_> = fleet.responding().take(300).collect();
+    let shared = WorldTemplate::shared();
+    let t = Instant::now();
+    for probe in &build_probes {
+        std::hint::black_box(scenario_for(&fleet, probe).build_with(&shared));
+    }
+    let shared_us = t.elapsed().as_micros() as f64 / build_probes.len() as f64;
+    let t = Instant::now();
+    for probe in &build_probes {
+        let fresh = WorldTemplate::new();
+        std::hint::black_box(scenario_for(&fleet, probe).build_with(&fresh));
+    }
+    let fresh_us = t.elapsed().as_micros() as f64 / build_probes.len() as f64;
+    eprintln!(
+        "bench: world build {shared_us:.0}us/probe shared vs {fresh_us:.0}us/probe fresh"
+    );
+
+    let report = BenchReport {
+        schema_version: 1,
+        config: BenchConfig {
+            size,
+            responding,
+            seed,
+            threads,
+            flaky_rate: fleet.config.flaky_rate,
+            attempts: fleet.config.attempts,
+            retry_backoff_ms: fleet.config.retry_backoff_ms,
+        },
+        scheduler: Scheduler {
+            single_thread: timed(&single, single_s),
+            static_chunks: timed(&chunked, chunked_s),
+            work_stealing: timed(&stealing, stealing_s),
+            speedup_vs_static: chunked_s / stealing_s,
+            speedup_vs_single: single_s / stealing_s,
+            parallel_efficiency: single_s / stealing_s / threads as f64,
+            results_identical,
+        },
+        schedule_projection: ScheduleProjection {
+            per_probe_total_seconds: per_probe_total,
+            static_chunks_makespan_seconds: static_makespan,
+            work_stealing_makespan_seconds: stealing_makespan,
+            projected_speedup: static_makespan / stealing_makespan,
+        },
+        world_build: WorldBuild {
+            probes: build_probes.len(),
+            fresh_world_us_per_probe: fresh_us,
+            shared_template_us_per_probe: shared_us,
+            template_speedup: fresh_us / shared_us,
+        },
+    };
+    let mut json = serde_json::to_string_pretty(&report).expect("serializable");
+    json.push('\n');
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote scheduler benchmark to {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Table 1: location queries and expected responses, measured live against
 /// the public resolver models over a clean path.
 fn print_table1() {
@@ -194,7 +438,7 @@ fn print_table1() {
             dns_wire::RClass::Chaos => "CHAOS TXT",
             _ => "TXT",
         };
-        let out = transport.query(resolver.v4[0], q.clone(), txids.next(), QueryOptions::default());
+        let out = transport.query(resolver.v4[0], &q, txids.next(), QueryOptions::default());
         let response = out.response().map(describe_response).unwrap_or_else(|| "-".into());
         println!(
             "{:<16} {:<10} {:<26} {}",
@@ -233,12 +477,12 @@ fn print_tables_2_and_3() {
     let mut txids = TxidSequence::new(0x1000);
     for (id, transport, _) in &mut transports {
         let cf = transport
-            .query(cloudflare.v4[0], cloudflare.location_query(), txids.next(), QueryOptions::default())
+            .query(cloudflare.v4[0], &cloudflare.location_query(), txids.next(), QueryOptions::default())
             .response()
             .map(describe_response)
             .unwrap_or_else(|| "-".into());
         let gg = transport
-            .query(google.v4[0], google.location_query(), txids.next(), QueryOptions::default())
+            .query(google.v4[0], &google.location_query(), txids.next(), QueryOptions::default())
             .response()
             .map(describe_response)
             .unwrap_or_else(|| "-".into());
@@ -257,7 +501,7 @@ fn print_tables_2_and_3() {
         let vb = dns_wire::Question::chaos_txt(dns_wire::debug_queries::version_bind());
         let mut ask = |server: IpAddr| -> String {
             transport
-                .query(server, vb.clone(), txids.next(), QueryOptions::default())
+                .query(server, &vb, txids.next(), QueryOptions::default())
                 .response()
                 .map(describe_response)
                 .unwrap_or_else(|| "-".into())
@@ -278,7 +522,7 @@ fn print_xb6_case_study() {
     let probe_v4 = built.addrs.probe_v4;
     let mut transport = SimTransport::new(built);
     let q = dns_wire::Question::new("example.com".parse().unwrap(), dns_wire::RType::A);
-    let out = transport.query("8.8.8.8".parse().unwrap(), q, 0x1000, QueryOptions::default());
+    let out = transport.query("8.8.8.8".parse().unwrap(), &q, 0x1000, QueryOptions::default());
     for entry in transport.scenario.sim.trace() {
         println!("  {:>10}  {:<18} {}", entry.at.to_string(), entry.node_name, entry.packet);
     }

@@ -19,7 +19,7 @@ use crate::report::{
     InterceptorLocation, LocationTestResult, PerResolver, ProbeReport, Provenance,
     StepProvenance, Transparency, VersionBindAnswer,
 };
-use crate::resolvers::{default_resolvers, PublicResolver};
+use crate::resolvers::{shared_default_resolvers, PublicResolver};
 use crate::trace::{NullSink, Step, TraceEvent, TraceSink};
 use crate::transport::{
     query_with_retry_traced, QueryCtx, QueryOptions, QueryOutcome, QueryTransport, TxidSequence,
@@ -27,12 +27,17 @@ use crate::transport::{
 use dns_wire::debug_queries;
 use dns_wire::{Message, Name, Question, RData, RType, Rcode};
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// Configuration for one locator run.
 #[derive(Debug, Clone)]
 pub struct LocatorConfig {
     /// The public resolvers to study (defaults to the paper's four).
-    pub resolvers: Vec<PublicResolver>,
+    ///
+    /// Shared rather than owned: campaign runners build one config per
+    /// probe, and an `Arc` keeps those thousands of configs pointing at a
+    /// single resolver table instead of deep-copying egress prefixes.
+    pub resolvers: Arc<[PublicResolver]>,
     /// The CPE's public IPv4 address, if known. RIPE Atlas probes know
     /// their public address; without it step 2 cannot run.
     pub cpe_public_v4: Option<IpAddr>,
@@ -61,7 +66,7 @@ pub struct LocatorConfig {
 impl Default for LocatorConfig {
     fn default() -> Self {
         LocatorConfig {
-            resolvers: default_resolvers(),
+            resolvers: shared_default_resolvers(),
             cpe_public_v4: None,
             cpe_public_v6: None,
             bogon_v4: IpAddr::V4(std::net::Ipv4Addr::new(198, 51, 100, 53)),
@@ -205,7 +210,7 @@ impl HijackLocator {
         let mut all_refs = Vec::new();
         let mut deciding = Vec::new();
         let resolvers = self.config.resolvers.clone();
-        for resolver in &resolvers {
+        for resolver in resolvers.iter() {
             let mut families: Vec<&[IpAddr; 2]> = vec![&resolver.v4];
             if self.config.test_ipv6 {
                 families.push(&resolver.v6);
@@ -308,7 +313,7 @@ impl HijackLocator {
             PerResolver::default();
         let mut resolver_refs: PerResolver<Option<EvidenceRef>> = PerResolver::default();
         let resolvers = self.config.resolvers.clone();
-        for resolver in &resolvers {
+        for resolver in resolvers.iter() {
             let addr = if use_v4 { resolver.v4[0] } else { resolver.v6[0] };
             let (answer, evidence) = self.version_bind_to(transport, sink, addr);
             *resolver_responses.get_mut(resolver.key) = Some(answer);
@@ -419,7 +424,7 @@ impl HijackLocator {
         let mut modified = 0u32;
         let mut cited = Vec::new();
         let resolvers = self.config.resolvers.clone();
-        for resolver in &resolvers {
+        for resolver in resolvers.iter() {
             let intercepted_v4 = matrix.v4.get(resolver.key).is_intercepted();
             let intercepted_v6 = matrix.v6.get(resolver.key).is_intercepted();
             if !intercepted_v4 && !intercepted_v6 {

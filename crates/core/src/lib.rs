@@ -55,7 +55,7 @@ pub use report::{
     InterceptorLocation, LocationTestResult, PerResolver, ProbeReport, Provenance,
     StepProvenance, Transparency, VersionBindAnswer,
 };
-pub use resolvers::{default_resolvers, PublicResolver, ResolverKey};
+pub use resolvers::{default_resolvers, shared_default_resolvers, PublicResolver, ResolverKey};
 pub use trace::{NullSink, Step, TraceEvent, TraceRecorder, TraceSink};
 pub use transport::{
     query_with_retry, query_with_retry_traced, QueryCtx, QueryOptions, QueryOutcome,

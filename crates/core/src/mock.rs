@@ -306,19 +306,19 @@ impl QueryTransport for MockTransport {
     fn query(
         &mut self,
         server: IpAddr,
-        question: Question,
+        question: &Question,
         txid: u16,
         _opts: QueryOptions,
     ) -> QueryOutcome {
         self.log.push((server, question.clone()));
         self.txid_log.push(txid);
         for rule in &mut self.rules {
-            if rule.matches(server, &question) {
+            if rule.matches(server, question) {
                 if rule.remaining_failures > 0 {
                     rule.remaining_failures -= 1;
                     return QueryOutcome::Timeout;
                 }
-                return match Self::build_response(&question, txid, &rule.respond) {
+                return match Self::build_response(question, txid, &rule.respond) {
                     Some(msg) => QueryOutcome::Response(msg),
                     None => QueryOutcome::Timeout,
                 };
@@ -334,7 +334,7 @@ mod tests {
     use crate::resolvers::ResolverKey;
 
     fn q(t: &mut MockTransport, server: IpAddr, question: Question) -> QueryOutcome {
-        t.query(server, question, 0x1234, QueryOptions::default())
+        t.query(server, &question, 0x1234, QueryOptions::default())
     }
 
     #[test]

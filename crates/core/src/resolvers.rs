@@ -14,6 +14,7 @@ use dns_wire::debug_queries;
 use dns_wire::{Message, Question, Rcode};
 use serde::{Deserialize, Serialize};
 use std::net::IpAddr;
+use std::sync::{Arc, OnceLock};
 
 /// Identifies one of the studied public resolvers.
 #[derive(
@@ -172,6 +173,19 @@ pub fn default_resolvers() -> Vec<PublicResolver> {
             egress: pfx(&["146.112.0.0/16", "2a04:e4c0::/29"]),
         },
     ]
+}
+
+/// Process-wide shared copy of [`default_resolvers`].
+///
+/// The resolver table is immutable reference data (addresses, egress
+/// prefixes, query shapes), yet building it parses a dozen prefixes and
+/// allocates per call. Campaign-scale surveys construct one
+/// `LocatorConfig` per probe, so `Default` hands out clones of this
+/// single `Arc` instead of re-parsing the table tens of thousands of
+/// times.
+pub fn shared_default_resolvers() -> Arc<[PublicResolver]> {
+    static SHARED: OnceLock<Arc<[PublicResolver]>> = OnceLock::new();
+    SHARED.get_or_init(|| default_resolvers().into()).clone()
 }
 
 #[cfg(test)]

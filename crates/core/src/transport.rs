@@ -82,7 +82,7 @@ pub trait QueryTransport {
     fn query(
         &mut self,
         server: IpAddr,
-        question: Question,
+        question: &Question,
         txid: u16,
         opts: QueryOptions,
     ) -> QueryOutcome;
@@ -106,7 +106,7 @@ impl<T: QueryTransport + ?Sized> QueryTransport for &mut T {
     fn query(
         &mut self,
         server: IpAddr,
-        question: Question,
+        question: &Question,
         txid: u16,
         opts: QueryOptions,
     ) -> QueryOutcome {
@@ -234,7 +234,7 @@ pub fn query_with_retry_traced<T: QueryTransport, S: TraceSink>(
                 at_us: transport.now_us(),
             });
         }
-        match transport.query(server, question.clone(), txid, opts) {
+        match transport.query(server, question, txid, opts) {
             QueryOutcome::Response(msg) if msg.header.id == txid => {
                 if sink.enabled() {
                     sink.record(TraceEvent::ResponseAccepted {
@@ -307,7 +307,7 @@ mod tests {
         fn query(
             &mut self,
             _server: IpAddr,
-            question: Question,
+            question: &Question,
             txid: u16,
             _opts: QueryOptions,
         ) -> QueryOutcome {
@@ -317,11 +317,11 @@ mod tests {
             match self.reactions.get(idx).unwrap_or(&Reaction::Timeout) {
                 Reaction::Timeout => QueryOutcome::Timeout,
                 Reaction::Answer => {
-                    let q = Message::query(txid, question);
+                    let q = Message::query(txid, question.clone());
                     QueryOutcome::Response(Message::response_to(&q, Rcode::NoError))
                 }
                 Reaction::WrongTxid => {
-                    let q = Message::query(txid.wrapping_add(1), question);
+                    let q = Message::query(txid.wrapping_add(1), question.clone());
                     QueryOutcome::Response(Message::response_to(&q, Rcode::NoError))
                 }
             }

@@ -159,7 +159,7 @@ mod tests {
         fn query(
             &mut self,
             server: IpAddr,
-            q: Question,
+            q: &Question,
             txid: u16,
             opts: QueryOptions,
         ) -> QueryOutcome {

@@ -60,11 +60,11 @@ impl QueryTransport for UdpTransport {
     fn query(
         &mut self,
         server: IpAddr,
-        question: Question,
+        question: &Question,
         txid: u16,
         opts: QueryOptions,
     ) -> QueryOutcome {
-        let msg = Message::query(txid, question);
+        let msg = Message::query(txid, question.clone());
         let Ok(payload) = msg.encode() else { return QueryOutcome::Timeout };
 
         let Ok(socket) = self.bind_for(server) else { return QueryOutcome::Timeout };
@@ -162,7 +162,7 @@ mod tests {
     fn loopback_roundtrip() {
         let mut t = UdpTransport::default();
         t.port = spawn_loopback_server(1, false);
-        let out = t.query("127.0.0.1".parse().unwrap(), a_question(), 0x5244, opts(2_000));
+        let out = t.query("127.0.0.1".parse().unwrap(), &a_question(), 0x5244, opts(2_000));
         let resp = out.response().expect("loopback answer");
         assert_eq!(resp.answers[0].rdata, RData::A("93.184.216.34".parse().unwrap()));
         assert_eq!(resp.header.id, 0x5244);
@@ -174,7 +174,7 @@ mod tests {
     fn mismatched_txid_is_rejected_until_timeout() {
         let mut t = UdpTransport::default();
         t.port = spawn_loopback_server(1, true);
-        let out = t.query("127.0.0.1".parse().unwrap(), a_question(), 0x5244, opts(300));
+        let out = t.query("127.0.0.1".parse().unwrap(), &a_question(), 0x5244, opts(300));
         assert!(out.is_timeout());
         assert_eq!(t.received, 0);
     }
@@ -186,7 +186,7 @@ mod tests {
         let mut t = UdpTransport::default();
         t.port = silent.local_addr().unwrap().port();
         let started = Instant::now();
-        let out = t.query("127.0.0.1".parse().unwrap(), a_question(), 0x5244, opts(200));
+        let out = t.query("127.0.0.1".parse().unwrap(), &a_question(), 0x5244, opts(200));
         assert!(out.is_timeout());
         assert!(started.elapsed() >= Duration::from_millis(180));
     }

@@ -40,7 +40,7 @@ mod types;
 mod wire;
 
 pub use error::{BuildError, ParseError};
-pub use message::{Header, Message, Question, Record};
+pub use message::{EncodeScratch, Header, Message, QueryEncoder, Question, Record};
 pub use name::{LabelIter, Name, MAX_LABEL_LEN, MAX_NAME_LEN};
 pub use rdata::{RData, Soa};
 pub use types::{Opcode, RClass, RType, Rcode};

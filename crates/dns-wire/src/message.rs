@@ -301,6 +301,16 @@ impl Message {
 
     /// Encodes the message with name compression.
     pub fn encode(&self) -> Result<Vec<u8>, BuildError> {
+        let mut scratch = EncodeScratch::new();
+        self.encode_into(&mut scratch)?;
+        Ok(std::mem::take(&mut scratch.buf))
+    }
+
+    /// Encodes into `scratch`, reusing its buffer and compression-map
+    /// allocations, and returns the encoded bytes. Produces exactly the
+    /// bytes [`Message::encode`] would; hot paths that encode many
+    /// messages keep one scratch alive instead of allocating per message.
+    pub fn encode_into<'s>(&self, scratch: &'s mut EncodeScratch) -> Result<&'s [u8], BuildError> {
         for section_len in [
             self.questions.len(),
             self.answers.len(),
@@ -311,7 +321,8 @@ impl Message {
                 return Err(BuildError::TooManyRecords);
             }
         }
-        let mut w = Writer::new();
+        let mut w = Writer::from_vec(std::mem::take(&mut scratch.buf));
+        scratch.compress.clear();
         self.header.encode(
             &mut w,
             [
@@ -321,22 +332,85 @@ impl Message {
                 self.additional.len() as u16,
             ],
         );
-        let mut compress: HashMap<Vec<u8>, u16> = HashMap::new();
         for q in &self.questions {
-            q.encode(&mut w, &mut compress);
+            q.encode(&mut w, &mut scratch.compress);
         }
-        for rec in self
+        let records = self
             .answers
             .iter()
             .chain(self.authority.iter())
-            .chain(self.additional.iter())
-        {
-            rec.encode(&mut w, &mut compress)?;
+            .chain(self.additional.iter());
+        for rec in records {
+            if let Err(e) = rec.encode(&mut w, &mut scratch.compress) {
+                scratch.buf = w.into_bytes();
+                return Err(e);
+            }
         }
         if w.len() > u16::MAX as usize {
+            scratch.buf = w.into_bytes();
             return Err(BuildError::MessageTooLong);
         }
-        Ok(w.into_bytes())
+        scratch.buf = w.into_bytes();
+        Ok(&scratch.buf)
+    }
+}
+
+/// Reusable encode state: the output buffer and the name-compression map.
+/// [`Message::encode_into`] clears and refills both, so one warm scratch
+/// serves any number of encodes without fresh buffer allocations.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    buf: Vec<u8>,
+    compress: HashMap<Vec<u8>, u16>,
+}
+
+impl EncodeScratch {
+    /// An empty scratch.
+    pub fn new() -> EncodeScratch {
+        EncodeScratch::default()
+    }
+}
+
+/// Caches the wire form of repeated queries.
+///
+/// The transaction ID occupies the first two header bytes, so one cached
+/// encoding serves every txid by patching those bytes in place — the
+/// result is byte-for-byte what a fresh `Message::query(txid, q).encode()`
+/// would produce. Measurement pipelines ask the same fixed question set
+/// (location queries, version.bind, bogon probes) thousands of times, so a
+/// per-worker encoder turns per-query encoding into a memcpy.
+#[derive(Debug, Default)]
+pub struct QueryEncoder {
+    scratch: EncodeScratch,
+    cache: Vec<(Question, Vec<u8>)>,
+}
+
+impl QueryEncoder {
+    /// Cache capacity: the measurement question set is small and fixed;
+    /// anything past this evicts the oldest entry rather than growing.
+    const CAPACITY: usize = 64;
+
+    /// An empty encoder.
+    pub fn new() -> QueryEncoder {
+        QueryEncoder::default()
+    }
+
+    /// Returns the wire bytes of a standard recursive query for
+    /// `question` with transaction ID `txid`, encoding on first sight and
+    /// patching the cached bytes thereafter.
+    pub fn encode_query(&mut self, txid: u16, question: &Question) -> Result<&[u8], BuildError> {
+        if let Some(idx) = self.cache.iter().position(|(q, _)| q == question) {
+            let bytes = &mut self.cache[idx].1;
+            bytes[0..2].copy_from_slice(&txid.to_be_bytes());
+            return Ok(&self.cache[idx].1);
+        }
+        let msg = Message::query(txid, question.clone());
+        let bytes = msg.encode_into(&mut self.scratch)?.to_vec();
+        if self.cache.len() >= Self::CAPACITY {
+            self.cache.remove(0);
+        }
+        self.cache.push((question.clone(), bytes));
+        Ok(&self.cache.last().expect("just pushed").1)
     }
 }
 
@@ -410,6 +484,52 @@ mod tests {
         let resp = Message::response_to(&query, Rcode::NotImp);
         assert_eq!(resp.header.rcode, Rcode::NotImp);
         assert_eq!(resp.questions, query.questions);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_byte_for_byte() {
+        let mut scratch = EncodeScratch::new();
+        let query = Message::query(0x1234, q("example.com", RType::A));
+        let resp = Message::response_to(&query, Rcode::NoError).with_answer(Record::new(
+            "example.com".parse().unwrap(),
+            30,
+            RData::A(Ipv4Addr::new(93, 184, 216, 34)),
+        ));
+        // Reuse the same scratch across different messages: each encode
+        // must still equal the standalone path.
+        for msg in [&query, &resp, &query] {
+            let via_scratch = msg.encode_into(&mut scratch).unwrap().to_vec();
+            assert_eq!(via_scratch, msg.encode().unwrap());
+        }
+    }
+
+    #[test]
+    fn query_encoder_patches_txid_into_cached_bytes() {
+        let mut enc = QueryEncoder::new();
+        let qa = q("example.com", RType::A);
+        let qb = Question::chaos_txt("id.server".parse().unwrap());
+        for txid in [0x1000u16, 0x2001, 0xFFFF, 0] {
+            for question in [&qa, &qb] {
+                let cached = enc.encode_query(txid, question).unwrap().to_vec();
+                let fresh = Message::query(txid, question.clone()).encode().unwrap();
+                assert_eq!(cached, fresh, "txid {txid:#x} {question:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_encoder_evicts_past_capacity() {
+        let mut enc = QueryEncoder::new();
+        for i in 0..(QueryEncoder::CAPACITY + 8) {
+            let question = q(&format!("host-{i}.example.com"), RType::A);
+            let bytes = enc.encode_query(i as u16, &question).unwrap().to_vec();
+            assert_eq!(bytes, Message::query(i as u16, question).encode().unwrap());
+        }
+        assert!(enc.cache.len() <= QueryEncoder::CAPACITY);
+        // Evicted entries simply re-encode.
+        let first = q("host-0.example.com", RType::A);
+        let bytes = enc.encode_query(7, &first).unwrap().to_vec();
+        assert_eq!(bytes, Message::query(7, first).encode().unwrap());
     }
 
     #[test]

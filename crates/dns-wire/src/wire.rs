@@ -96,6 +96,14 @@ impl Writer {
         Writer { buf: Vec::with_capacity(512) }
     }
 
+    /// Creates a writer that reuses `buf`'s allocation, clearing its
+    /// contents first. Pairing this with [`Writer::into_bytes`] lets a hot
+    /// encode loop recycle one buffer instead of allocating per message.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Writer { buf }
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()

@@ -24,7 +24,7 @@ mod transport;
 
 pub use isp::{IspProfile, MiddleboxSpec, RedirectTarget, ResolverMode};
 pub use scenario::{
-    BuiltScenario, CpeModelKind, GroundTruth, HomeScenario, Region, ScenarioAddrs,
+    BuiltScenario, CpeModelKind, GroundTruth, HomeScenario, Region, ScenarioAddrs, WorldTemplate,
 };
 pub use background::{start_background, BackgroundClient};
 pub use replicate::ReplicatingInterceptor;

@@ -18,7 +18,7 @@ use resolver_sim::{
     PublicBrand, PublicResolverSite, RecursiveResolver, ResolveCtx, SoftwareProfile, ZoneDb,
 };
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Geographic region of the probe; selects which anycast site it reaches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -377,6 +377,57 @@ impl BuiltScenario {
     }
 }
 
+/// The immutable world every scenario shares: the standard zone database,
+/// the public-resolver table, and the root-server address list.
+///
+/// Building one household used to reconstruct all of this from scratch —
+/// O(fleet × world) redundant work on a survey's hottest path. A campaign
+/// builds (or borrows) one template up front and every per-probe
+/// [`HomeScenario::build_with`] call clones only `Arc`s and a handful of
+/// addresses out of it.
+pub struct WorldTemplate {
+    /// The standard-world zone database all simulated resolvers answer from.
+    pub zonedb: Arc<ZoneDb>,
+    /// The paper's four public resolvers (service addresses + egress).
+    pub resolvers: Arc<[locator::PublicResolver]>,
+    /// Root-server addresses for the hostname.bind baseline.
+    pub root_addrs: Vec<IpAddr>,
+}
+
+impl WorldTemplate {
+    /// Builds a fresh template, constructing every piece from scratch.
+    ///
+    /// Campaigns should prefer [`WorldTemplate::shared`]; this constructor
+    /// exists for callers that need an isolated copy — notably the
+    /// build-cost benchmarks, which measure exactly this work.
+    pub fn new() -> WorldTemplate {
+        WorldTemplate {
+            zonedb: Arc::new(ZoneDb::standard_world()),
+            resolvers: locator::default_resolvers().into(),
+            root_addrs: locator::baseline::default_root_addrs(),
+        }
+    }
+
+    /// The process-wide shared template. Built once on first use; every
+    /// subsequent scenario build anywhere in the process reuses it.
+    pub fn shared() -> Arc<WorldTemplate> {
+        static SHARED: OnceLock<Arc<WorldTemplate>> = OnceLock::new();
+        Arc::clone(SHARED.get_or_init(|| {
+            Arc::new(WorldTemplate {
+                zonedb: Arc::new(ZoneDb::standard_world()),
+                resolvers: locator::shared_default_resolvers(),
+                root_addrs: locator::baseline::default_root_addrs(),
+            })
+        }))
+    }
+}
+
+impl Default for WorldTemplate {
+    fn default() -> Self {
+        WorldTemplate::new()
+    }
+}
+
 /// Per-brand egress addresses (v4, v6) for public resolver sites.
 fn brand_egress(brand: PublicBrand) -> (Ipv4Addr, Ipv6Addr) {
     match brand {
@@ -409,11 +460,19 @@ fn brand_of(key: ResolverKey) -> PublicBrand {
 }
 
 impl HomeScenario {
-    /// Builds the world.
+    /// Builds the world against the process-wide shared [`WorldTemplate`].
     pub fn build(&self) -> BuiltScenario {
+        self.build_with(&WorldTemplate::shared())
+    }
+
+    /// Builds the world, sourcing all immutable shared state from
+    /// `template`. Campaign runners hold one `Arc<WorldTemplate>` and call
+    /// this per probe so the zone database, resolver table, and root list
+    /// are constructed once instead of once per household.
+    pub fn build_with(&self, template: &WorldTemplate) -> BuiltScenario {
         let isp = &self.isp;
         let mut sim = Simulator::new(self.seed);
-        let zonedb = Arc::new(ZoneDb::standard_world());
+        let zonedb = Arc::clone(&template.zonedb);
 
         // --- Addressing -------------------------------------------------
         let wan_v4 = isp.customer_v4(self.customer_index);
@@ -577,7 +636,7 @@ impl HomeScenario {
         let core = sim.add_device(Box::new(core));
 
         // --- Public resolver sites ------------------------------------------
-        let resolvers = locator::default_resolvers();
+        let resolvers = &template.resolvers;
         let mut site_nodes = Vec::new();
         for (i, public) in resolvers.iter().enumerate() {
             let brand = brand_of(public.key);
@@ -601,7 +660,7 @@ impl HomeScenario {
         // --- Root servers (for the hostname.bind baseline) -------------------
         // One anycast root node answering CHAOS hostname.bind with a
         // root-style identity and refusing recursion, as real roots do.
-        let root_addrs: Vec<IpAddr> = locator::baseline::default_root_addrs();
+        let root_addrs = &template.root_addrs;
         let root_node = {
             let mut profile = SoftwareProfile::custom("9.16.15");
             profile.id_server = resolver_sim::ChaosPolicy::Text(format!(
@@ -618,7 +677,7 @@ impl HomeScenario {
             root.refuse_all = true;
             let node = sim.add_device(Box::new(root));
             let core_router = sim.device_mut::<Router>(core).expect("core is a router");
-            for addr in &root_addrs {
+            for addr in root_addrs {
                 core_router.routes.add(Cidr::host(*addr), IfaceId(7));
             }
             node

@@ -16,7 +16,7 @@
 //! timeout — never as an accepted answer.
 
 use crate::scenario::BuiltScenario;
-use dns_wire::{Message, Question};
+use dns_wire::{Message, QueryEncoder, Question};
 use locator::{QueryOptions, QueryOutcome, QueryTransport};
 use netsim::{Host, IfaceId, IpPacket, SimDuration};
 use std::net::IpAddr;
@@ -33,17 +33,35 @@ pub struct SimTransport {
     /// off the wire — 0 leaves responses untouched. Models an interceptor
     /// that answers with a stale or rewritten ID.
     pub corrupt_response_txid_xor: u16,
+    /// Reusable encode scratch. The locator asks the same handful of
+    /// questions thousands of times per campaign; the encoder caches their
+    /// wire bytes and re-stamps only the transaction ID.
+    encoder: QueryEncoder,
 }
 
 impl SimTransport {
     /// Wraps a scenario.
     pub fn new(scenario: BuiltScenario) -> SimTransport {
+        SimTransport::with_encoder(scenario, QueryEncoder::new())
+    }
+
+    /// Wraps a scenario, reusing an existing encoder's scratch and query
+    /// cache. Campaign workers pass the encoder from probe to probe so the
+    /// fixed location-query set is encoded once per worker, not per probe.
+    pub fn with_encoder(scenario: BuiltScenario, encoder: QueryEncoder) -> SimTransport {
         SimTransport {
             scenario,
             next_sport: 40000,
             queries_injected: 0,
             corrupt_response_txid_xor: 0,
+            encoder,
         }
+    }
+
+    /// Takes the encoder back out, leaving a fresh one behind. Used by
+    /// campaign workers to carry the warm cache to the next probe.
+    pub fn take_encoder(&mut self) -> QueryEncoder {
+        std::mem::take(&mut self.encoder)
     }
 
     fn alloc_sport(&mut self) -> u16 {
@@ -57,13 +75,15 @@ impl QueryTransport for SimTransport {
     fn query(
         &mut self,
         server: IpAddr,
-        question: Question,
+        question: &Question,
         txid: u16,
         opts: QueryOptions,
     ) -> QueryOutcome {
         let sport = self.alloc_sport();
-        let msg = Message::query(txid, question);
-        let Ok(payload) = msg.encode() else { return QueryOutcome::Timeout };
+        let Ok(payload) = self.encoder.encode_query(txid, question) else {
+            return QueryOutcome::Timeout;
+        };
+        let payload = payload.to_vec();
 
         let src: IpAddr = if server.is_ipv4() {
             IpAddr::V4(self.scenario.addrs.probe_v4)
@@ -141,7 +161,7 @@ mod tests {
     fn clean_scenario_reaches_real_resolvers() {
         let mut t = SimTransport::new(HomeScenario::clean().build());
         for (i, resolver) in default_resolvers().into_iter().enumerate() {
-            let out = t.query(resolver.v4[0], resolver.location_query(), 0x2000 + i as u16, opts());
+            let out = t.query(resolver.v4[0], &resolver.location_query(), 0x2000 + i as u16, opts());
             let msg = out.response().unwrap_or_else(|| panic!("timeout for {:?}", resolver.key));
             assert!(
                 resolver.is_standard_location_response(msg),
@@ -156,7 +176,7 @@ mod tests {
     fn clean_scenario_v6_works_too() {
         let mut t = SimTransport::new(HomeScenario::clean().build());
         for (i, resolver) in default_resolvers().into_iter().enumerate() {
-            let out = t.query(resolver.v6[0], resolver.location_query(), 0x2100 + i as u16, opts());
+            let out = t.query(resolver.v6[0], &resolver.location_query(), 0x2100 + i as u16, opts());
             let msg = out.response().expect("v6 response");
             assert!(resolver.is_standard_location_response(msg), "{:?}", resolver.key);
         }
@@ -166,7 +186,7 @@ mod tests {
     fn ordinary_resolution_works_through_clean_path() {
         let mut t = SimTransport::new(HomeScenario::clean().build());
         let q = Question::new("example.com".parse().unwrap(), RType::A);
-        let out = t.query("8.8.8.8".parse().unwrap(), q, 0x2000, opts());
+        let out = t.query("8.8.8.8".parse().unwrap(), &q, 0x2000, opts());
         let msg = out.response().expect("response");
         assert_eq!(msg.answers[0].rdata, RData::A("93.184.216.34".parse().unwrap()));
         assert_eq!(msg.header.id, 0x2000);
@@ -176,7 +196,7 @@ mod tests {
     fn bogon_queries_die_at_the_border_when_clean() {
         let mut t = SimTransport::new(HomeScenario::clean().build());
         let q = Question::new("probe.dns-hijack-study.example".parse().unwrap(), RType::A);
-        let out = t.query("198.51.100.53".parse().unwrap(), q, 0x2000, opts());
+        let out = t.query("198.51.100.53".parse().unwrap(), &q, 0x2000, opts());
         assert!(out.is_timeout());
     }
 
@@ -186,7 +206,7 @@ mod tests {
         // even though Google never saw it.
         let mut t = SimTransport::new(HomeScenario::xb6_case_study().build());
         let q = Question::new("example.com".parse().unwrap(), RType::A);
-        let out = t.query("8.8.8.8".parse().unwrap(), q, 0x2000, opts());
+        let out = t.query("8.8.8.8".parse().unwrap(), &q, 0x2000, opts());
         assert!(out.response().is_some());
     }
 
@@ -195,7 +215,7 @@ mod tests {
         let mut t =
             SimTransport::new(HomeScenario { probe_has_v6: false, ..HomeScenario::clean() }.build());
         let q = Question::chaos_txt("id.server".parse().unwrap());
-        let out = t.query("2606:4700:4700::1111".parse().unwrap(), q, 0x2000, opts());
+        let out = t.query("2606:4700:4700::1111".parse().unwrap(), &q, 0x2000, opts());
         assert!(out.is_timeout());
     }
 
@@ -204,7 +224,7 @@ mod tests {
         let mut t = SimTransport::new(HomeScenario::clean().build());
         let q = Question::chaos_txt("id.server".parse().unwrap());
         let before = t.scenario.sim.now();
-        t.query("1.1.1.1".parse().unwrap(), q, 0x2000, opts());
+        t.query("1.1.1.1".parse().unwrap(), &q, 0x2000, opts());
         let after = t.scenario.sim.now();
         assert_eq!(after.duration_since(before), SimDuration::from_millis(5_000));
     }
@@ -216,7 +236,7 @@ mod tests {
         let mut t = SimTransport::new(HomeScenario::clean().build());
         t.corrupt_response_txid_xor = 0x00FF;
         let q = Question::new("example.com".parse().unwrap(), RType::A);
-        let out = t.query("8.8.8.8".parse().unwrap(), q.clone(), 0x2000, opts());
+        let out = t.query("8.8.8.8".parse().unwrap(), &q, 0x2000, opts());
         assert!(out.is_timeout());
         // And retries don't help while the corruption persists — each fresh
         // txid is rewritten too.
@@ -232,7 +252,7 @@ mod tests {
         assert_eq!(r.attempts_used, 3);
         // Clearing the knob restores normal resolution.
         t.corrupt_response_txid_xor = 0;
-        let out = t.query("8.8.8.8".parse().unwrap(), q, 0x2200, opts());
+        let out = t.query("8.8.8.8".parse().unwrap(), &q, 0x2200, opts());
         assert!(out.response().is_some());
     }
 
@@ -243,7 +263,7 @@ mod tests {
         t.backoff(250);
         assert_eq!(t.now_us(), Some(250_000));
         let q = Question::chaos_txt("id.server".parse().unwrap());
-        t.query("1.1.1.1".parse().unwrap(), q, 0x2000, opts());
+        t.query("1.1.1.1".parse().unwrap(), &q, 0x2000, opts());
         // The whole receive window elapses before query() returns.
         assert_eq!(t.now_us(), Some(250_000 + 5_000_000));
     }

@@ -19,7 +19,7 @@ fn main() {
 
     println!("## 1. The user queries Google DNS for an ordinary A record\n");
     let q = Question::new("example.com".parse().unwrap(), RType::A);
-    let outcome = transport.query("8.8.8.8".parse().unwrap(), q, 0x2000, QueryOptions::default());
+    let outcome = transport.query("8.8.8.8".parse().unwrap(), &q, 0x2000, QueryOptions::default());
     print_trace(&mut transport);
     match outcome.response() {
         Some(resp) => println!(
@@ -35,14 +35,14 @@ fn main() {
     println!("## 2. version.bind to the CPE's own public IP ({cpe_public})\n");
     let vb = Question::chaos_txt(debug_queries::version_bind());
     let outcome =
-        transport.query(cpe_public.into(), vb.clone(), 0x2001, QueryOptions::default());
+        transport.query(cpe_public.into(), &vb, 0x2001, QueryOptions::default());
     print_trace(&mut transport);
     if let Some(resp) = outcome.response() {
         println!("\nCPE answers: {}\n", describe_response(resp));
     }
 
     println!("## 3. version.bind \"to\" Google DNS\n");
-    let outcome = transport.query("8.8.8.8".parse().unwrap(), vb, 0x2002, QueryOptions::default());
+    let outcome = transport.query("8.8.8.8".parse().unwrap(), &vb, 0x2002, QueryOptions::default());
     print_trace(&mut transport);
     if let Some(resp) = outcome.response() {
         println!(

@@ -232,7 +232,7 @@ fn iterative_mode_whoami_reflects_isp_egress_under_interception() {
     // whoami "via Google": DNAT sends it to the iterative ISP resolver,
     // whose real egress address the akamai authoritative reflects.
     let q = Question::new("whoami.akamai.com".parse().unwrap(), RType::A);
-    let out = transport.query("8.8.8.8".parse().unwrap(), q, 0x2000, QueryOptions::default());
+    let out = transport.query("8.8.8.8".parse().unwrap(), &q, 0x2000, QueryOptions::default());
     let resp = out.response().expect("answered by the interceptor");
     assert_eq!(
         resp.answers[0].rdata,

@@ -84,7 +84,7 @@ proptest! {
                 ),
             };
             txid = txid.wrapping_add(1);
-            match transport.query(server, question.clone(), txid, opts) {
+            match transport.query(server, &question, txid, opts) {
                 QueryOutcome::Response(resp) => {
                     // Flow integrity: the answer echoes our question.
                     prop_assert!(resp.header.qr);
@@ -110,8 +110,8 @@ proptest! {
         let resolvers = locator::default_resolvers();
         let opts = QueryOptions::default();
         for (i, r) in resolvers.iter().enumerate() {
-            let a = ta.query(r.v4[0], r.location_query(), 0x2000 + i as u16, opts);
-            let b = tb.query(r.v4[0], r.location_query(), 0x2000 + i as u16, opts);
+            let a = ta.query(r.v4[0], &r.location_query(), 0x2000 + i as u16, opts);
+            let b = tb.query(r.v4[0], &r.location_query(), 0x2000 + i as u16, opts);
             // The XB6 home never sees a standard answer; the clean home
             // always does.
             if let QueryOutcome::Response(resp) = &a {
