@@ -507,11 +507,11 @@ mod tests {
         let sum: u32 = t5.groups.iter().map(|(_, n)| n).sum();
         assert!(sum <= t5.total_cpe + 1);
 
-        let f3 = figure3(&fleet, &results, 15);
+        let f3 = figure3(fleet, &results, 15);
         let f3_total: u32 = f3.bars.iter().map(|b| b.total()).sum();
         assert!(f3_total <= t4.any_intercepted);
 
-        let f4 = figure4(&fleet, &results, 15);
+        let f4 = figure4(fleet, &results, 15);
         assert_eq!(f4.total.total(), t4.any_intercepted);
 
         let acc = accuracy(&results);
@@ -549,9 +549,9 @@ mod tests {
         assert!(t4.contains("Cloudflare DNS"));
         let t5 = format!("{}", table5(&results));
         assert!(t5.contains("version.bind"));
-        let f3 = format!("{}", figure3(&fleet, &results, 15));
+        let f3 = format!("{}", figure3(fleet, &results, 15));
         assert!(f3.contains("Transparent"));
-        let f4 = format!("{}", figure4(&fleet, &results, 15));
+        let f4 = format!("{}", figure4(fleet, &results, 15));
         assert!(f4.contains("Within ISP"));
     }
 }

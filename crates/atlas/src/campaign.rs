@@ -11,9 +11,10 @@
 
 use crate::fleet::{scenario_for, Fleet, ProbeSpec};
 use crate::metrics::MetricsRegistry;
+use crate::telemetry::CampaignTelemetry;
 use crossbeam::thread;
 use dns_wire::QueryEncoder;
-use interception::{GroundTruth, SimTransport, WorldTemplate};
+use interception::{GroundTruth, QueryFlow, SimTransport, WorldTemplate};
 use locator::{HijackLocator, MetricsFolder, ProbeReport, QueryTransport};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -48,38 +49,118 @@ pub fn run_campaign_metered<'a>(
     threads: usize,
     registry: Option<&MetricsRegistry>,
 ) -> Vec<ProbeResult<'a>> {
+    run_campaign_observed(fleet, threads, registry, None)
+}
+
+/// [`run_campaign_metered`] with a live observation point: when
+/// `telemetry` is given, workers bump its claim/completion counters as
+/// they go, so a monitor thread can render progress while the campaign
+/// runs. Telemetry updates are relaxed atomic increments off the
+/// simulator's path — results and metrics stay bitwise identical with
+/// telemetry on or off.
+pub fn run_campaign_observed<'a>(
+    fleet: &'a Fleet,
+    threads: usize,
+    registry: Option<&MetricsRegistry>,
+    telemetry: Option<&CampaignTelemetry>,
+) -> Vec<ProbeResult<'a>> {
     let responding: Vec<&ProbeSpec> = fleet.responding().collect();
+    let template = WorldTemplate::shared();
+    let results = run_work_stealing(&responding, threads, telemetry, |probe, encoder| {
+        measure_probe_with(fleet, probe, registry, &template, encoder)
+    });
+    record_schedule(registry, results.len());
+    results
+}
+
+/// Runs the campaign with the packet-level flight recorder on: every
+/// probe's simulator captures each hop, and the events are reconstructed
+/// into per-query [`QueryFlow`] timelines returned alongside the result.
+/// The capture path draws no randomness and schedules nothing, so reports
+/// and metrics are bitwise identical to an uncaptured run.
+pub fn run_campaign_captured<'a>(
+    fleet: &'a Fleet,
+    threads: usize,
+    registry: Option<&MetricsRegistry>,
+    telemetry: Option<&CampaignTelemetry>,
+) -> Vec<(ProbeResult<'a>, Vec<QueryFlow>)> {
+    let responding: Vec<&ProbeSpec> = fleet.responding().collect();
+    let template = WorldTemplate::shared();
+    let results = run_work_stealing(&responding, threads, telemetry, |probe, encoder| {
+        measure_probe_captured_with(fleet, probe, registry, &template, encoder)
+    });
+    record_schedule(registry, results.len());
+    results
+}
+
+/// Folds the scheduler's (thread-count-invariant) totals into the metrics
+/// snapshot: every responding probe is claimed exactly once and completed
+/// exactly once, whatever the interleaving.
+fn record_schedule(registry: Option<&MetricsRegistry>, measured: usize) {
+    if let Some(registry) = registry {
+        registry.record_schedule(measured as u64, measured as u64);
+    }
+}
+
+/// The work-stealing scheduler, generic over what a worker does per
+/// probe: workers claim the next unmeasured probe from a shared atomic
+/// cursor, carry a warm [`QueryEncoder`] from probe to probe, and their
+/// batches are merged by claim index — so output order (and content) is
+/// independent of thread count for any deterministic `measure`.
+fn run_work_stealing<'a, R, F>(
+    responding: &[&'a ProbeSpec],
+    threads: usize,
+    telemetry: Option<&CampaignTelemetry>,
+    measure: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&'a ProbeSpec, &mut QueryEncoder) -> R + Sync,
+{
     if responding.is_empty() {
         return Vec::new();
     }
-    let template = WorldTemplate::shared();
+    if let Some(t) = telemetry {
+        t.set_total(responding.len() as u64);
+    }
     let threads = threads.clamp(1, responding.len());
     if threads == 1 {
         // Inline fast path: no scope, no cursor, one warm encoder.
         let mut encoder = QueryEncoder::new();
         return responding
-            .into_iter()
-            .map(|probe| measure_probe_with(fleet, probe, registry, &template, &mut encoder))
+            .iter()
+            .map(|probe| {
+                if let Some(t) = telemetry {
+                    t.note_claim(0);
+                }
+                let result = measure(probe, &mut encoder);
+                if let Some(t) = telemetry {
+                    t.note_complete();
+                }
+                result
+            })
             .collect();
     }
 
     let cursor = AtomicUsize::new(0);
-    let batches: Vec<Vec<(usize, ProbeResult<'a>)>> = thread::scope(|scope| {
+    let batches: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|worker| {
                 let cursor = &cursor;
-                let responding = &responding;
-                let template = &template;
+                let measure = &measure;
                 scope.spawn(move |_| {
                     let mut encoder = QueryEncoder::new();
-                    let mut out: Vec<(usize, ProbeResult<'a>)> = Vec::new();
+                    let mut out: Vec<(usize, R)> = Vec::new();
                     loop {
                         let idx = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(probe) = responding.get(idx) else { break };
-                        out.push((
-                            idx,
-                            measure_probe_with(fleet, probe, registry, template, &mut encoder),
-                        ));
+                        if let Some(t) = telemetry {
+                            t.note_claim(worker);
+                        }
+                        out.push((idx, measure(probe, &mut encoder)));
+                        if let Some(t) = telemetry {
+                            t.note_complete();
+                        }
                     }
                     out
                 })
@@ -93,7 +174,7 @@ pub fn run_campaign_metered<'a>(
     .expect("campaign scope");
 
     // Merge by claim index: `responding` is id-ordered, so the output is too.
-    let mut slots: Vec<Option<ProbeResult<'a>>> = vec![None; responding.len()];
+    let mut slots: Vec<Option<R>> = responding.iter().map(|_| None).collect();
     for batch in batches {
         for (idx, result) in batch {
             slots[idx] = Some(result);
@@ -137,7 +218,9 @@ pub fn run_campaign_chunked<'a>(
         }
     })
     .expect("campaign worker panicked");
-    results.into_iter().flatten().collect()
+    let results: Vec<ProbeResult<'a>> = results.into_iter().flatten().collect();
+    record_schedule(registry, results.len());
+    results
 }
 
 fn probe_config(fleet: &Fleet, built: &interception::BuiltScenario) -> locator::LocatorConfig {
@@ -183,6 +266,40 @@ fn measure_probe_with<'a>(
     // Ground truth moves out of the consumed scenario — nothing is cloned.
     let truth = transport.scenario.truth;
     ProbeResult { probe, report, truth, expected }
+}
+
+/// Measures a single probe with the flight recorder on, returning the
+/// reconstructed per-query hop timelines alongside the result.
+pub fn measure_probe_captured<'a>(
+    fleet: &Fleet,
+    probe: &'a ProbeSpec,
+) -> (ProbeResult<'a>, Vec<QueryFlow>) {
+    let template = WorldTemplate::shared();
+    let mut encoder = QueryEncoder::new();
+    measure_probe_captured_with(fleet, probe, None, &template, &mut encoder)
+}
+
+/// [`measure_probe_with`] plus capture: identical build, config, and
+/// locator run, with the simulator's recorder switched on first. Capture
+/// draws no randomness and schedules no events, so the report matches the
+/// uncaptured path bit for bit.
+fn measure_probe_captured_with<'a>(
+    fleet: &Fleet,
+    probe: &'a ProbeSpec,
+    registry: Option<&MetricsRegistry>,
+    template: &WorldTemplate,
+    encoder: &mut QueryEncoder,
+) -> (ProbeResult<'a>, Vec<QueryFlow>) {
+    let built = scenario_for(fleet, probe).build_with(template);
+    let config = probe_config(fleet, &built);
+    let expected = built.expected;
+    let mut transport = SimTransport::with_encoder(built, std::mem::take(encoder));
+    transport.enable_capture();
+    let report = run_locator(config, &mut transport, registry, probe.org);
+    let flows = transport.take_flows();
+    *encoder = transport.take_encoder();
+    let truth = transport.scenario.truth;
+    (ProbeResult { probe, report, truth, expected }, flows)
 }
 
 /// Runs the locator over any transport, recording metrics when asked.
@@ -306,6 +423,93 @@ mod tests {
             registry.snapshot(&fleet.config.orgs)
         };
         assert_eq!(snapshot(1), snapshot(7));
+    }
+
+    #[test]
+    fn observed_campaign_counts_every_probe_and_changes_nothing() {
+        let fleet = tiny_fleet();
+        let telemetry = CampaignTelemetry::new(4);
+        let observed = run_campaign_observed(fleet, 4, None, Some(&telemetry));
+        let plain = tiny_campaign(4);
+        assert_eq!(observed.len(), plain.len());
+        for (a, b) in observed.iter().zip(&plain) {
+            assert_eq!(a.report, b.report, "telemetry must not change probe {}", a.probe.id);
+        }
+        let n = observed.len() as u64;
+        let ev = telemetry.snapshot(1_000, true);
+        assert_eq!(ev.total, n);
+        assert_eq!(ev.claimed, n);
+        assert_eq!(ev.completed, n);
+        assert_eq!(ev.per_worker_claims.iter().sum::<u64>(), n);
+        // Every worker slot exists even if the clamp idled some.
+        assert_eq!(ev.per_worker_claims.len(), 4);
+    }
+
+    #[test]
+    fn single_thread_inline_path_still_feeds_telemetry() {
+        let fleet = tiny_fleet();
+        let telemetry = CampaignTelemetry::new(1);
+        let results = run_campaign_observed(fleet, 1, None, Some(&telemetry));
+        let ev = telemetry.snapshot(0, true);
+        assert_eq!(ev.completed, results.len() as u64);
+        assert_eq!(ev.per_worker_claims, vec![results.len() as u64]);
+    }
+
+    #[test]
+    fn captured_campaign_matches_uncaptured_reports_and_yields_flows() {
+        let fleet = tiny_fleet();
+        let registry = MetricsRegistry::new(fleet.config.orgs.len());
+        let captured = run_campaign_captured(fleet, 4, Some(&registry), None);
+        let plain_registry = MetricsRegistry::new(fleet.config.orgs.len());
+        let plain = run_campaign_metered(fleet, 4, Some(&plain_registry));
+        assert_eq!(captured.len(), plain.len());
+        for ((a, flows), b) in captured.iter().zip(&plain) {
+            assert_eq!(a.report, b.report, "capture must not change probe {}", a.probe.id);
+            assert_eq!(a.truth, b.truth);
+            assert!(!flows.is_empty(), "probe {} recorded no flows", a.probe.id);
+            // The probe's own transactions open at the probe host; other
+            // flows (e.g. a CPE's re-keyed upstream forward) may start at
+            // the device that minted them.
+            assert!(
+                flows.iter().any(|f| f.hops.first().is_some_and(|h| h.node == "probe")),
+                "probe {} has no flow starting at the probe host",
+                a.probe.id
+            );
+        }
+        // Metrics — scheduler totals included — are identical too.
+        assert_eq!(
+            registry.snapshot(&fleet.config.orgs),
+            plain_registry.snapshot(&fleet.config.orgs)
+        );
+    }
+
+    #[test]
+    fn captured_flows_are_thread_count_invariant() {
+        let fleet = tiny_fleet();
+        let one = run_campaign_captured(fleet, 1, None, None);
+        let many = run_campaign_captured(fleet, 7, None, None);
+        assert_eq!(one.len(), many.len());
+        for ((a, fa), (b, fb)) in one.iter().zip(&many) {
+            assert_eq!(a.probe.id, b.probe.id);
+            assert_eq!(a.report, b.report);
+            assert_eq!(fa, fb, "probe {} hop timelines diverged", a.probe.id);
+        }
+    }
+
+    #[test]
+    fn campaign_folds_scheduler_totals_into_metrics() {
+        let fleet = tiny_fleet();
+        let registry = MetricsRegistry::new(fleet.config.orgs.len());
+        let results = run_campaign_metered(fleet, 4, Some(&registry));
+        let snap = registry.snapshot(&fleet.config.orgs);
+        assert_eq!(snap.probes_claimed, results.len() as u64);
+        assert_eq!(snap.probes_completed, results.len() as u64);
+        // Single-probe paths leave the scheduler totals untouched.
+        let solo = MetricsRegistry::new(fleet.config.orgs.len());
+        measure_probe_metered(fleet, fleet.responding().next().unwrap(), Some(&solo));
+        let snap = solo.snapshot(&fleet.config.orgs);
+        assert_eq!(snap.probes_claimed, 0);
+        assert_eq!(snap.probes_completed, 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@ mod fleet;
 mod metrics;
 mod orgs;
 mod raw;
+mod telemetry;
 
 pub use aggregate::{
     accuracy, figure3, figure4, retry_stats, table4, table5, table5_pattern, AccuracyStats,
@@ -26,8 +27,8 @@ pub use aggregate::{
 };
 pub use campaign::{
     measure_probe, measure_probe_archived, measure_probe_archived_metered,
-    measure_probe_metered, run_campaign, run_campaign_chunked, run_campaign_metered,
-    ProbeResult,
+    measure_probe_captured, measure_probe_metered, run_campaign, run_campaign_captured,
+    run_campaign_chunked, run_campaign_metered, run_campaign_observed, ProbeResult,
 };
 pub use chart::{figure3_chart, figure4_chart};
 pub use metrics::{AsVerdicts, CampaignMetrics, MetricsRegistry};
@@ -35,3 +36,4 @@ pub use flavor::{region_of_country, Flavor};
 pub use fleet::{generate, scenario_for, Fleet, FleetConfig, ProbeSpec};
 pub use orgs::{default_catalog, OrgSpec};
 pub use raw::{RawMeasurement, RawQueryRecord, RecordingTransport, ReplayTransport};
+pub use telemetry::{CampaignTelemetry, ProgressEvent};

@@ -58,6 +58,8 @@ pub struct MetricsRegistry {
     dropped_wrong_txid: AtomicU64,
     probes: AtomicU64,
     intercepted: AtomicU64,
+    sched_claimed: AtomicU64,
+    sched_completed: AtomicU64,
     orgs: Vec<OrgCell>,
 }
 
@@ -71,8 +73,21 @@ impl MetricsRegistry {
             dropped_wrong_txid: AtomicU64::new(0),
             probes: AtomicU64::new(0),
             intercepted: AtomicU64::new(0),
+            sched_claimed: AtomicU64::new(0),
+            sched_completed: AtomicU64::new(0),
             orgs: (0..org_count).map(|_| OrgCell::default()).collect(),
         }
+    }
+
+    /// Folds a campaign scheduler's totals — probes claimed off the
+    /// work-stealing cursor and probes completed — into the registry.
+    /// Both equal the responding-probe count for every finished campaign,
+    /// whatever the thread count, so snapshots stay thread-invariant.
+    /// (Single-probe measurement paths never call this; their snapshots
+    /// report zero scheduled probes.)
+    pub fn record_schedule(&self, claimed: u64, completed: u64) {
+        self.sched_claimed.fetch_add(claimed, Ordering::Relaxed);
+        self.sched_completed.fetch_add(completed, Ordering::Relaxed);
     }
 
     /// Merges one probe's folded metrics and verdict. Safe to call from
@@ -144,6 +159,8 @@ impl MetricsRegistry {
             retries: self.retries.load(Ordering::Relaxed),
             attempt_timeouts: self.attempt_timeouts.load(Ordering::Relaxed),
             dropped_wrong_txid: self.dropped_wrong_txid.load(Ordering::Relaxed),
+            probes_claimed: self.sched_claimed.load(Ordering::Relaxed),
+            probes_completed: self.sched_completed.load(Ordering::Relaxed),
             per_as,
         }
     }
@@ -189,6 +206,11 @@ pub struct CampaignMetrics {
     pub attempt_timeouts: u64,
     /// Responses discarded for a wrong transaction ID.
     pub dropped_wrong_txid: u64,
+    /// Probes claimed off the campaign scheduler's work-stealing cursor
+    /// (zero for single-probe measurement paths).
+    pub probes_claimed: u64,
+    /// Probes the campaign scheduler saw through to completion.
+    pub probes_completed: u64,
     /// Verdict tallies per AS (organizations with no measured probes are
     /// omitted), in catalog order.
     pub per_as: Vec<AsVerdicts>,
@@ -224,6 +246,13 @@ impl fmt::Display for CampaignMetrics {
             "retries {}, attempt timeouts {}, wrong-txid drops {}",
             self.retries, self.attempt_timeouts, self.dropped_wrong_txid
         )?;
+        if self.probes_claimed > 0 {
+            writeln!(
+                f,
+                "scheduler: {} probes claimed, {} completed",
+                self.probes_claimed, self.probes_completed
+            )?;
+        }
         for v in &self.per_as {
             if v.cpe + v.within_isp + v.beyond_unknown == 0 {
                 continue;

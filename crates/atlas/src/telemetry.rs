@@ -1,0 +1,190 @@
+//! Live campaign telemetry: lock-free scheduler counters a monitor thread
+//! can sample while the campaign runs.
+//!
+//! [`CampaignTelemetry`] is the observation point the work-stealing
+//! scheduler updates as workers claim and finish probes: total probes,
+//! claim-cursor progress, completions, and per-worker claim (steal)
+//! counts. Every update is a relaxed atomic increment on the worker's hot
+//! path — no locks, no allocation, no syscalls — so observing a campaign
+//! cannot change its schedule, and the measured results stay bit-for-bit
+//! identical with telemetry on or off.
+//!
+//! [`snapshot`](CampaignTelemetry::snapshot) freezes the counters into a
+//! plain-data [`ProgressEvent`]. The caller supplies elapsed wall time:
+//! this crate never reads a clock, which keeps the library deterministic
+//! and leaves pacing policy to the binary (`repro --progress` samples
+//! every ~200ms; `--progress-json` logs every sample).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared scheduler counters for one campaign run; see the module docs.
+#[derive(Debug)]
+pub struct CampaignTelemetry {
+    total: AtomicU64,
+    claimed: AtomicU64,
+    completed: AtomicU64,
+    worker_claims: Vec<AtomicU64>,
+}
+
+impl CampaignTelemetry {
+    /// Counters for a campaign that will run on up to `workers` workers.
+    /// (The campaign clamps its thread count to the probe count; surplus
+    /// worker slots simply stay at zero claims.)
+    pub fn new(workers: usize) -> CampaignTelemetry {
+        CampaignTelemetry {
+            total: AtomicU64::new(0),
+            claimed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            worker_claims: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Announces how many probes the campaign will measure. Called by the
+    /// scheduler before the first claim, so a monitor that samples early
+    /// renders `0/total`, not `0/0`.
+    pub fn set_total(&self, probes: u64) {
+        self.total.store(probes, Ordering::Relaxed);
+    }
+
+    /// One probe claimed off the shared cursor by `worker`.
+    pub(crate) fn note_claim(&self, worker: usize) {
+        self.claimed.fetch_add(1, Ordering::Relaxed);
+        if let Some(cell) = self.worker_claims.get(worker) {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One claimed probe fully measured.
+    pub(crate) fn note_complete(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Probes measured so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the counters into a [`ProgressEvent`]. `elapsed_ms` is the
+    /// caller's wall-clock reading; `done` marks the final event of a run.
+    pub fn snapshot(&self, elapsed_ms: u64, done: bool) -> ProgressEvent {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let probes_per_sec =
+            if elapsed_ms == 0 { 0.0 } else { completed as f64 * 1000.0 / elapsed_ms as f64 };
+        ProgressEvent {
+            elapsed_ms,
+            total: self.total.load(Ordering::Relaxed),
+            claimed: self.claimed.load(Ordering::Relaxed),
+            completed,
+            probes_per_sec,
+            per_worker_claims: self
+                .worker_claims
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            done,
+        }
+    }
+}
+
+/// One sample of a running campaign's progress — the machine-readable
+/// record behind `repro --progress-json` and one line of the `--progress`
+/// ticker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgressEvent {
+    /// Wall-clock milliseconds since the campaign started, as supplied by
+    /// the sampling monitor.
+    pub elapsed_ms: u64,
+    /// Probes the campaign will measure.
+    pub total: u64,
+    /// Probes claimed off the work-stealing cursor so far.
+    pub claimed: u64,
+    /// Probes fully measured so far.
+    pub completed: u64,
+    /// Queue-drain throughput: completions per wall-clock second.
+    pub probes_per_sec: f64,
+    /// Claim counts per worker, in worker order — the steal balance.
+    pub per_worker_claims: Vec<u64>,
+    /// `true` on the final event of a run.
+    pub done: bool,
+}
+
+impl fmt::Display for ProgressEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>6.1}s  {}/{} probes ({} claimed)  {:.1}/s  workers [",
+            self.elapsed_ms as f64 / 1000.0,
+            self.completed,
+            self.total,
+            self.claimed,
+            self.probes_per_sec,
+        )?;
+        for (i, n) in self.per_worker_claims.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "]")?;
+        if self.done {
+            write!(f, "  done")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let t = CampaignTelemetry::new(3);
+        t.set_total(5);
+        t.note_claim(0);
+        t.note_claim(2);
+        t.note_complete();
+        let ev = t.snapshot(2_000, false);
+        assert_eq!(ev.total, 5);
+        assert_eq!(ev.claimed, 2);
+        assert_eq!(ev.completed, 1);
+        assert_eq!(ev.per_worker_claims, vec![1, 0, 1]);
+        assert!((ev.probes_per_sec - 0.5).abs() < 1e-9);
+        assert!(!ev.done);
+        assert_eq!(t.completed(), 1);
+    }
+
+    #[test]
+    fn out_of_range_worker_still_counts_toward_claims() {
+        // The campaign clamps threads to the probe count, so a telemetry
+        // sized for fewer workers than the scheduler spawns must not lose
+        // the aggregate claim.
+        let t = CampaignTelemetry::new(1);
+        t.note_claim(7);
+        let ev = t.snapshot(0, true);
+        assert_eq!(ev.claimed, 1);
+        assert_eq!(ev.per_worker_claims, vec![0]);
+        assert_eq!(ev.probes_per_sec, 0.0);
+        assert!(ev.done);
+    }
+
+    #[test]
+    fn progress_event_round_trips_and_renders() {
+        let t = CampaignTelemetry::new(2);
+        t.set_total(10);
+        for _ in 0..4 {
+            t.note_claim(0);
+            t.note_complete();
+        }
+        let ev = t.snapshot(1_000, true);
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: ProgressEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ev);
+        let line = ev.to_string();
+        assert!(line.contains("4/10 probes"), "{line}");
+        assert!(line.contains("4.0/s"), "{line}");
+        assert!(line.ends_with("done"), "{line}");
+    }
+}

@@ -1,12 +1,18 @@
-//! Property test for the campaign scheduler's core contract: scheduling
-//! is an implementation detail. Work stealing at any thread count — and
-//! the legacy static-chunk schedule — must produce results, ground
-//! truth, expectations, and metrics snapshots bitwise identical to a
-//! single-threaded run, on fleets with a heavy retry tail where the
+//! Property tests for the campaign's two observer contracts.
+//!
+//! Scheduling is an implementation detail: work stealing at any thread
+//! count — and the legacy static-chunk schedule — must produce results,
+//! ground truth, expectations, and metrics snapshots bitwise identical to
+//! a single-threaded run, on fleets with a heavy retry tail where the
 //! schedules themselves diverge the most.
+//!
+//! Observation is a pure read: the packet-level flight recorder must not
+//! change a single report, metric, or — across thread counts — per-query
+//! hop timeline.
 
 use atlas_sim::{
-    generate, run_campaign_chunked, run_campaign_metered, FleetConfig, MetricsRegistry,
+    generate, run_campaign_captured, run_campaign_chunked, run_campaign_metered, FleetConfig,
+    MetricsRegistry,
 };
 use proptest::prelude::*;
 
@@ -67,5 +73,52 @@ proptest! {
             chunked_registry.snapshot(&fleet.config.orgs),
             baseline_snap
         );
+    }
+
+    #[test]
+    fn capture_is_a_pure_observer_at_every_thread_count(
+        seed in any::<u64>(),
+        flaky_permille in 200u32..450,
+    ) {
+        let fleet = generate(FleetConfig {
+            size: 60,
+            seed,
+            flaky_rate: flaky_permille as f64 / 1000.0,
+            attempts: 2,
+            retry_backoff_ms: 30,
+            ..FleetConfig::default()
+        });
+
+        // Capture off: the reference reports and metrics.
+        let off_registry = MetricsRegistry::new(fleet.config.orgs.len());
+        let off = run_campaign_metered(&fleet, 1, Some(&off_registry));
+        let off_snap = off_registry.snapshot(&fleet.config.orgs);
+
+        // Capture on, single-threaded: bitwise-identical reports and
+        // metrics, plus the reference hop timelines.
+        let on_registry = MetricsRegistry::new(fleet.config.orgs.len());
+        let on = run_campaign_captured(&fleet, 1, Some(&on_registry), None);
+        prop_assert_eq!(on.len(), off.len());
+        for ((a, flows), b) in on.iter().zip(&off) {
+            prop_assert_eq!(a.probe.id, b.probe.id);
+            prop_assert_eq!(&a.report, &b.report);
+            prop_assert_eq!(&a.truth, &b.truth);
+            prop_assert!(!flows.is_empty(), "probe {} captured nothing", a.probe.id);
+        }
+        prop_assert_eq!(&on_registry.snapshot(&fleet.config.orgs), &off_snap);
+
+        // Capture on at higher thread counts: verdicts, metrics, and the
+        // per-query hop timelines all match the single-threaded capture.
+        for threads in [4usize, 8] {
+            let registry = MetricsRegistry::new(fleet.config.orgs.len());
+            let captured = run_campaign_captured(&fleet, threads, Some(&registry), None);
+            prop_assert_eq!(captured.len(), on.len());
+            for ((a, fa), (b, fb)) in captured.iter().zip(&on) {
+                prop_assert_eq!(a.probe.id, b.probe.id);
+                prop_assert_eq!(&a.report, &b.report);
+                prop_assert!(fa == fb, "probe {} timelines diverged", a.probe.id);
+            }
+            prop_assert_eq!(&registry.snapshot(&fleet.config.orgs), &off_snap);
+        }
     }
 }

@@ -4,7 +4,10 @@
 //! allocate O(probes), with a constant per-probe cost that does not creep
 //! up with fleet size (e.g. by re-cloning fleet-wide state per probe).
 
-use atlas_sim::{generate, run_campaign, run_campaign_chunked, scenario_for, FleetConfig};
+use atlas_sim::{
+    generate, run_campaign, run_campaign_captured, run_campaign_chunked, scenario_for,
+    FleetConfig,
+};
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use interception::WorldTemplate;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -161,6 +164,55 @@ fn assert_allocation_flatness() {
     );
 }
 
+/// The flight recorder's zero-cost contract, enforced at the allocator:
+/// with capture disabled (the default `NullCapture`), two identical
+/// campaign runs allocate the exact same number of allocations and bytes
+/// — the disabled path performs no hidden, data-dependent allocation.
+/// With capture enabled, reports stay bitwise identical while the only
+/// extra allocations are the recorded events and reconstructed flows.
+fn assert_capture_zero_cost() {
+    let fleet = generate(FleetConfig { size: 300, ..FleetConfig::default() });
+    // Warm every lazy once-per-process structure (world template, query
+    // cache) so the measured runs differ only by what they allocate.
+    let _ = run_campaign(&fleet, 1);
+
+    let measure = |captured: bool| {
+        let (count0, bytes0) =
+            (ALLOCATIONS.load(Ordering::Relaxed), ALLOCATED_BYTES.load(Ordering::Relaxed));
+        let reports: Vec<_> = if captured {
+            run_campaign_captured(&fleet, 1, None, None)
+                .into_iter()
+                .map(|(r, _flows)| r.report)
+                .collect()
+        } else {
+            run_campaign(&fleet, 1).into_iter().map(|r| r.report).collect()
+        };
+        let (count1, bytes1) =
+            (ALLOCATIONS.load(Ordering::Relaxed), ALLOCATED_BYTES.load(Ordering::Relaxed));
+        (count1 - count0, bytes1 - bytes0, reports)
+    };
+
+    let (count_a, bytes_a, reports_a) = measure(false);
+    let (count_b, bytes_b, reports_b) = measure(false);
+    eprintln!(
+        "capture-disabled determinism: run A {count_a} allocs / {bytes_a} B, \
+         run B {count_b} allocs / {bytes_b} B"
+    );
+    assert_eq!(
+        (count_a, bytes_a),
+        (count_b, bytes_b),
+        "capture-disabled campaign allocations must be bitwise reproducible"
+    );
+    assert_eq!(reports_a, reports_b);
+
+    let (count_c, bytes_c, reports_c) = measure(true);
+    eprintln!("capture-enabled: {count_c} allocs / {bytes_c} B (events + flows on top)");
+    assert_eq!(
+        reports_a, reports_c,
+        "enabling the flight recorder must not change any report"
+    );
+}
+
 criterion_group!(
     benches,
     bench_fleet_sizes,
@@ -171,5 +223,6 @@ criterion_group!(
 
 fn main() {
     assert_allocation_flatness();
+    assert_capture_zero_cost();
     benches();
 }

@@ -11,10 +11,13 @@
 
 use atlas_sim::{
     accuracy, figure3, figure4, generate, retry_stats, run_campaign_chunked,
-    run_campaign_metered, scenario_for, table4, table5, Fleet, FleetConfig, MetricsRegistry,
-    ProbeResult,
+    run_campaign_metered, run_campaign_observed, scenario_for, table4, table5,
+    CampaignTelemetry, Fleet, FleetConfig, MetricsRegistry, ProbeResult, ProgressEvent,
 };
-use interception::{CpeModelKind, HomeScenario, MiddleboxSpec, SimTransport, WorldTemplate};
+use interception::{
+    render_flows, CpeModelKind, HomeScenario, MiddleboxSpec, QueryFlow, SimTransport,
+    WorldTemplate,
+};
 use locator::{
     baseline, default_resolvers, describe_response, HijackLocator, QueryOptions,
     QueryTransport, TxidSequence,
@@ -36,12 +39,17 @@ struct Args {
     archives: Option<String>,
     metrics: Option<String>,
     bench_json: Option<String>,
+    capture: bool,
+    capture_json: Option<String>,
+    progress: bool,
+    progress_json: Option<String>,
 }
 
 const USAGE: &str = "usage: repro [--all] [--table N] [--figure N] [--case xb6] \
 [--appendix a] [--size N] [--seed N] [--threads N] [--attempts N] \
 [--retry-backoff MS] [--json PATH] [--archives PATH] [--metrics PATH] \
-[--bench-json PATH]";
+[--bench-json PATH] [--capture] [--capture-json PATH] [--progress] \
+[--progress-json PATH]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("repro: {msg}");
@@ -81,6 +89,10 @@ fn parse_args() -> Args {
         archives: None,
         metrics: None,
         bench_json: None,
+        capture: false,
+        capture_json: None,
+        progress: false,
+        progress_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -108,6 +120,14 @@ fn parse_args() -> Args {
             "--bench-json" => {
                 args.bench_json = Some(path_value("--bench-json", take(&mut i)))
             }
+            "--capture" => args.capture = true,
+            "--capture-json" => {
+                args.capture_json = Some(path_value("--capture-json", take(&mut i)))
+            }
+            "--progress" => args.progress = true,
+            "--progress-json" => {
+                args.progress_json = Some(path_value("--progress-json", take(&mut i)))
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 std::process::exit(0);
@@ -130,6 +150,8 @@ fn parse_args() -> Args {
         && args.case.is_none()
         && args.appendix.is_none()
         && args.bench_json.is_none()
+        && !args.capture
+        && args.capture_json.is_none()
     {
         args.all = true;
     }
@@ -155,6 +177,9 @@ fn main() {
     if args.all || args.table == Some(2) || args.table == Some(3) {
         print_tables_2_and_3();
     }
+    if args.capture || args.capture_json.is_some() {
+        print_capture_timelines(args.capture_json.as_deref());
+    }
 
     // Results borrow probe specs from the fleet, so the fleet must outlive
     // them — generate first, then measure.
@@ -175,12 +200,20 @@ fn main() {
         let registry =
             args.metrics.as_ref().map(|_| MetricsRegistry::new(fleet.config.orgs.len()));
         let started = std::time::Instant::now();
-        let results = run_campaign_metered(fleet, args.threads, registry.as_ref());
+        let progress_on = args.progress || args.progress_json.is_some();
+        let (results, events) = if progress_on {
+            run_campaign_with_progress(fleet, args.threads, registry.as_ref(), args.progress)
+        } else {
+            (run_campaign_metered(fleet, args.threads, registry.as_ref()), Vec::new())
+        };
         eprintln!(
             "campaign done: {} probes measured in {:.1}s",
             results.len(),
             started.elapsed().as_secs_f64()
         );
+        if let Some(path) = &args.progress_json {
+            write_progress(path, &events);
+        }
         (fleet, results, registry)
     });
 
@@ -425,6 +458,107 @@ fn run_bench_json(path: &str, size: usize, seed: u64, threads: usize) {
     }
 }
 
+/// `--capture`: replays the §3.4 worked examples with the packet-level
+/// flight recorder on and prints every DNS transaction's per-hop timeline
+/// — ingress/egress at each device, NAT rewrites with before/after
+/// tuples, route decisions, fault verdicts, and locally minted answers.
+/// `--capture-json` additionally writes the flows as pcap-style JSON.
+fn print_capture_timelines(json_path: Option<&str>) {
+    #[derive(serde::Serialize)]
+    struct ProbeFlows {
+        probe: String,
+        intercepted: bool,
+        flows: Vec<QueryFlow>,
+    }
+    println!("Flight recorder: per-hop timelines for the §3.4 worked examples");
+    let mut all: Vec<ProbeFlows> = Vec::new();
+    for (id, scenario) in HomeScenario::worked_examples() {
+        let built = scenario.build();
+        let config = built.locator_config();
+        let mut transport = SimTransport::new(built);
+        transport.enable_capture();
+        let report = HijackLocator::new(config).run(&mut transport);
+        let flows = transport.take_flows();
+        println!(
+            "\nprobe {id}: intercepted={}, {} transactions recorded",
+            report.intercepted,
+            flows.len()
+        );
+        print!("{}", render_flows(&flows));
+        all.push(ProbeFlows { probe: id.to_string(), intercepted: report.intercepted, flows });
+    }
+    if let Some(path) = json_path {
+        let mut json = serde_json::to_string_pretty(&all).expect("serializable");
+        json.push('\n');
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote capture flows to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Runs the campaign with a monitor thread sampling the scheduler's
+/// telemetry every ~200ms. `live` renders a single-line ticker to stderr;
+/// the collected [`ProgressEvent`]s are returned for `--progress-json`.
+/// The final event always has `done: true` and the finished counts.
+fn run_campaign_with_progress<'a>(
+    fleet: &'a Fleet,
+    threads: usize,
+    registry: Option<&MetricsRegistry>,
+    live: bool,
+) -> (Vec<ProbeResult<'a>>, Vec<ProgressEvent>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let telemetry = Arc::new(CampaignTelemetry::new(threads));
+    let stop = Arc::new(AtomicBool::new(false));
+    let monitor = {
+        let telemetry = Arc::clone(&telemetry);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let started = std::time::Instant::now();
+            let mut events = Vec::new();
+            loop {
+                let done = stop.load(Ordering::Acquire);
+                let event = telemetry.snapshot(started.elapsed().as_millis() as u64, done);
+                if live {
+                    eprint!("\r{event}");
+                }
+                events.push(event);
+                if done {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            if live {
+                eprintln!();
+            }
+            events
+        })
+    };
+    let results = run_campaign_observed(fleet, threads, registry, Some(&telemetry));
+    stop.store(true, Ordering::Release);
+    let events = monitor.join().expect("progress monitor panicked");
+    (results, events)
+}
+
+/// Writes the sampled progress events as a JSON array — the
+/// machine-readable campaign log behind `--progress-json`.
+fn write_progress(path: &str, events: &[ProgressEvent]) {
+    let mut json = serde_json::to_string_pretty(events).expect("serializable");
+    json.push('\n');
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote {} progress events to {path}", events.len()),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Table 1: location queries and expected responses, measured live against
 /// the public resolver models over a clean path.
 fn print_table1() {
@@ -524,7 +658,13 @@ fn print_xb6_case_study() {
     let q = dns_wire::Question::new("example.com".parse().unwrap(), dns_wire::RType::A);
     let out = transport.query("8.8.8.8".parse().unwrap(), &q, 0x1000, QueryOptions::default());
     for entry in transport.scenario.sim.trace() {
-        println!("  {:>10}  {:<18} {}", entry.at.to_string(), entry.node_name, entry.packet);
+        println!(
+            "  {:>10}  {:<14} -> {:<14} {}",
+            entry.at.to_string(),
+            entry.from_node_name,
+            entry.node_name,
+            entry.packet
+        );
     }
     match out.response() {
         Some(resp) => println!(

@@ -12,7 +12,13 @@
 //! The tool issues ~16 DNS queries (up to ~30 when interception is found):
 //! the location queries of paper Table 1, `version.bind` comparisons, and
 //! bogon queries. It requires no privileges — the paper's point.
+//!
+//! With `--scenario <name>` the same pipeline runs against a simulated
+//! household instead of the real network, which unlocks the packet-level
+//! flight recorder: `--capture` prints every transaction's per-hop
+//! timeline and `--capture-json` exports the flows as JSON.
 
+use interception::{HomeScenario, SimTransport};
 use locator::ttl_scan::{interpret, ttl_scan, TtlVerdict};
 use locator::{
     default_resolvers, HijackLocator, LocatorConfig, QueryOptions, TxidSequence, UdpTransport,
@@ -34,6 +40,9 @@ struct Options {
     metrics_json: bool,
     run_ttl_scan: bool,
     investigate: bool,
+    scenario: Option<String>,
+    capture: bool,
+    capture_json: Option<String>,
     help: bool,
 }
 
@@ -51,6 +60,9 @@ impl Default for Options {
             metrics_json: false,
             run_ttl_scan: false,
             investigate: false,
+            scenario: None,
+            capture: false,
+            capture_json: None,
             help: false,
         }
     }
@@ -105,10 +117,29 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--ttl-scan" => opts.run_ttl_scan = true,
             "--investigate" => opts.investigate = true,
+            "--scenario" => {
+                i += 1;
+                let v = args.get(i).ok_or("--scenario needs a name")?;
+                opts.scenario = Some(v.clone());
+            }
+            "--capture" => opts.capture = true,
+            "--capture-json" => {
+                i += 1;
+                let v = args.get(i).ok_or("--capture-json needs a path")?;
+                opts.capture_json = Some(v.clone());
+            }
             "--help" | "-h" => opts.help = true,
             other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
+    }
+    if (opts.capture || opts.capture_json.is_some()) && opts.scenario.is_none() {
+        return Err("--capture needs --scenario: the flight recorder lives in the \
+                    simulator, not the real network"
+            .into());
+    }
+    if opts.scenario.is_some() && (opts.run_ttl_scan || opts.investigate) {
+        return Err("--ttl-scan/--investigate run against the live network only".into());
     }
     Ok(opts)
 }
@@ -131,6 +162,11 @@ options:
   --ttl-scan        additionally run the TTL-scan hop localization (§6)
   --investigate     run the full battery (three-step + DNSSEC-AD +
                     NXDOMAIN-wildcard corroboration) and print a summary
+  --scenario <name> run against a simulated household instead of the
+                    real network: clean, xb6, 1053, 11992, 21823
+  --capture         with --scenario: print each DNS transaction's
+                    packet-level per-hop timeline (flight recorder)
+  --capture-json <path>  with --scenario: write the flows as JSON
   -h, --help        this text";
 
 fn main() -> ExitCode {
@@ -145,6 +181,9 @@ fn main() -> ExitCode {
     if opts.help {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
+    }
+    if let Some(name) = opts.scenario.clone() {
+        return run_scenario(&opts, &name);
     }
 
     let config = LocatorConfig {
@@ -222,6 +261,77 @@ fn main() -> ExitCode {
 
     if report.intercepted {
         ExitCode::FAILURE // non-zero so scripts can alert on interception
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `--scenario`: runs the three-step pipeline against a simulated
+/// household — the paper's worked examples plus the XB6 case study — with
+/// the packet-level flight recorder available via `--capture`.
+fn run_scenario(opts: &Options, name: &str) -> ExitCode {
+    let scenario = match name {
+        "clean" => HomeScenario::clean(),
+        "xb6" => HomeScenario::xb6_case_study(),
+        other => match HomeScenario::worked_examples().into_iter().find(|(id, _)| *id == other) {
+            Some((_, s)) => s,
+            None => {
+                eprintln!("error: unknown scenario {other} (clean, xb6, 1053, 11992, 21823)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let built = scenario.build();
+    // The scenario knows its own CPE address; CLI flags still override the
+    // query pacing so retry behavior can be explored in simulation.
+    let mut config = built.locator_config();
+    config.test_ipv6 = opts.test_v6;
+    config.query_options.timeout_ms = opts.timeout_ms;
+    config.query_options.attempts = opts.attempts;
+    config.query_options.retry_backoff_ms = opts.retry_backoff_ms;
+    let mut transport = SimTransport::new(built);
+    let capture_on = opts.capture || opts.capture_json.is_some();
+    if capture_on {
+        transport.enable_capture();
+    }
+    let tracing = opts.trace || opts.metrics_json;
+    let mut recorder = locator::TraceRecorder::default();
+    let mut locator = HijackLocator::new(config);
+    let report = if tracing {
+        locator.run_traced(&mut transport, &mut recorder)
+    } else {
+        locator.run(&mut transport)
+    };
+    print_observability(opts, &recorder.events);
+    if capture_on {
+        let flows = transport.take_flows();
+        if opts.capture {
+            println!("flight recorder: {} transactions from scenario {name}", flows.len());
+            print!("{}", interception::render_flows(&flows));
+        }
+        if let Some(path) = &opts.capture_json {
+            match std::fs::write(path, interception::flows_to_json(&flows)) {
+                Ok(()) => eprintln!("wrote capture flows to {path}"),
+                Err(e) => {
+                    eprintln!("error: failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if opts.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print_human(&report, true);
+    }
+    if report.intercepted {
+        ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
@@ -382,6 +492,25 @@ mod tests {
         assert!(!o.metrics_json);
         assert!(parse(&args(&["--metrics"])).is_err());
         assert!(parse(&args(&["--metrics", "xml"])).is_err());
+    }
+
+    #[test]
+    fn scenario_and_capture_flags() {
+        let o = parse(&args(&["--scenario", "xb6", "--capture"])).unwrap();
+        assert_eq!(o.scenario.as_deref(), Some("xb6"));
+        assert!(o.capture);
+        assert_eq!(o.capture_json, None);
+        let o = parse(&args(&["--scenario", "1053", "--capture-json", "/tmp/f.json"])).unwrap();
+        assert_eq!(o.capture_json.as_deref(), Some("/tmp/f.json"));
+        assert!(!o.capture);
+        // The flight recorder only exists in simulation.
+        assert!(parse(&args(&["--capture"])).is_err());
+        assert!(parse(&args(&["--capture-json", "/tmp/f.json"])).is_err());
+        assert!(parse(&args(&["--scenario"])).is_err());
+        assert!(parse(&args(&["--capture-json"])).is_err());
+        // Live-only extensions don't combine with a simulated household.
+        assert!(parse(&args(&["--scenario", "xb6", "--ttl-scan"])).is_err());
+        assert!(parse(&args(&["--scenario", "xb6", "--investigate"])).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::config::{CpeConfig, DnsMode, ForwarderSpec, InterceptSpec};
 use bytes::Bytes;
 use dns_wire::Message;
 use netsim::{
-    Ctx, Device, DnatRule, IfaceId, IpPacket, NatEngine, NatVerdict, Proto,
+    CaptureKind, Ctx, Device, DnatRule, IfaceId, IpPacket, NatEngine, NatVerdict, Proto,
 };
 use resolver_sim::{ForwarderCore, FwdAction};
 use std::any::Any;
@@ -153,6 +153,11 @@ impl CpeDevice {
             .local_reply(request, payload.clone(), ctx.now())
             .or_else(|| resolver_sim::reply_packet(request, payload));
         if let Some(reply) = reply {
+            if ctx.capture_enabled() {
+                // The flight recorder's smoking gun: this response never
+                // came from the address it claims — the CPE minted it.
+                ctx.capture(Some(LAN), CaptureKind::LocalMint { packet: reply.clone() });
+            }
             ctx.send(LAN, reply);
         }
     }
@@ -167,11 +172,19 @@ impl CpeDevice {
         match path {
             ReplyPath::Direct(request) => {
                 if let Some(reply) = resolver_sim::reply_packet(&request, payload) {
+                    if ctx.capture_enabled() {
+                        ctx.capture(Some(LAN), CaptureKind::LocalMint { packet: reply.clone() });
+                    }
                     ctx.send(LAN, reply);
                 }
             }
             ReplyPath::NatSpoof(delivered) => {
                 if let Some(reply) = self.nat.local_reply(&delivered, payload, ctx.now()) {
+                    if ctx.capture_enabled() {
+                        // Conntrack restored the spoofed source: the client
+                        // will see an answer "from" the resolver it asked.
+                        ctx.capture(Some(LAN), CaptureKind::LocalMint { packet: reply.clone() });
+                    }
                     ctx.send(LAN, reply);
                 }
             }
@@ -184,8 +197,10 @@ impl CpeDevice {
         // addressed to the CPE's own public IP — the property that makes
         // the paper's step 2 produce identical version.bind strings.
         let orig_dst = packet.dst();
+        let before = ctx.capture_enabled().then(|| packet.flow_summary());
         match self.nat.outbound(packet, ctx.now()) {
             NatVerdict::Local(delivered) => {
+                ctx.capture_nat_rewrite(LAN, before, &delivered, false);
                 let dnat_applied = delivered.dst() != orig_dst;
                 let is_dns =
                     delivered.udp_payload().map(|u| u.dst_port == 53).unwrap_or(false);
@@ -209,6 +224,7 @@ impl CpeDevice {
                 // out, exactly what the technique expects from a clean CPE.
             }
             NatVerdict::Forward(mut pkt) => {
+                ctx.capture_nat_rewrite(LAN, before, &pkt, false);
                 if pkt.decrement_ttl() {
                     ctx.send(WAN, pkt);
                 }
@@ -220,7 +236,9 @@ impl CpeDevice {
         // Conntrack first: masqueraded replies are addressed to the WAN IP
         // but belong to an inside host (netfilter PREROUTING order).
         if packet.is_v4() {
+            let before = ctx.capture_enabled().then(|| packet.flow_summary());
             if let Some(mut translated) = self.nat.inbound(packet.clone(), ctx.now()) {
+                ctx.capture_nat_rewrite(WAN, before, &translated, true);
                 if translated.decrement_ttl() {
                     ctx.send(LAN, translated);
                 }

@@ -1,0 +1,301 @@
+//! Flow reconstruction: from raw capture events to per-query hop
+//! timelines.
+//!
+//! The flight recorder in `netsim` emits one [`CaptureEvent`] per packet
+//! hop; this module groups those events by DNS transaction ID and question
+//! into [`QueryFlow`]s, so a probe report's verdict can be expanded down
+//! to packet truth — "this response was minted by the CPE's DNAT at hop 2
+//! and never reached 8.8.8.8". ICMP errors are attached to the query whose
+//! flow tuple they quote, surviving NAT rewrites because every observed
+//! tuple variant of a query is indexed.
+//!
+//! Everything here is plain data (strings, integers) with stable serde
+//! derives, so timelines can be golden-tested byte for byte and exported
+//! as pcap-style JSON.
+
+use dns_wire::Message;
+use netsim::{CaptureEvent, CaptureKind, IcmpMessage, IpPacket, Simulator, Transport};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::net::IpAddr;
+
+/// Which way a packet was heading, judged by the DNS QR bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowDirection {
+    /// A query on its way toward a server.
+    Query,
+    /// A response on its way back to the client.
+    Response,
+    /// An ICMP error quoting the query's flow tuple.
+    Icmp,
+}
+
+/// One hop of one query's flight, rendered down to plain data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowHop {
+    /// Simulated time in microseconds.
+    pub at_us: u64,
+    /// Device name at which the hop happened.
+    pub node: String,
+    /// Interface index, when the hop concerns one.
+    pub iface: Option<usize>,
+    /// What happened: `egress`, `ingress`, `forward`, `nat(dnat)`,
+    /// `drop(bogon-destination)`, `mint`, ...
+    pub action: String,
+    /// Query or response direction (QR bit), or `icmp`.
+    pub direction: FlowDirection,
+    /// Source `ip:port` as seen at this hop.
+    pub src: String,
+    /// Destination `ip:port` as seen at this hop.
+    pub dst: String,
+    /// Extra context (NAT before/after tuples, delay magnitude, egress
+    /// interface of a route decision, ICMP kind). `null` when the action
+    /// speaks for itself.
+    pub detail: Option<String>,
+}
+
+/// The reconstructed per-hop timeline of one DNS transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryFlow {
+    /// DNS transaction ID.
+    pub txid: u16,
+    /// Question name, from the first parseable message.
+    pub qname: String,
+    /// Question type (e.g. `A`, `Txt`).
+    pub qtype: String,
+    /// Hops in chronological order.
+    pub hops: Vec<FlowHop>,
+}
+
+fn endpoint(addr: IpAddr, port: u16) -> String {
+    format!("{addr}:{port}")
+}
+
+fn nat_detail(kind: &CaptureKind) -> Option<String> {
+    match kind {
+        CaptureKind::NatRewrite { before, after, .. } => {
+            let mut parts = Vec::new();
+            if before.src != after.src || before.src_port != after.src_port {
+                parts.push(format!(
+                    "src {} -> {}",
+                    endpoint(before.src, before.src_port),
+                    endpoint(after.src, after.src_port)
+                ));
+            }
+            if before.dst != after.dst || before.dst_port != after.dst_port {
+                parts.push(format!(
+                    "dst {} -> {}",
+                    endpoint(before.dst, before.dst_port),
+                    endpoint(after.dst, after.dst_port)
+                ));
+            }
+            Some(parts.join(", "))
+        }
+        CaptureKind::Delayed { extra, .. } => Some(format!("+{extra}")),
+        CaptureKind::RouteForward { out, .. } => Some(format!("out iface {}", out.0)),
+        _ => None,
+    }
+}
+
+fn hop_of(sim: &Simulator, ev: &CaptureEvent, direction: FlowDirection) -> FlowHop {
+    let packet = ev.kind.packet();
+    let fs = packet.flow_summary();
+    FlowHop {
+        at_us: ev.at.as_micros(),
+        node: sim.node_name(ev.node).unwrap_or("?").to_string(),
+        iface: ev.iface.map(|i| i.0),
+        action: ev.kind.verb(),
+        direction,
+        src: endpoint(fs.src, fs.src_port),
+        dst: endpoint(fs.dst, fs.dst_port),
+        detail: nat_detail(&ev.kind),
+    }
+}
+
+fn icmp_detail(packet: &IpPacket) -> Option<String> {
+    match &packet.transport {
+        Transport::Icmp(IcmpMessage::TimeExceeded { .. }) => Some("icmp time-exceeded".into()),
+        Transport::Icmp(IcmpMessage::DestUnreachable { code, .. }) => {
+            Some(format!("icmp unreachable(code {code})"))
+        }
+        _ => None,
+    }
+}
+
+/// Groups capture events into per-query hop timelines.
+///
+/// Events must come from `sim`'s own recorder (names are resolved against
+/// it) and be in emission order, which the simulator guarantees is
+/// chronological. Flows appear in order of their first observed hop.
+pub fn reconstruct_flows(sim: &Simulator, events: &[CaptureEvent]) -> Vec<QueryFlow> {
+    let mut order: Vec<u16> = Vec::new();
+    let mut flows: HashMap<u16, QueryFlow> = HashMap::new();
+    // Every (src, sport, dst, dport) variant a query was seen under —
+    // pre- and post-NAT — so ICMP errors quoting a rewritten tuple still
+    // attach to the right transaction.
+    let mut tuples: HashMap<(IpAddr, u16, IpAddr, u16), u16> = HashMap::new();
+
+    for ev in events {
+        let packet = ev.kind.packet();
+        match &packet.transport {
+            Transport::Udp(udp) if udp.payload.len() >= 12 => {
+                let txid = u16::from_be_bytes([udp.payload[0], udp.payload[1]]);
+                let is_response = udp.payload[2] & 0x80 != 0;
+                let flow = flows.entry(txid).or_insert_with(|| {
+                    order.push(txid);
+                    QueryFlow { txid, qname: String::new(), qtype: String::new(), hops: Vec::new() }
+                });
+                if flow.qname.is_empty() {
+                    if let Ok(msg) = Message::parse(&udp.payload) {
+                        if let Some(q) = msg.questions.first() {
+                            flow.qname = q.qname.to_string();
+                            flow.qtype = format!("{:?}", q.qtype);
+                        }
+                    }
+                }
+                let direction =
+                    if is_response { FlowDirection::Response } else { FlowDirection::Query };
+                if direction == FlowDirection::Query {
+                    let fs = packet.flow_summary();
+                    tuples.insert((fs.src, fs.src_port, fs.dst, fs.dst_port), txid);
+                }
+                flow.hops.push(hop_of(sim, ev, direction));
+            }
+            Transport::Icmp(
+                IcmpMessage::TimeExceeded { original }
+                | IcmpMessage::DestUnreachable { original, .. },
+            ) => {
+                let key = (original.src, original.src_port, original.dst, original.dst_port);
+                if let Some(&txid) = tuples.get(&key) {
+                    if let Some(flow) = flows.get_mut(&txid) {
+                        let mut hop = hop_of(sim, ev, FlowDirection::Icmp);
+                        hop.detail = icmp_detail(packet);
+                        flow.hops.push(hop);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    order.into_iter().filter_map(|txid| flows.remove(&txid)).collect()
+}
+
+/// Renders flows as a human-readable hop timeline (the `--capture` view).
+pub fn render_flows(flows: &[QueryFlow]) -> String {
+    let mut out = String::new();
+    for flow in flows {
+        let _ = writeln!(
+            out,
+            "txid 0x{:04x}  {} {}  ({} hops)",
+            flow.txid,
+            flow.qname,
+            flow.qtype,
+            flow.hops.len()
+        );
+        for hop in &flow.hops {
+            let iface = hop.iface.map(|i| format!("if{i}")).unwrap_or_else(|| "-".into());
+            let us = hop.at_us;
+            let _ = write!(
+                out,
+                "  {:>7}.{:03}ms  {:<14} {:<22} {:>3}  {} -> {}",
+                us / 1_000,
+                us % 1_000,
+                hop.node,
+                hop.action,
+                iface,
+                hop.src,
+                hop.dst
+            );
+            if let Some(detail) = &hop.detail {
+                let _ = write!(out, "  [{detail}]");
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes flows as pretty-printed JSON (the pcap-style export).
+pub fn flows_to_json(flows: &[QueryFlow]) -> String {
+    let mut json = serde_json::to_string_pretty(flows).expect("flows serialize");
+    json.push('\n');
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::HomeScenario;
+    use crate::transport::SimTransport;
+    use dns_wire::{Question, RType};
+    use locator::{QueryOptions, QueryTransport};
+
+    #[test]
+    fn clean_query_flow_reaches_the_resolver_and_comes_back() {
+        let mut t = SimTransport::new(HomeScenario::clean().build());
+        t.enable_capture();
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        let out = t.query("8.8.8.8".parse().unwrap(), &q, 0x2a2a, QueryOptions::default());
+        assert!(out.response().is_some());
+        let flows = t.take_flows();
+        assert_eq!(flows.len(), 1);
+        let flow = &flows[0];
+        assert_eq!(flow.txid, 0x2a2a);
+        assert_eq!(flow.qname, "example.com.");
+        assert_eq!(flow.qtype, "A");
+        // The query leaves the probe, the response comes back to it.
+        assert_eq!(flow.hops.first().unwrap().node, "probe");
+        assert_eq!(flow.hops.first().unwrap().action, "egress");
+        assert_eq!(flow.hops.first().unwrap().direction, FlowDirection::Query);
+        let last = flow.hops.last().unwrap();
+        assert_eq!(last.node, "probe");
+        assert_eq!(last.action, "ingress");
+        assert_eq!(last.direction, FlowDirection::Response);
+        // The flow visited a resolver beyond the home (masquerade on the
+        // CPE rewrote the source on the way out).
+        assert!(flow.hops.iter().any(|h| h.action.starts_with("nat(")), "{flow:?}");
+    }
+
+    #[test]
+    fn intercepted_flow_shows_the_mint_and_no_upstream_hop() {
+        // XB6 case study: the query to 8.8.8.8 is DNAT-captured at the CPE
+        // and the answer is minted locally — the timeline must prove both.
+        let mut t = SimTransport::new(HomeScenario::xb6_case_study().build());
+        t.enable_capture();
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        let out = t.query("8.8.8.8".parse().unwrap(), &q, 0x1b1b, QueryOptions::default());
+        assert!(out.response().is_some());
+        let flows = t.take_flows();
+        let flow = flows.iter().find(|f| f.txid == 0x1b1b).expect("probe's query flow");
+        assert!(
+            flow.hops.iter().any(|h| h.action == "nat(dnat)"),
+            "DNAT rewrite hop missing: {flow:?}"
+        );
+        let mint = flow.hops.iter().find(|h| h.action == "mint").expect("locally minted answer");
+        assert!(mint.src.starts_with("8.8.8.8:"), "mint spoofs the queried server: {mint:?}");
+        // The query never escaped the home toward the real resolver: no
+        // hop carries the original destination beyond the CPE.
+        assert!(
+            !flow.hops.iter().any(|h| h.node.contains("isp") && h.dst.starts_with("8.8.8.8")),
+            "query leaked upstream: {flow:?}"
+        );
+    }
+
+    #[test]
+    fn flows_serialize_round_trip() {
+        let mut t = SimTransport::new(HomeScenario::clean().build());
+        t.enable_capture();
+        let q = Question::chaos_txt("id.server".parse().unwrap());
+        let _ = t.query("1.1.1.1".parse().unwrap(), &q, 0x0c0c, QueryOptions::default());
+        let flows = t.take_flows();
+        let json = flows_to_json(&flows);
+        let back: Vec<QueryFlow> = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, flows);
+        // And the human rendering mentions every hop.
+        let rendered = render_flows(&flows);
+        assert_eq!(rendered.lines().filter(|l| l.starts_with("  ")).count(), flows[0].hops.len());
+    }
+}

@@ -17,11 +17,13 @@
 #![warn(missing_docs)]
 
 mod background;
+mod flow;
 mod isp;
 mod replicate;
 mod scenario;
 mod transport;
 
+pub use flow::{flows_to_json, reconstruct_flows, render_flows, FlowDirection, FlowHop, QueryFlow};
 pub use isp::{IspProfile, MiddleboxSpec, RedirectTarget, ResolverMode};
 pub use scenario::{
     BuiltScenario, CpeModelKind, GroundTruth, HomeScenario, Region, ScenarioAddrs, WorldTemplate,

@@ -64,6 +64,19 @@ impl SimTransport {
         std::mem::take(&mut self.encoder)
     }
 
+    /// Turns on the flight recorder for the underlying simulator: every
+    /// subsequent packet hop is captured for flow reconstruction.
+    pub fn enable_capture(&mut self) {
+        self.scenario.sim.record_capture();
+    }
+
+    /// Drains the recorded capture and reconstructs per-query hop
+    /// timelines ([`crate::reconstruct_flows`]). Recording continues.
+    pub fn take_flows(&mut self) -> Vec<crate::QueryFlow> {
+        let events = self.scenario.sim.take_capture_events();
+        crate::flow::reconstruct_flows(&self.scenario.sim, &events)
+    }
+
     fn alloc_sport(&mut self) -> u16 {
         let p = self.next_sport;
         self.next_sport = if self.next_sport >= 64000 { 40000 } else { self.next_sport + 1 };

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod bogon;
+mod capture;
 mod host;
 mod nat;
 mod packet;
@@ -31,6 +32,10 @@ mod sim;
 mod switch;
 mod time;
 
+pub use capture::{
+    CaptureBuffer, CaptureEvent, CaptureKind, CaptureSink, DropReason, FaultCause, NatPhase,
+    NullCapture,
+};
 pub use host::{Delivery, Host};
 pub use nat::{DnatRule, FlowTuple, Masquerade, NatEngine, NatVerdict, Proto};
 pub use packet::{
@@ -39,8 +44,8 @@ pub use packet::{
 pub use route::{Cidr, CidrParseError, RouteTable};
 pub use router::{LocalPolicy, Router};
 pub use sim::{
-    Attachment, BurstLoss, Ctx, Device, FaultProfile, IfaceId, LateDelivery, LinkId, NodeId,
-    Simulator, TraceEntry,
+    Attachment, BurstLoss, Ctx, Device, FaultProfile, IfaceId, LateDelivery, LinkId, LinkStats,
+    NodeId, SimStats, Simulator, TraceEntry,
 };
 pub use switch::Switch;
 pub use time::{SimDuration, SimTime};

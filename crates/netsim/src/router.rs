@@ -7,6 +7,7 @@
 //! core — is either this device or a thin wrapper around the same pieces.
 
 use crate::bogon::is_bogon;
+use crate::capture::{CaptureKind, DropReason};
 use crate::nat::{NatEngine, NatVerdict};
 use crate::packet::{IcmpMessage, IpPacket, Transport};
 use crate::route::RouteTable;
@@ -122,6 +123,12 @@ impl Router {
     fn forward(&mut self, ctx: &mut Ctx<'_>, in_iface: IfaceId, mut packet: IpPacket) {
         if self.drop_bogon_dst && is_bogon(packet.dst()) {
             self.bogon_drops += 1;
+            if ctx.capture_enabled() {
+                ctx.capture(
+                    Some(in_iface),
+                    CaptureKind::RouteDrop { reason: DropReason::BogonDestination, packet },
+                );
+            }
             return;
         }
         if !packet.decrement_ttl() {
@@ -135,10 +142,24 @@ impl Router {
                     ctx.send(in_iface, te);
                 }
             }
+            if ctx.capture_enabled() {
+                ctx.capture(
+                    Some(in_iface),
+                    CaptureKind::RouteDrop { reason: DropReason::TtlExpired, packet },
+                );
+            }
             return;
         }
         match self.routes.lookup(packet.dst()) {
-            Some(out_iface) => ctx.send(out_iface, packet),
+            Some(out_iface) => {
+                if ctx.capture_enabled() {
+                    ctx.capture(
+                        Some(in_iface),
+                        CaptureKind::RouteForward { out: out_iface, packet: packet.clone() },
+                    );
+                }
+                ctx.send(out_iface, packet)
+            }
             None => {
                 self.no_route_drops += 1;
                 if self.emit_unreachable {
@@ -155,6 +176,12 @@ impl Router {
                         }
                     }
                 }
+                if ctx.capture_enabled() {
+                    ctx.capture(
+                        Some(in_iface),
+                        CaptureKind::RouteDrop { reason: DropReason::NoRoute, packet },
+                    );
+                }
             }
         }
     }
@@ -165,19 +192,29 @@ impl Device for Router {
         // NAT processing first (mirrors netfilter PREROUTING for inbound and
         // the POSTROUTING/DNAT pipeline for traffic from inside interfaces).
         let packet = if let Some((engine, inside)) = &mut self.nat {
+            // Snapshot the pre-NAT tuple only while recording, so the
+            // disabled path stays untouched.
+            let before = ctx.capture_enabled().then(|| packet.flow_summary());
             if inside.contains(&iface) {
                 match engine.outbound(packet, ctx.now()) {
                     NatVerdict::Local(p) => {
                         // DNAT pointed at the router itself; base router has
                         // no DNS stack, so local policy applies.
+                        ctx.capture_nat_rewrite(iface, before, &p, false);
                         self.deliver_local(ctx, iface, p);
                         return;
                     }
-                    NatVerdict::Forward(p) => p,
+                    NatVerdict::Forward(p) => {
+                        ctx.capture_nat_rewrite(iface, before, &p, false);
+                        p
+                    }
                 }
             } else {
                 match engine.inbound(packet.clone(), ctx.now()) {
-                    Some(translated) => translated,
+                    Some(translated) => {
+                        ctx.capture_nat_rewrite(iface, before, &translated, true);
+                        translated
+                    }
                     // Untracked traffic from outside passes through unchanged
                     // (middlebox behaviour). Delivery to the router's own
                     // masqueraded address that matches no flow is handled

@@ -7,7 +7,10 @@
 //! monotonically increasing sequence number, so runs are fully
 //! deterministic.
 
-use crate::packet::IpPacket;
+use crate::capture::{
+    CaptureBuffer, CaptureEvent, CaptureKind, CaptureSink, FaultCause, NatPhase, NullCapture,
+};
+use crate::packet::{FlowSummary, IpPacket};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -42,6 +45,8 @@ pub struct Ctx<'a> {
     node: NodeId,
     rng: &'a mut StdRng,
     actions: Vec<Action>,
+    capture_on: bool,
+    capture: &'a mut dyn CaptureSink,
 }
 
 impl<'a> Ctx<'a> {
@@ -53,6 +58,47 @@ impl<'a> Ctx<'a> {
     /// The device's own node id.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Whether the flight recorder is on. Devices must check this before
+    /// building a [`CaptureKind`] so the disabled path never clones
+    /// packets.
+    pub fn capture_enabled(&self) -> bool {
+        self.capture_on
+    }
+
+    /// Records one capture hop at the current time and node. A no-op when
+    /// the recorder is off, but callers should gate on
+    /// [`capture_enabled`](Ctx::capture_enabled) to avoid constructing the
+    /// event at all.
+    pub fn capture(&mut self, iface: Option<IfaceId>, kind: CaptureKind) {
+        if self.capture_on {
+            self.capture.record(CaptureEvent { at: self.now, node: self.node, iface, kind });
+        }
+    }
+
+    /// Records a NAT rewrite hop. `before` is the flow tuple snapshotted
+    /// ahead of the rewrite — pass `None` (and skip the snapshot) when the
+    /// recorder is off. The phase is classified from the before/after
+    /// tuples, or forced to [`NatPhase::Reverse`] for conntrack reply
+    /// translation; nothing is recorded when the tuples are identical.
+    pub fn capture_nat_rewrite(
+        &mut self,
+        iface: IfaceId,
+        before: Option<FlowSummary>,
+        packet: &IpPacket,
+        reverse: bool,
+    ) {
+        let Some(before) = before else { return };
+        let after = packet.flow_summary();
+        let phase =
+            if reverse { Some(NatPhase::Reverse) } else { NatPhase::classify(&before, &after) };
+        if let Some(phase) = phase {
+            self.capture(
+                Some(iface),
+                CaptureKind::NatRewrite { phase, before, after, packet: packet.clone() },
+            );
+        }
     }
 
     /// Transmits a packet out of `iface`. If the interface has no link the
@@ -158,11 +204,43 @@ pub struct Link {
     /// Traversals still to drop in the current burst episode.
     burst_remaining: u32,
     up: bool,
+    /// Per-link traffic counters, surfaced through [`SimStats`].
+    stats: LinkStats,
+}
+
+/// Traffic counters for one link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Traversals that scheduled a delivery (duplicate copies excluded).
+    pub delivered: u64,
+    /// Traversals dropped by loss, bursts, or the link being down.
+    pub dropped: u64,
+    /// Extra copies scheduled by the duplication fault.
+    pub duplicated: u64,
+    /// Traversals detained by the late-delivery fault.
+    pub delayed: u64,
+}
+
+/// A consistent snapshot of the simulator's counters, with per-link
+/// breakdowns. Obtain one via [`Simulator::stats`]; the legacy per-counter
+/// accessors are deprecated in its favor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events dispatched by the event loop.
+    pub events_processed: u64,
+    /// Packets dropped by loss, down links, or missing attachments.
+    pub packets_dropped: u64,
+    /// Extra packet copies delivered by the duplication fault.
+    pub packets_duplicated: u64,
+    /// Packets hit by the late-delivery fault.
+    pub packets_delayed: u64,
+    /// Per-link counters, indexed by [`LinkId`].
+    pub per_link: Vec<LinkStats>,
 }
 
 #[derive(Debug, PartialEq, Eq)]
 enum EventKind {
-    Arrival { node: NodeId, iface: IfaceId, packet: IpPacket },
+    Arrival { node: NodeId, iface: IfaceId, packet: IpPacket, from: Attachment },
     Timer { node: NodeId, token: u64 },
 }
 
@@ -201,6 +279,12 @@ pub struct TraceEntry {
     pub node_name: String,
     /// Interface the packet arrived on.
     pub iface: IfaceId,
+    /// Sending device — disambiguates hop ordering on multi-hop paths.
+    pub from_node: NodeId,
+    /// Name of the sending device at capture time.
+    pub from_node_name: String,
+    /// Interface the packet left the sender on.
+    pub from_iface: IfaceId,
     /// The packet as delivered.
     pub packet: IpPacket,
 }
@@ -217,6 +301,8 @@ pub struct Simulator {
     rng: StdRng,
     trace_enabled: bool,
     trace: Vec<TraceEntry>,
+    capture_on: bool,
+    capture: Box<dyn CaptureSink>,
     events_processed: u64,
     packets_dropped: u64,
     packets_duplicated: u64,
@@ -236,6 +322,10 @@ impl Simulator {
             rng: StdRng::seed_from_u64(seed),
             trace_enabled: false,
             trace: Vec::new(),
+            capture_on: false,
+            // Box<NullCapture> is a zero-sized allocation-free box, so the
+            // default recorder costs nothing even at construction.
+            capture: Box::new(NullCapture),
             events_processed: 0,
             packets_dropped: 0,
             packets_duplicated: 0,
@@ -290,6 +380,7 @@ impl Simulator {
             faults,
             burst_remaining: 0,
             up: true,
+            stats: LinkStats::default(),
         });
         self.attachments.insert(a, id);
         self.attachments.insert(b, id);
@@ -339,24 +430,83 @@ impl Simulator {
         self.now
     }
 
+    /// Snapshot of all simulator counters, including per-link breakdowns.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            events_processed: self.events_processed,
+            packets_dropped: self.packets_dropped,
+            packets_duplicated: self.packets_duplicated,
+            packets_delayed: self.packets_delayed,
+            per_link: self.links.iter().map(|l| l.stats).collect(),
+        }
+    }
+
     /// Total events processed so far.
+    #[deprecated(since = "0.1.0", note = "use Simulator::stats().events_processed")]
     pub fn events_processed(&self) -> u64 {
         self.events_processed
     }
 
     /// Packets dropped by loss, down links, or missing attachments.
+    #[deprecated(since = "0.1.0", note = "use Simulator::stats().packets_dropped")]
     pub fn packets_dropped(&self) -> u64 {
         self.packets_dropped
     }
 
     /// Extra packet copies delivered by the duplication fault.
+    #[deprecated(since = "0.1.0", note = "use Simulator::stats().packets_duplicated")]
     pub fn packets_duplicated(&self) -> u64 {
         self.packets_duplicated
     }
 
     /// Packets hit by the late-delivery fault.
+    #[deprecated(since = "0.1.0", note = "use Simulator::stats().packets_delayed")]
     pub fn packets_delayed(&self) -> u64 {
         self.packets_delayed
+    }
+
+    /// Installs a flight-recorder sink. The sink's
+    /// [`enabled`](CaptureSink::enabled) flag is cached here: a disabled
+    /// sink (the default [`NullCapture`]) reduces every emission site to
+    /// one branch with no clone and no allocation.
+    pub fn set_capture(&mut self, sink: Box<dyn CaptureSink>) {
+        self.capture_on = sink.enabled();
+        self.capture = sink;
+    }
+
+    /// Convenience: installs an in-memory [`CaptureBuffer`] recorder.
+    pub fn record_capture(&mut self) {
+        self.set_capture(Box::<CaptureBuffer>::default());
+    }
+
+    /// Whether a capture sink is currently recording.
+    pub fn capture_enabled(&self) -> bool {
+        self.capture_on
+    }
+
+    /// The events recorded so far, when the installed sink is a
+    /// [`CaptureBuffer`] (empty slice otherwise).
+    pub fn capture_events(&self) -> &[CaptureEvent] {
+        self.capture
+            .as_any()
+            .downcast_ref::<CaptureBuffer>()
+            .map(|b| b.events.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Drains and returns the recorded events, when the installed sink is
+    /// a [`CaptureBuffer`] (empty vector otherwise). Recording continues.
+    pub fn take_capture_events(&mut self) -> Vec<CaptureEvent> {
+        self.capture
+            .as_any_mut()
+            .downcast_mut::<CaptureBuffer>()
+            .map(|b| std::mem::take(&mut b.events))
+            .unwrap_or_default()
+    }
+
+    /// Human-readable name of a device, if the node exists.
+    pub fn node_name(&self, node: NodeId) -> Option<&str> {
+        self.devices.get(node.0).map(|d| d.name())
     }
 
     /// Injects a packet as if `node` transmitted it out of `iface` at the
@@ -422,11 +572,16 @@ impl Simulator {
 
     fn dispatch(&mut self, ev: Event) {
         let (node, actions) = match ev.kind {
-            EventKind::Arrival { node, iface, packet } => {
+            EventKind::Arrival { node, iface, packet, from } => {
                 if self.trace_enabled {
                     let name = self
                         .devices
                         .get(node.0)
+                        .map(|d| d.name().to_owned())
+                        .unwrap_or_default();
+                    let from_name = self
+                        .devices
+                        .get(from.node.0)
                         .map(|d| d.name().to_owned())
                         .unwrap_or_default();
                     self.trace.push(TraceEntry {
@@ -434,17 +589,42 @@ impl Simulator {
                         node,
                         node_name: name,
                         iface,
+                        from_node: from.node,
+                        from_node_name: from_name,
+                        from_iface: from.iface,
                         packet: packet.clone(),
                     });
                 }
+                if self.capture_on {
+                    self.capture.record(CaptureEvent {
+                        at: ev.at,
+                        node,
+                        iface: Some(iface),
+                        kind: CaptureKind::Ingress { packet: packet.clone() },
+                    });
+                }
                 let Some(device) = self.devices.get_mut(node.0) else { return };
-                let mut ctx = Ctx { now: ev.at, node, rng: &mut self.rng, actions: Vec::new() };
+                let mut ctx = Ctx {
+                    now: ev.at,
+                    node,
+                    rng: &mut self.rng,
+                    actions: Vec::new(),
+                    capture_on: self.capture_on,
+                    capture: &mut *self.capture,
+                };
                 device.receive(&mut ctx, iface, packet);
                 (node, ctx.actions)
             }
             EventKind::Timer { node, token } => {
                 let Some(device) = self.devices.get_mut(node.0) else { return };
-                let mut ctx = Ctx { now: ev.at, node, rng: &mut self.rng, actions: Vec::new() };
+                let mut ctx = Ctx {
+                    now: ev.at,
+                    node,
+                    rng: &mut self.rng,
+                    actions: Vec::new(),
+                    capture_on: self.capture_on,
+                    capture: &mut *self.capture,
+                };
                 device.timer(&mut ctx, token);
                 (node, ctx.actions)
             }
@@ -462,14 +642,53 @@ impl Simulator {
         }
     }
 
+    /// Records a fault-layer capture event at the sending attachment.
+    /// Only called from `transmit`, always behind the `capture_on` check.
+    fn capture_fault(&mut self, from: Attachment, kind: CaptureKind) {
+        self.capture.record(CaptureEvent {
+            at: self.now,
+            node: from.node,
+            iface: Some(from.iface),
+            kind,
+        });
+    }
+
     fn transmit(&mut self, from: Attachment, packet: IpPacket) {
+        // Egress is recorded before the fault layer gets a say, so a
+        // captured flight always shows the attempt even when the link
+        // eats the packet.
+        if self.capture_on {
+            self.capture.record(CaptureEvent {
+                at: self.now,
+                node: from.node,
+                iface: Some(from.iface),
+                kind: CaptureKind::Egress { packet: packet.clone() },
+            });
+        }
         let Some(&link_id) = self.attachments.get(&from) else {
             self.packets_dropped += 1;
+            if self.capture_on {
+                self.capture_fault(
+                    from,
+                    CaptureKind::FaultDrop { link: None, cause: FaultCause::Unattached, packet },
+                );
+            }
             return;
         };
         let idx = link_id.0;
         if !self.links[idx].up {
             self.packets_dropped += 1;
+            self.links[idx].stats.dropped += 1;
+            if self.capture_on {
+                self.capture_fault(
+                    from,
+                    CaptureKind::FaultDrop {
+                        link: Some(link_id),
+                        cause: FaultCause::LinkDown,
+                        packet,
+                    },
+                );
+            }
             return;
         }
         // Fault order: burst episode in progress, burst trigger, uniform
@@ -478,6 +697,17 @@ impl Simulator {
         if self.links[idx].burst_remaining > 0 {
             self.links[idx].burst_remaining -= 1;
             self.packets_dropped += 1;
+            self.links[idx].stats.dropped += 1;
+            if self.capture_on {
+                self.capture_fault(
+                    from,
+                    CaptureKind::FaultDrop {
+                        link: Some(link_id),
+                        cause: FaultCause::BurstLoss,
+                        packet,
+                    },
+                );
+            }
             return;
         }
         let faults = self.links[idx].faults;
@@ -486,11 +716,33 @@ impl Simulator {
                 // The triggering packet counts against the burst length.
                 self.links[idx].burst_remaining = burst.length - 1;
                 self.packets_dropped += 1;
+                self.links[idx].stats.dropped += 1;
+                if self.capture_on {
+                    self.capture_fault(
+                        from,
+                        CaptureKind::FaultDrop {
+                            link: Some(link_id),
+                            cause: FaultCause::BurstLoss,
+                            packet,
+                        },
+                    );
+                }
                 return;
             }
         }
         if faults.loss > 0.0 && self.rng.gen::<f64>() < faults.loss {
             self.packets_dropped += 1;
+            self.links[idx].stats.dropped += 1;
+            if self.capture_on {
+                self.capture_fault(
+                    from,
+                    CaptureKind::FaultDrop {
+                        link: Some(link_id),
+                        cause: FaultCause::UniformLoss,
+                        packet,
+                    },
+                );
+            }
             return;
         }
         let link = &self.links[idx];
@@ -505,19 +757,43 @@ impl Simulator {
             if late.probability > 0.0 && self.rng.gen::<f64>() < late.probability {
                 at += late.delay;
                 self.packets_delayed += 1;
+                self.links[idx].stats.delayed += 1;
+                if self.capture_on {
+                    self.capture_fault(
+                        from,
+                        CaptureKind::Delayed {
+                            link: link_id,
+                            extra: late.delay,
+                            packet: packet.clone(),
+                        },
+                    );
+                }
             }
         }
         let duplicated = faults.duplicate > 0.0 && self.rng.gen::<f64>() < faults.duplicate;
         if duplicated {
             self.packets_duplicated += 1;
+            self.links[idx].stats.duplicated += 1;
+            if self.capture_on {
+                self.capture_fault(
+                    from,
+                    CaptureKind::Duplicated { link: link_id, packet: packet.clone() },
+                );
+            }
             self.push_event(
                 at + latency,
-                EventKind::Arrival { node: dest.node, iface: dest.iface, packet: packet.clone() },
+                EventKind::Arrival {
+                    node: dest.node,
+                    iface: dest.iface,
+                    packet: packet.clone(),
+                    from,
+                },
             );
         }
+        self.links[idx].stats.delivered += 1;
         self.push_event(
             at,
-            EventKind::Arrival { node: dest.node, iface: dest.iface, packet },
+            EventKind::Arrival { node: dest.node, iface: dest.iface, packet, from },
         );
     }
 
@@ -639,7 +915,7 @@ mod tests {
         sim.inject(a, IfaceId(0), pkt());
         sim.run_to_quiescence();
         assert_eq!(sim.device::<Probe>(b).unwrap().received.len(), 0);
-        assert_eq!(sim.packets_dropped(), 1);
+        assert_eq!(sim.stats().packets_dropped, 1);
     }
 
     #[test]
@@ -660,7 +936,7 @@ mod tests {
         let a = sim.add_device(Probe::new("a", false));
         sim.inject(a, IfaceId(3), pkt());
         sim.run_to_quiescence();
-        assert_eq!(sim.packets_dropped(), 1);
+        assert_eq!(sim.stats().packets_dropped, 1);
     }
 
     #[test]
@@ -736,13 +1012,13 @@ mod tests {
         sim.inject(a, IfaceId(0), pkt());
         sim.run_to_quiescence();
         assert_eq!(sim.device::<Probe>(b).unwrap().received.len(), 0);
-        assert_eq!(sim.packets_dropped(), 2);
+        assert_eq!(sim.stats().packets_dropped, 2);
         // Replacing the profile resets the episode; start = 0 never triggers.
         sim.set_link_faults(l, FaultProfile { burst: Some(BurstLoss { start: 0.0, length: 2 }), ..FaultProfile::default() });
         sim.inject(a, IfaceId(0), pkt());
         sim.run_to_quiescence();
         assert_eq!(sim.device::<Probe>(b).unwrap().received.len(), 1);
-        assert_eq!(sim.packets_dropped(), 2);
+        assert_eq!(sim.stats().packets_dropped, 2);
     }
 
     #[test]
@@ -759,8 +1035,8 @@ mod tests {
         assert_eq!(probe.received[0].0, SimTime::from_nanos(10_000_000));
         // The duplicate trails by one jitter-free latency.
         assert_eq!(probe.received[1].0, SimTime::from_nanos(20_000_000));
-        assert_eq!(sim.packets_duplicated(), 1);
-        assert_eq!(sim.packets_dropped(), 0);
+        assert_eq!(sim.stats().packets_duplicated, 1);
+        assert_eq!(sim.stats().packets_dropped, 0);
     }
 
     #[test]
@@ -778,7 +1054,7 @@ mod tests {
         let probe = sim.device::<Probe>(b).unwrap();
         assert_eq!(probe.received.len(), 1);
         assert_eq!(probe.received[0].0, SimTime::from_nanos(501_000_000));
-        assert_eq!(sim.packets_delayed(), 1);
+        assert_eq!(sim.stats().packets_delayed, 1);
     }
 
     #[test]
@@ -805,7 +1081,7 @@ mod tests {
                 .iter()
                 .map(|(t, _, _)| t.as_nanos())
                 .collect();
-            (times, sim.packets_dropped(), sim.packets_duplicated(), sim.packets_delayed())
+            (times, sim.stats().packets_dropped, sim.stats().packets_duplicated, sim.stats().packets_delayed)
         };
         let first = run(99);
         // Every fault class exercised at least once with this seed.
@@ -825,5 +1101,118 @@ mod tests {
         let trace = sim.trace();
         assert_eq!(trace.len(), 1);
         assert_eq!(trace[0].node_name, "beta");
+        // The sending side is recorded too, so hop order on multi-hop
+        // paths is unambiguous.
+        assert_eq!(trace[0].from_node, a);
+        assert_eq!(trace[0].from_node_name, "alpha");
+        assert_eq!(trace[0].from_iface, IfaceId(0));
+    }
+
+    #[test]
+    fn capture_disabled_by_default_and_records_when_enabled() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_device(Probe::new("alpha", false));
+        let b = sim.add_device(Probe::new("beta", false));
+        sim.connect((a, IfaceId(0)), (b, IfaceId(0)), SimDuration::from_millis(2));
+        assert!(!sim.capture_enabled());
+        sim.inject(a, IfaceId(0), pkt());
+        sim.run_to_quiescence();
+        assert!(sim.capture_events().is_empty());
+
+        sim.record_capture();
+        assert!(sim.capture_enabled());
+        sim.inject(a, IfaceId(0), pkt());
+        sim.run_to_quiescence();
+        let events = sim.capture_events();
+        // One hop: egress at alpha, ingress at beta.
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0].kind, CaptureKind::Egress { .. }));
+        assert_eq!(events[0].node, a);
+        assert_eq!(events[0].iface, Some(IfaceId(0)));
+        assert!(matches!(events[1].kind, CaptureKind::Ingress { .. }));
+        assert_eq!(events[1].node, b);
+        // Injected at now = 2ms (after the first drain), delivered at 4ms.
+        assert_eq!(events[1].at, SimTime::from_nanos(4_000_000));
+        // Draining empties the buffer but keeps recording.
+        assert_eq!(sim.take_capture_events().len(), 2);
+        assert!(sim.capture_events().is_empty());
+    }
+
+    #[test]
+    fn capture_names_the_fault_that_ate_the_packet() {
+        let mut sim = Simulator::new(7);
+        let a = sim.add_device(Probe::new("a", false));
+        let b = sim.add_device(Probe::new("b", false));
+        let l = sim.connect_lossy((a, IfaceId(0)), (b, IfaceId(0)), SimDuration::from_millis(1), 1.0);
+        sim.record_capture();
+        sim.inject(a, IfaceId(0), pkt());
+        sim.run_to_quiescence();
+        let events = sim.capture_events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[1].kind,
+            CaptureKind::FaultDrop { link: Some(link), cause: FaultCause::UniformLoss, .. }
+                if link == l
+        ));
+        // Unattached interface: the drop is recorded with no link.
+        sim.inject(a, IfaceId(5), pkt());
+        sim.run_to_quiescence();
+        let events = sim.capture_events();
+        assert!(matches!(
+            events.last().unwrap().kind,
+            CaptureKind::FaultDrop { link: None, cause: FaultCause::Unattached, .. }
+        ));
+    }
+
+    #[test]
+    fn stats_break_counters_down_per_link() {
+        let mut sim = Simulator::new(7);
+        let a = sim.add_device(Probe::new("a", false));
+        let b = sim.add_device(Probe::new("b", false));
+        let c = sim.add_device(Probe::new("c", false));
+        sim.connect_lossy((a, IfaceId(0)), (b, IfaceId(0)), SimDuration::from_millis(1), 1.0);
+        sim.connect((a, IfaceId(1)), (c, IfaceId(0)), SimDuration::from_millis(1));
+        sim.inject(a, IfaceId(0), pkt());
+        sim.inject(a, IfaceId(1), pkt());
+        sim.inject(a, IfaceId(1), pkt());
+        sim.run_to_quiescence();
+        let stats = sim.stats();
+        assert_eq!(stats.packets_dropped, 1);
+        assert_eq!(stats.per_link.len(), 2);
+        assert_eq!(stats.per_link[0], LinkStats { dropped: 1, ..LinkStats::default() });
+        assert_eq!(stats.per_link[1], LinkStats { delivered: 2, ..LinkStats::default() });
+        assert_eq!(stats.events_processed, 2);
+    }
+
+    #[test]
+    fn capture_does_not_perturb_the_schedule() {
+        // The recorder draws no randomness and schedules nothing: a
+        // captured run must deliver the same packets at the same times.
+        let run = |capture: bool| -> Vec<u64> {
+            let mut sim = Simulator::new(99);
+            let a = sim.add_device(Probe::new("a", false));
+            let b = sim.add_device(Probe::new("b", true));
+            if capture {
+                sim.record_capture();
+            }
+            let faults = FaultProfile {
+                loss: 0.2,
+                burst: Some(BurstLoss { start: 0.1, length: 3 }),
+                duplicate: 0.15,
+                late: Some(LateDelivery { probability: 0.1, delay: SimDuration::from_millis(50) }),
+            };
+            sim.connect_faulty((a, IfaceId(0)), (b, IfaceId(0)), SimDuration::from_millis(2), faults);
+            for _ in 0..100 {
+                sim.inject(a, IfaceId(0), pkt());
+            }
+            sim.run_to_quiescence();
+            sim.device::<Probe>(a)
+                .unwrap()
+                .received
+                .iter()
+                .map(|(t, _, _)| t.as_nanos())
+                .collect()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -6,6 +6,7 @@
 //! devices already discard packets not addressed to them, so MAC learning
 //! would only save simulated bandwidth nobody is short of.
 
+use crate::capture::CaptureKind;
 use crate::packet::IpPacket;
 use crate::sim::{Ctx, Device, IfaceId};
 use std::any::Any;
@@ -35,6 +36,12 @@ impl Device for Switch {
         for port in 0..self.ports {
             if IfaceId(port) != iface {
                 self.forwarded += 1;
+                if ctx.capture_enabled() {
+                    ctx.capture(
+                        Some(iface),
+                        CaptureKind::RouteForward { out: IfaceId(port), packet: packet.clone() },
+                    );
+                }
                 ctx.send(IfaceId(port), packet.clone());
             }
         }

@@ -85,3 +85,31 @@ fn every_intercepted_probe_in_a_10k_campaign_has_provenance() {
         "fleet defaults should intercept a sizable share, saw {intercepted}"
     );
 }
+
+/// CI's flight-recorder acceptance: the same 200-probe campaign as the
+/// metrics expectation above, run with capture enabled. Every report and
+/// the metrics snapshot must be bitwise identical to the uncaptured run,
+/// and every probe must yield reconstructed hop timelines.
+#[test]
+fn capture_enabled_200_probe_campaign_is_bitwise_identical() {
+    let fleet = generate(FleetConfig { size: 200, ..FleetConfig::default() });
+
+    let plain_registry = MetricsRegistry::new(fleet.config.orgs.len());
+    let plain = run_campaign_metered(&fleet, 4, Some(&plain_registry));
+
+    let captured_registry = MetricsRegistry::new(fleet.config.orgs.len());
+    let captured = atlas_sim::run_campaign_captured(&fleet, 4, Some(&captured_registry), None);
+
+    assert_eq!(captured.len(), plain.len());
+    for ((a, flows), b) in captured.iter().zip(&plain) {
+        assert_eq!(a.probe.id, b.probe.id);
+        assert_eq!(a.report, b.report, "capture changed probe {}", a.probe.id);
+        assert_eq!(a.truth, b.truth);
+        assert!(!flows.is_empty(), "probe {} recorded no flows", a.probe.id);
+    }
+    assert_eq!(
+        captured_registry.snapshot(&fleet.config.orgs),
+        plain_registry.snapshot(&fleet.config.orgs),
+        "capture changed the campaign metrics"
+    );
+}
