@@ -33,60 +33,67 @@ pub struct Table4 {
     pub responding: u32,
 }
 
+/// Folds one probe into a [`Table4`] under construction. Every counter is
+/// a commutative sum, so fold order never changes the result.
+fn fold_table4(t: &mut Table4, r: &ProbeResult) {
+    t.responding += 1;
+    if r.report.matrix.any_intercepted() {
+        t.any_intercepted += 1;
+    }
+    let mut v4_all = true;
+    let mut v6_all = true;
+    let mut v4_any_answer = true;
+    let mut v6_any_answer = true;
+    for key in ResolverKey::ALL {
+        let row = t.rows.get_mut(key);
+        match r.report.matrix.v4.get(key) {
+            LocationTestResult::Standard => {
+                row.total_v4 += 1;
+                v4_all = false;
+            }
+            LocationTestResult::NonStandard { .. } => {
+                row.total_v4 += 1;
+                row.intercepted_v4 += 1;
+            }
+            LocationTestResult::Timeout | LocationTestResult::NotTested => {
+                v4_all = false;
+                v4_any_answer = false;
+            }
+        }
+        match r.report.matrix.v6.get(key) {
+            LocationTestResult::Standard => {
+                row.total_v6 += 1;
+                v6_all = false;
+            }
+            LocationTestResult::NonStandard { .. } => {
+                row.total_v6 += 1;
+                row.intercepted_v6 += 1;
+            }
+            LocationTestResult::Timeout | LocationTestResult::NotTested => {
+                v6_all = false;
+                v6_any_answer = false;
+            }
+        }
+    }
+    if v4_any_answer {
+        t.all_intercepted.total_v4 += 1;
+        if v4_all {
+            t.all_intercepted.intercepted_v4 += 1;
+        }
+    }
+    if v6_any_answer {
+        t.all_intercepted.total_v6 += 1;
+        if v6_all {
+            t.all_intercepted.intercepted_v6 += 1;
+        }
+    }
+}
+
 /// Builds Table 4 from campaign results.
 pub fn table4(results: &[ProbeResult]) -> Table4 {
-    let mut t = Table4 { responding: results.len() as u32, ..Table4::default() };
+    let mut t = Table4::default();
     for r in results {
-        if r.report.matrix.any_intercepted() {
-            t.any_intercepted += 1;
-        }
-        let mut v4_all = true;
-        let mut v6_all = true;
-        let mut v4_any_answer = true;
-        let mut v6_any_answer = true;
-        for key in ResolverKey::ALL {
-            let row = t.rows.get_mut(key);
-            match r.report.matrix.v4.get(key) {
-                LocationTestResult::Standard => {
-                    row.total_v4 += 1;
-                    v4_all = false;
-                }
-                LocationTestResult::NonStandard { .. } => {
-                    row.total_v4 += 1;
-                    row.intercepted_v4 += 1;
-                }
-                LocationTestResult::Timeout | LocationTestResult::NotTested => {
-                    v4_all = false;
-                    v4_any_answer = false;
-                }
-            }
-            match r.report.matrix.v6.get(key) {
-                LocationTestResult::Standard => {
-                    row.total_v6 += 1;
-                    v6_all = false;
-                }
-                LocationTestResult::NonStandard { .. } => {
-                    row.total_v6 += 1;
-                    row.intercepted_v6 += 1;
-                }
-                LocationTestResult::Timeout | LocationTestResult::NotTested => {
-                    v6_all = false;
-                    v6_any_answer = false;
-                }
-            }
-        }
-        if v4_any_answer {
-            t.all_intercepted.total_v4 += 1;
-            if v4_all {
-                t.all_intercepted.intercepted_v4 += 1;
-            }
-        }
-        if v6_any_answer {
-            t.all_intercepted.total_v6 += 1;
-            if v6_all {
-                t.all_intercepted.intercepted_v6 += 1;
-            }
-        }
+        fold_table4(&mut t, r);
     }
     t
 }
@@ -151,22 +158,33 @@ pub fn table5_pattern(s: &str) -> String {
     }
 }
 
+/// Folds one probe into Table 5's working state (pattern counts plus the
+/// CPE-classified total).
+fn fold_table5(counts: &mut BTreeMap<String, u32>, total_cpe: &mut u32, r: &ProbeResult) {
+    if r.report.location != Some(InterceptorLocation::Cpe) {
+        return;
+    }
+    *total_cpe += 1;
+    let Some(cpe) = &r.report.cpe else { return };
+    let Some(text) = cpe.cpe_response.text() else { return };
+    *counts.entry(table5_pattern(text)).or_insert(0) += 1;
+}
+
+/// Finishes Table 5: orders the pattern groups descending by count.
+fn finish_table5(counts: BTreeMap<String, u32>, total_cpe: u32) -> Table5 {
+    let mut groups: Vec<(String, u32)> = counts.into_iter().collect();
+    groups.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    Table5 { groups, total_cpe }
+}
+
 /// Builds Table 5 from campaign results.
 pub fn table5(results: &[ProbeResult]) -> Table5 {
     let mut counts: BTreeMap<String, u32> = BTreeMap::new();
     let mut total = 0;
     for r in results {
-        if r.report.location != Some(InterceptorLocation::Cpe) {
-            continue;
-        }
-        total += 1;
-        let Some(cpe) = &r.report.cpe else { continue };
-        let Some(text) = cpe.cpe_response.text() else { continue };
-        *counts.entry(table5_pattern(text)).or_insert(0) += 1;
+        fold_table5(&mut counts, &mut total, r);
     }
-    let mut groups: Vec<(String, u32)> = counts.into_iter().collect();
-    groups.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    Table5 { groups, total_cpe: total }
+    finish_table5(counts, total)
 }
 
 impl fmt::Display for Table5 {
@@ -210,29 +228,39 @@ pub struct Figure3 {
     pub bars: Vec<Figure3Bar>,
 }
 
-/// Builds Figure 3 (top `n` organizations).
-pub fn figure3(fleet: &Fleet, results: &[ProbeResult], n: usize) -> Figure3 {
-    let mut by_org: BTreeMap<usize, Figure3Bar> = BTreeMap::new();
-    for r in results {
-        if !r.report.intercepted {
-            continue;
-        }
-        let org = &fleet.config.orgs[r.probe.org];
-        let bar = by_org.entry(r.probe.org).or_insert_with(|| Figure3Bar {
-            org: org.name.clone(),
-            asn: org.asn,
-            ..Figure3Bar::default()
-        });
-        match r.report.transparency {
-            Some(Transparency::Transparent) | None => bar.transparent += 1,
-            Some(Transparency::StatusModified) => bar.status_modified += 1,
-            Some(Transparency::Both) => bar.both += 1,
-        }
+/// Folds one probe into Figure 3's working state (bars keyed by org index).
+fn fold_figure3(by_org: &mut BTreeMap<usize, Figure3Bar>, fleet: &Fleet, r: &ProbeResult) {
+    if !r.report.intercepted {
+        return;
     }
+    let org = &fleet.config.orgs[r.probe.org];
+    let bar = by_org.entry(r.probe.org).or_insert_with(|| Figure3Bar {
+        org: org.name.clone(),
+        asn: org.asn,
+        ..Figure3Bar::default()
+    });
+    match r.report.transparency {
+        Some(Transparency::Transparent) | None => bar.transparent += 1,
+        Some(Transparency::StatusModified) => bar.status_modified += 1,
+        Some(Transparency::Both) => bar.both += 1,
+    }
+}
+
+/// Finishes Figure 3: orders bars descending by total, keeps the top `n`.
+fn finish_figure3(by_org: BTreeMap<usize, Figure3Bar>, n: usize) -> Figure3 {
     let mut bars: Vec<Figure3Bar> = by_org.into_values().collect();
     bars.sort_by(|a, b| b.total().cmp(&a.total()).then(a.org.cmp(&b.org)));
     bars.truncate(n);
     Figure3 { bars }
+}
+
+/// Builds Figure 3 (top `n` organizations).
+pub fn figure3(fleet: &Fleet, results: &[ProbeResult], n: usize) -> Figure3 {
+    let mut by_org: BTreeMap<usize, Figure3Bar> = BTreeMap::new();
+    for r in results {
+        fold_figure3(&mut by_org, fleet, r);
+    }
+    finish_figure3(by_org, n)
 }
 
 impl fmt::Display for Figure3 {
@@ -289,32 +317,44 @@ pub struct Figure4 {
     pub total: Figure4Bar,
 }
 
-/// Builds Figure 4 (top `n` in each panel).
-pub fn figure4(fleet: &Fleet, results: &[ProbeResult], n: usize) -> Figure4 {
-    let mut countries: BTreeMap<String, Figure4Bar> = BTreeMap::new();
-    let mut orgs: BTreeMap<String, Figure4Bar> = BTreeMap::new();
-    let mut total = Figure4Bar { label: "all".into(), ..Figure4Bar::default() };
-    for r in results {
-        let Some(location) = r.report.location else { continue };
-        let org = &fleet.config.orgs[r.probe.org];
-        for bar in [
-            countries.entry(org.country.clone()).or_insert_with(|| Figure4Bar {
-                label: org.country.clone(),
-                ..Figure4Bar::default()
-            }),
-            orgs.entry(org.name.clone()).or_insert_with(|| Figure4Bar {
-                label: org.name.clone(),
-                ..Figure4Bar::default()
-            }),
-            &mut total,
-        ] {
-            match location {
-                InterceptorLocation::Cpe => bar.cpe += 1,
-                InterceptorLocation::WithinIsp => bar.within_isp += 1,
-                InterceptorLocation::BeyondOrUnknown => bar.beyond_unknown += 1,
-            }
+/// Folds one probe into Figure 4's working state (country bars, org bars,
+/// and the fleet-wide total bar).
+fn fold_figure4(
+    countries: &mut BTreeMap<String, Figure4Bar>,
+    orgs: &mut BTreeMap<String, Figure4Bar>,
+    total: &mut Figure4Bar,
+    fleet: &Fleet,
+    r: &ProbeResult,
+) {
+    let Some(location) = r.report.location else { return };
+    let org = &fleet.config.orgs[r.probe.org];
+    for bar in [
+        countries.entry(org.country.clone()).or_insert_with(|| Figure4Bar {
+            label: org.country.clone(),
+            ..Figure4Bar::default()
+        }),
+        orgs.entry(org.name.clone()).or_insert_with(|| Figure4Bar {
+            label: org.name.clone(),
+            ..Figure4Bar::default()
+        }),
+        total,
+    ] {
+        match location {
+            InterceptorLocation::Cpe => bar.cpe += 1,
+            InterceptorLocation::WithinIsp => bar.within_isp += 1,
+            InterceptorLocation::BeyondOrUnknown => bar.beyond_unknown += 1,
         }
     }
+}
+
+/// Finishes Figure 4: orders each panel descending by total, keeps the
+/// top `n` in each.
+fn finish_figure4(
+    countries: BTreeMap<String, Figure4Bar>,
+    orgs: BTreeMap<String, Figure4Bar>,
+    total: Figure4Bar,
+    n: usize,
+) -> Figure4 {
     let sort = |map: BTreeMap<String, Figure4Bar>| {
         let mut bars: Vec<Figure4Bar> = map.into_values().collect();
         bars.sort_by(|a, b| b.total().cmp(&a.total()).then(a.label.cmp(&b.label)));
@@ -322,6 +362,17 @@ pub fn figure4(fleet: &Fleet, results: &[ProbeResult], n: usize) -> Figure4 {
         bars
     };
     Figure4 { countries: sort(countries), orgs: sort(orgs), total }
+}
+
+/// Builds Figure 4 (top `n` in each panel).
+pub fn figure4(fleet: &Fleet, results: &[ProbeResult], n: usize) -> Figure4 {
+    let mut countries: BTreeMap<String, Figure4Bar> = BTreeMap::new();
+    let mut orgs: BTreeMap<String, Figure4Bar> = BTreeMap::new();
+    let mut total = Figure4Bar { label: "all".into(), ..Figure4Bar::default() };
+    for r in results {
+        fold_figure4(&mut countries, &mut orgs, &mut total, fleet, r);
+    }
+    finish_figure4(countries, orgs, total, n)
 }
 
 impl fmt::Display for Figure4 {
@@ -377,21 +428,26 @@ pub struct AccuracyStats {
     pub true_negatives: u32,
 }
 
+/// Folds one probe into an [`AccuracyStats`] under construction.
+fn fold_accuracy(stats: &mut AccuracyStats, r: &ProbeResult) {
+    if r.report.location == r.expected {
+        stats.matches_expected += 1;
+    } else {
+        stats.mismatches += 1;
+    }
+    match (r.truth.intercepted(), r.report.intercepted) {
+        (true, true) => stats.true_positives += 1,
+        (true, false) => stats.false_negatives += 1,
+        (false, true) => stats.false_positives += 1,
+        (false, false) => stats.true_negatives += 1,
+    }
+}
+
 /// Computes accuracy from campaign results.
 pub fn accuracy(results: &[ProbeResult]) -> AccuracyStats {
     let mut stats = AccuracyStats::default();
     for r in results {
-        if r.report.location == r.expected {
-            stats.matches_expected += 1;
-        } else {
-            stats.mismatches += 1;
-        }
-        match (r.truth.intercepted(), r.report.intercepted) {
-            (true, true) => stats.true_positives += 1,
-            (true, false) => stats.false_negatives += 1,
-            (false, true) => stats.false_positives += 1,
-            (false, false) => stats.true_negatives += 1,
-        }
+        fold_accuracy(&mut stats, r);
     }
     stats
 }
@@ -431,24 +487,29 @@ pub struct RetryStats {
     pub timeout_cells: u32,
 }
 
+/// Folds one probe into a [`RetryStats`] under construction.
+fn fold_retry(stats: &mut RetryStats, r: &ProbeResult) {
+    stats.queries_sent += r.report.queries_sent as u64;
+    stats.wire_attempts += r.report.wire_attempts as u64;
+    stats.retried_queries += r.report.retried_queries as u64;
+    if r.report.retried_queries > 0 {
+        stats.probes_with_retries += 1;
+    }
+    stats.timeout_cells += r
+        .report
+        .matrix
+        .v4
+        .iter()
+        .chain(r.report.matrix.v6.iter())
+        .filter(|(_, c)| matches!(c, locator::LocationTestResult::Timeout))
+        .count() as u32;
+}
+
 /// Computes retry statistics from campaign results.
 pub fn retry_stats(results: &[ProbeResult]) -> RetryStats {
     let mut stats = RetryStats::default();
     for r in results {
-        stats.queries_sent += r.report.queries_sent as u64;
-        stats.wire_attempts += r.report.wire_attempts as u64;
-        stats.retried_queries += r.report.retried_queries as u64;
-        if r.report.retried_queries > 0 {
-            stats.probes_with_retries += 1;
-        }
-        stats.timeout_cells += r
-            .report
-            .matrix
-            .v4
-            .iter()
-            .chain(r.report.matrix.v6.iter())
-            .filter(|(_, c)| matches!(c, locator::LocationTestResult::Timeout))
-            .count() as u32;
+        fold_retry(&mut stats, r);
     }
     stats
 }
@@ -461,6 +522,188 @@ impl fmt::Display for RetryStats {
         writeln!(f, "  retried queries:     {:>8}", self.retried_queries)?;
         writeln!(f, "  probes with retries: {:>8}", self.probes_with_retries)?;
         writeln!(f, "  timeout cells left:  {:>8}", self.timeout_cells)
+    }
+}
+
+fn merge_table4_row(a: &mut Table4Row, b: &Table4Row) {
+    a.intercepted_v4 += b.intercepted_v4;
+    a.total_v4 += b.total_v4;
+    a.intercepted_v6 += b.intercepted_v6;
+    a.total_v6 += b.total_v6;
+}
+
+fn merge_figure4_bar(a: &mut Figure4Bar, b: &Figure4Bar) {
+    a.cpe += b.cpe;
+    a.within_isp += b.within_isp;
+    a.beyond_unknown += b.beyond_unknown;
+}
+
+/// A campaign's entire aggregate state, built by folding one
+/// [`ProbeResult`] at a time — never holding more than the probe being
+/// folded. This is what makes million-probe campaigns possible: the
+/// streaming scheduler folds each result into a per-worker
+/// `AggregateReport` the moment it is measured, then [`merge`]s the
+/// per-worker partials, so campaign memory is constant in fleet size.
+///
+/// Every counter in here is a commutative, order-independent sum (or a
+/// keyed map of such sums), so fold order, thread count, and batch size
+/// never change the aggregate — it is bitwise identical to running the
+/// batch helpers ([`table4`], [`table5`], …) over a collected result
+/// vector.
+///
+/// [`merge`]: AggregateReport::merge
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AggregateReport {
+    probes: u64,
+    table4: Table4,
+    table5_counts: BTreeMap<String, u32>,
+    table5_total_cpe: u32,
+    figure3_by_org: BTreeMap<usize, Figure3Bar>,
+    figure4_countries: BTreeMap<String, Figure4Bar>,
+    figure4_orgs: BTreeMap<String, Figure4Bar>,
+    figure4_total: Figure4Bar,
+    accuracy: AccuracyStats,
+    retry: RetryStats,
+}
+
+impl AggregateReport {
+    /// An empty aggregate: what a campaign over zero probes produces.
+    pub fn new() -> AggregateReport {
+        AggregateReport {
+            figure4_total: Figure4Bar { label: "all".into(), ..Figure4Bar::default() },
+            ..AggregateReport::default()
+        }
+    }
+
+    /// Folds one probe's result into the aggregate.
+    pub fn fold(&mut self, fleet: &Fleet, r: &ProbeResult) {
+        self.probes += 1;
+        fold_table4(&mut self.table4, r);
+        fold_table5(&mut self.table5_counts, &mut self.table5_total_cpe, r);
+        fold_figure3(&mut self.figure3_by_org, fleet, r);
+        fold_figure4(
+            &mut self.figure4_countries,
+            &mut self.figure4_orgs,
+            &mut self.figure4_total,
+            fleet,
+            r,
+        );
+        fold_accuracy(&mut self.accuracy, r);
+        fold_retry(&mut self.retry, r);
+    }
+
+    /// Merges another partial aggregate (e.g. a different worker's) into
+    /// this one. Addition of sums is commutative and associative, so any
+    /// partition of the fleet across partials merges to the same result.
+    pub fn merge(&mut self, other: AggregateReport) {
+        self.probes += other.probes;
+        for key in ResolverKey::ALL {
+            merge_table4_row(self.table4.rows.get_mut(key), other.table4.rows.get(key));
+        }
+        merge_table4_row(&mut self.table4.all_intercepted, &other.table4.all_intercepted);
+        self.table4.any_intercepted += other.table4.any_intercepted;
+        self.table4.responding += other.table4.responding;
+        for (pattern, n) in other.table5_counts {
+            *self.table5_counts.entry(pattern).or_insert(0) += n;
+        }
+        self.table5_total_cpe += other.table5_total_cpe;
+        for (org, bar) in other.figure3_by_org {
+            let slot = self.figure3_by_org.entry(org).or_insert_with(|| Figure3Bar {
+                org: bar.org.clone(),
+                asn: bar.asn,
+                ..Figure3Bar::default()
+            });
+            slot.transparent += bar.transparent;
+            slot.status_modified += bar.status_modified;
+            slot.both += bar.both;
+        }
+        for (label, bar) in other.figure4_countries {
+            merge_figure4_bar(
+                self.figure4_countries.entry(label.clone()).or_insert_with(|| Figure4Bar {
+                    label,
+                    ..Figure4Bar::default()
+                }),
+                &bar,
+            );
+        }
+        for (label, bar) in other.figure4_orgs {
+            merge_figure4_bar(
+                self.figure4_orgs.entry(label.clone()).or_insert_with(|| Figure4Bar {
+                    label,
+                    ..Figure4Bar::default()
+                }),
+                &bar,
+            );
+        }
+        merge_figure4_bar(&mut self.figure4_total, &other.figure4_total);
+        self.accuracy.matches_expected += other.accuracy.matches_expected;
+        self.accuracy.mismatches += other.accuracy.mismatches;
+        self.accuracy.true_positives += other.accuracy.true_positives;
+        self.accuracy.false_positives += other.accuracy.false_positives;
+        self.accuracy.false_negatives += other.accuracy.false_negatives;
+        self.accuracy.true_negatives += other.accuracy.true_negatives;
+        self.retry.queries_sent += other.retry.queries_sent;
+        self.retry.wire_attempts += other.retry.wire_attempts;
+        self.retry.retried_queries += other.retry.retried_queries;
+        self.retry.probes_with_retries += other.retry.probes_with_retries;
+        self.retry.timeout_cells += other.retry.timeout_cells;
+    }
+
+    /// Probes folded in so far.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Finishes the aggregate into the paper's tables and figures, keeping
+    /// the top `top_n` bars in each ranked panel. Identical to running
+    /// [`table4`], [`table5`], [`figure3`], [`figure4`], [`accuracy`], and
+    /// [`retry_stats`] over the collected result vector.
+    pub fn finish(self, top_n: usize) -> CampaignSummary {
+        CampaignSummary {
+            probes: self.probes,
+            table4: self.table4,
+            table5: finish_table5(self.table5_counts, self.table5_total_cpe),
+            figure3: finish_figure3(self.figure3_by_org, top_n),
+            figure4: finish_figure4(
+                self.figure4_countries,
+                self.figure4_orgs,
+                self.figure4_total,
+                top_n,
+            ),
+            accuracy: self.accuracy,
+            retry: self.retry,
+        }
+    }
+}
+
+/// The finished output of a streaming campaign: every table and figure
+/// the repro produces, with the ranked panels cut to their top N.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Probes measured.
+    pub probes: u64,
+    /// Table 4: interception per public resolver, v4 vs v6.
+    pub table4: Table4,
+    /// Table 5: version.bind strings of CPE-classified probes.
+    pub table5: Table5,
+    /// Figure 3: intercepted probes per top-N organization.
+    pub figure3: Figure3,
+    /// Figure 4: interception location per top-N countries/organizations.
+    pub figure4: Figure4,
+    /// Detector accuracy vs simulator ground truth.
+    pub accuracy: AccuracyStats,
+    /// Fleet-wide retry economics.
+    pub retry: RetryStats,
+}
+
+impl fmt::Display for CampaignSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.table4)?;
+        writeln!(f, "{}", self.table5)?;
+        writeln!(f, "{}", self.figure3)?;
+        writeln!(f, "{}", self.figure4)?;
+        writeln!(f, "{}", self.accuracy)?;
+        write!(f, "{}", self.retry)
     }
 }
 
@@ -540,6 +783,54 @@ mod tests {
         assert!(retried.timeout_cells < single.timeout_cells);
         let text = retried.to_string();
         assert!(text.contains("wire attempts"));
+    }
+
+    #[test]
+    fn streaming_fold_and_merge_match_batch_aggregation() {
+        let (fleet, results) = campaign();
+        // One aggregate folded over everything, in order.
+        let mut whole = AggregateReport::new();
+        for r in &results {
+            whole.fold(fleet, r);
+        }
+        // The same results partitioned into uneven partials and merged —
+        // the shape of per-worker streaming aggregation.
+        let mut merged = AggregateReport::new();
+        for chunk in results.chunks(37).rev() {
+            let mut partial = AggregateReport::new();
+            for r in chunk {
+                partial.fold(fleet, r);
+            }
+            merged.merge(partial);
+        }
+        assert_eq!(whole, merged);
+
+        // Finishing matches every batch helper bit for bit.
+        let summary = whole.finish(15);
+        assert_eq!(summary.probes as usize, results.len());
+        assert_eq!(summary.table4, table4(&results));
+        assert_eq!(summary.table5, table5(&results));
+        assert_eq!(summary.figure3, figure3(fleet, &results, 15));
+        assert_eq!(summary.figure4, figure4(fleet, &results, 15));
+        assert_eq!(summary.accuracy, accuracy(&results));
+        assert_eq!(summary.retry, retry_stats(&results));
+
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: CampaignSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, summary);
+        assert!(summary.to_string().contains("Table 4"));
+    }
+
+    #[test]
+    fn empty_aggregate_finishes_to_empty_tables() {
+        let summary = AggregateReport::new().finish(15);
+        assert_eq!(summary.probes, 0);
+        assert_eq!(summary.table4, Table4::default());
+        assert_eq!(summary.table5, Table5::default());
+        assert!(summary.figure3.bars.is_empty());
+        assert!(summary.figure4.countries.is_empty());
+        assert_eq!(summary.figure4.total.label, "all");
+        assert_eq!(summary.figure4.total.total(), 0);
     }
 
     #[test]

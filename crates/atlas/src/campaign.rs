@@ -1,14 +1,32 @@
 //! The measurement campaign: runs the three-step technique from every
 //! responding probe, in parallel, deterministically.
 //!
-//! Scheduling is work-stealing: workers claim the next unmeasured probe
-//! from a shared atomic cursor instead of receiving a fixed chunk up
-//! front. Probe costs are heavily skewed — intercepted probes run extra
+//! Scheduling is work-stealing with **batched claims**: workers take the
+//! next [`CampaignOptions::batch_size`] unmeasured probes per `fetch_add`
+//! on a shared atomic cursor instead of one probe (or a fixed chunk) at a
+//! time. Probe costs are heavily skewed — intercepted probes run extra
 //! pipeline steps, flaky probes burn retry backoff — so static chunks
-//! leave most workers idle while one drags the tail. Results are keyed by
-//! claim index and merged after the joins, so output stays ordered by
-//! probe id and bitwise identical across thread counts.
+//! leave most workers idle while one drags the tail, and one-probe claims
+//! bounce the cursor cache line between cores on every measurement.
+//! Batches amortize the contention to one shared write per N probes while
+//! staying fine-grained enough to keep the tail balanced.
+//!
+//! Each worker carries a [`WorkerArena`] from probe to probe: the warm
+//! [`QueryEncoder`] scratch plus the recycled simulator containers
+//! ([`netsim::SimScratch`]), so a million-probe campaign builds a million
+//! worlds into a handful of steady-state allocations per worker instead of
+//! growing each world from zero.
+//!
+//! Results are keyed by claim index and merged after the joins, so output
+//! stays ordered by probe id and bitwise identical across thread counts
+//! *and* batch sizes. For campaigns too large to hold every
+//! [`ProbeReport`], [`run_campaign_streaming`] folds each result into a
+//! per-worker [`AggregateReport`] the moment it is measured and merges the
+//! per-worker partials at the end — memory stays constant in fleet size,
+//! and because every aggregate counter is a commutative sum, the merged
+//! aggregate is identical to the collect-then-aggregate path bit for bit.
 
+use crate::aggregate::AggregateReport;
 use crate::fleet::{scenario_for, Fleet, ProbeSpec};
 use crate::metrics::MetricsRegistry;
 use crate::telemetry::CampaignTelemetry;
@@ -16,7 +34,60 @@ use crossbeam::thread;
 use dns_wire::QueryEncoder;
 use interception::{GroundTruth, QueryFlow, SimTransport, WorldTemplate};
 use locator::{HijackLocator, MetricsFolder, ProbeReport, QueryTransport};
+use netsim::SimScratch;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Scheduling knobs for one campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignOptions {
+    /// Worker threads (clamped to the responding-probe count).
+    pub threads: usize,
+    /// Probes claimed per `fetch_add` on the shared cursor. Larger batches
+    /// mean fewer contended atomic writes; smaller batches balance a
+    /// heavy-tail fleet better. The default suits both: at ~76µs per probe
+    /// a batch of [`CampaignOptions::DEFAULT_BATCH`] costs ~2.4ms — long
+    /// enough to amortize the claim, short enough that no worker drags a
+    /// meaningful tail. Clamped to at least 1.
+    pub batch_size: usize,
+}
+
+impl CampaignOptions {
+    /// Default probes-per-claim; see [`CampaignOptions::batch_size`].
+    pub const DEFAULT_BATCH: usize = 32;
+
+    /// Options for `threads` workers with the default batch size.
+    pub fn new(threads: usize) -> CampaignOptions {
+        CampaignOptions { threads, batch_size: CampaignOptions::DEFAULT_BATCH }
+    }
+}
+
+impl Default for CampaignOptions {
+    fn default() -> CampaignOptions {
+        CampaignOptions::new(1)
+    }
+}
+
+/// Per-worker reusable state, carried from probe to probe: the warm
+/// [`QueryEncoder`] (the fixed location-query set is encoded once per
+/// worker, not per probe) and the recycled simulator containers (each
+/// probe's world is built into the previous world's allocations).
+pub struct WorkerArena {
+    encoder: QueryEncoder,
+    scratch: SimScratch,
+}
+
+impl WorkerArena {
+    /// A cold arena; it warms up over the worker's first probe.
+    pub fn new() -> WorkerArena {
+        WorkerArena { encoder: QueryEncoder::new(), scratch: SimScratch::default() }
+    }
+}
+
+impl Default for WorkerArena {
+    fn default() -> WorkerArena {
+        WorkerArena::new()
+    }
+}
 
 /// The outcome of measuring one probe. Borrows its [`ProbeSpec`] from the
 /// fleet rather than cloning it: a 10k-probe campaign allocates reports,
@@ -64,13 +135,59 @@ pub fn run_campaign_observed<'a>(
     registry: Option<&MetricsRegistry>,
     telemetry: Option<&CampaignTelemetry>,
 ) -> Vec<ProbeResult<'a>> {
+    run_campaign_configured(fleet, CampaignOptions::new(threads), registry, telemetry)
+}
+
+/// [`run_campaign_observed`] with the full set of scheduling knobs
+/// ([`CampaignOptions`]): thread count and probes-per-claim batch size.
+/// Results are bitwise identical for every `(threads, batch_size)` pair.
+pub fn run_campaign_configured<'a>(
+    fleet: &'a Fleet,
+    options: CampaignOptions,
+    registry: Option<&MetricsRegistry>,
+    telemetry: Option<&CampaignTelemetry>,
+) -> Vec<ProbeResult<'a>> {
     let responding: Vec<&ProbeSpec> = fleet.responding().collect();
     let template = WorldTemplate::shared();
-    let results = run_work_stealing(&responding, threads, telemetry, |probe, encoder| {
-        measure_probe_with(fleet, probe, registry, &template, encoder)
+    let results = run_collected(&responding, options, telemetry, |probe, arena| {
+        measure_probe_with(fleet, probe, registry, &template, arena)
     });
     record_schedule(registry, results.len());
     results
+}
+
+/// Runs the campaign without ever holding more than one [`ProbeResult`]
+/// per worker: each result is folded into the worker's private
+/// [`AggregateReport`] the moment it is measured, and the per-worker
+/// partials are merged when the workers join. Campaign memory is therefore
+/// constant in fleet size — this is the entry point for million-probe
+/// runs, where a collect-all `Vec<ProbeResult>` would not fit.
+///
+/// Every aggregate counter is a commutative, order-independent sum, so the
+/// returned aggregate is bitwise identical to aggregating the output of
+/// [`run_campaign_configured`] — at any thread count or batch size.
+pub fn run_campaign_streaming(
+    fleet: &Fleet,
+    options: CampaignOptions,
+    registry: Option<&MetricsRegistry>,
+    telemetry: Option<&CampaignTelemetry>,
+) -> AggregateReport {
+    let responding: Vec<&ProbeSpec> = fleet.responding().collect();
+    let template = WorldTemplate::shared();
+    let partials = run_work_stealing(
+        &responding,
+        options,
+        telemetry,
+        |probe, arena| measure_probe_with(fleet, probe, registry, &template, arena),
+        AggregateReport::new,
+        |acc, _idx, result| acc.fold(fleet, &result),
+    );
+    let mut merged = AggregateReport::new();
+    for partial in partials {
+        merged.merge(partial);
+    }
+    record_schedule(registry, merged.probes() as usize);
+    merged
 }
 
 /// Runs the campaign with the packet-level flight recorder on: every
@@ -86,8 +203,9 @@ pub fn run_campaign_captured<'a>(
 ) -> Vec<(ProbeResult<'a>, Vec<QueryFlow>)> {
     let responding: Vec<&ProbeSpec> = fleet.responding().collect();
     let template = WorldTemplate::shared();
-    let results = run_work_stealing(&responding, threads, telemetry, |probe, encoder| {
-        measure_probe_captured_with(fleet, probe, registry, &template, encoder)
+    let options = CampaignOptions::new(threads);
+    let results = run_collected(&responding, options, telemetry, |probe, arena| {
+        measure_probe_captured_with(fleet, probe, registry, &template, arena)
     });
     record_schedule(registry, results.len());
     results
@@ -102,20 +220,31 @@ fn record_schedule(registry: Option<&MetricsRegistry>, measured: usize) {
     }
 }
 
-/// The work-stealing scheduler, generic over what a worker does per
-/// probe: workers claim the next unmeasured probe from a shared atomic
-/// cursor, carry a warm [`QueryEncoder`] from probe to probe, and their
-/// batches are merged by claim index — so output order (and content) is
-/// independent of thread count for any deterministic `measure`.
-fn run_work_stealing<'a, R, F>(
+/// The batched work-stealing scheduler, generic over what a worker does
+/// per probe (`measure`) and what it accumulates per worker (`init` /
+/// `fold`): workers claim the next `batch_size` unmeasured probes per
+/// `fetch_add` on a shared cursor, carry a warm [`WorkerArena`] from probe
+/// to probe, and fold each result into a private per-worker accumulator.
+/// Returns one accumulator per worker, in worker order.
+///
+/// The claim interleaving depends on timing, but which probes exist and
+/// what each one's measurement produces do not — every probe's world is
+/// independently seeded — so any fold whose merge is commutative (or any
+/// collect keyed by claim index, as in [`run_collected`]) yields output
+/// independent of thread count and batch size.
+fn run_work_stealing<'a, R, A, F, I, G>(
     responding: &[&'a ProbeSpec],
-    threads: usize,
+    options: CampaignOptions,
     telemetry: Option<&CampaignTelemetry>,
     measure: F,
-) -> Vec<R>
+    init: I,
+    fold: G,
+) -> Vec<A>
 where
-    R: Send,
-    F: Fn(&'a ProbeSpec, &mut QueryEncoder) -> R + Sync,
+    A: Send,
+    F: Fn(&'a ProbeSpec, &mut WorkerArena) -> R + Sync,
+    I: Fn() -> A + Sync,
+    G: Fn(&mut A, usize, R) + Sync,
 {
     if responding.is_empty() {
         return Vec::new();
@@ -123,46 +252,59 @@ where
     if let Some(t) = telemetry {
         t.set_total(responding.len() as u64);
     }
-    let threads = threads.clamp(1, responding.len());
+    let batch = options.batch_size.max(1);
+    let threads = options.threads.clamp(1, responding.len());
     if threads == 1 {
-        // Inline fast path: no scope, no cursor, one warm encoder.
-        let mut encoder = QueryEncoder::new();
-        return responding
-            .iter()
-            .map(|probe| {
-                if let Some(t) = telemetry {
-                    t.note_claim(0);
-                }
-                let result = measure(probe, &mut encoder);
+        // Inline fast path: no scope, no cursor, one warm arena. Claims
+        // are still batched so telemetry counts the same batch totals.
+        let mut arena = WorkerArena::new();
+        let mut acc = init();
+        let mut idx = 0;
+        for chunk in responding.chunks(batch) {
+            if let Some(t) = telemetry {
+                t.note_batch(0, chunk.len() as u64);
+            }
+            for probe in chunk {
+                fold(&mut acc, idx, measure(probe, &mut arena));
+                idx += 1;
                 if let Some(t) = telemetry {
                     t.note_complete();
                 }
-                result
-            })
-            .collect();
+            }
+        }
+        return vec![acc];
     }
 
     let cursor = AtomicUsize::new(0);
-    let batches: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+    thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|worker| {
                 let cursor = &cursor;
                 let measure = &measure;
+                let init = &init;
+                let fold = &fold;
                 scope.spawn(move |_| {
-                    let mut encoder = QueryEncoder::new();
-                    let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut arena = WorkerArena::new();
+                    let mut acc = init();
                     loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(probe) = responding.get(idx) else { break };
-                        if let Some(t) = telemetry {
-                            t.note_claim(worker);
+                        let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                        if start >= responding.len() {
+                            break;
                         }
-                        out.push((idx, measure(probe, &mut encoder)));
+                        let end = (start + batch).min(responding.len());
                         if let Some(t) = telemetry {
-                            t.note_complete();
+                            t.note_batch(worker, (end - start) as u64);
+                        }
+                        for (idx, probe) in
+                            responding.iter().enumerate().take(end).skip(start)
+                        {
+                            fold(&mut acc, idx, measure(probe, &mut arena));
+                            if let Some(t) = telemetry {
+                                t.note_complete();
+                            }
                         }
                     }
-                    out
+                    acc
                 })
             })
             .collect();
@@ -171,9 +313,31 @@ where
             .map(|h| h.join().expect("campaign worker panicked"))
             .collect()
     })
-    .expect("campaign scope");
+    .expect("campaign scope")
+}
 
-    // Merge by claim index: `responding` is id-ordered, so the output is too.
+/// [`run_work_stealing`] specialized to collect every per-probe result:
+/// workers accumulate `(claim index, result)` pairs, and the per-worker
+/// batches are merged by claim index after the joins — `responding` is
+/// id-ordered, so the output is too.
+fn run_collected<'a, R, F>(
+    responding: &[&'a ProbeSpec],
+    options: CampaignOptions,
+    telemetry: Option<&CampaignTelemetry>,
+    measure: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&'a ProbeSpec, &mut WorkerArena) -> R + Sync,
+{
+    let batches = run_work_stealing(
+        responding,
+        options,
+        telemetry,
+        measure,
+        Vec::new,
+        |out: &mut Vec<(usize, R)>, idx, result| out.push((idx, result)),
+    );
     let mut slots: Vec<Option<R>> = responding.iter().map(|_| None).collect();
     for batch in batches {
         for (idx, result) in batch {
@@ -210,9 +374,9 @@ pub fn run_campaign_chunked<'a>(
         {
             let template = &template;
             scope.spawn(move |_| {
-                let mut encoder = QueryEncoder::new();
+                let mut arena = WorkerArena::new();
                 for (slot, probe) in slot_chunk.iter_mut().zip(probe_chunk) {
-                    *slot = Some(measure_probe_with(fleet, probe, registry, template, &mut encoder));
+                    *slot = Some(measure_probe_with(fleet, probe, registry, template, &mut arena));
                 }
             });
         }
@@ -242,29 +406,33 @@ pub fn measure_probe_metered<'a>(
     registry: Option<&MetricsRegistry>,
 ) -> ProbeResult<'a> {
     let template = WorldTemplate::shared();
-    let mut encoder = QueryEncoder::new();
-    measure_probe_with(fleet, probe, registry, &template, &mut encoder)
+    let mut arena = WorkerArena::new();
+    measure_probe_with(fleet, probe, registry, &template, &mut arena)
 }
 
 /// The single measurement path every campaign entry point funnels
-/// through: build the probe's world from the shared template, run the
-/// locator over a transport that reuses the worker's encode scratch, and
-/// hand the (now warm) encoder back for the worker's next probe.
+/// through: build the probe's world from the shared template into the
+/// arena's recycled simulator containers, run the locator over a transport
+/// that reuses the arena's encode scratch, then hand both — the warm
+/// encoder and the world's containers — back for the worker's next probe.
 fn measure_probe_with<'a>(
     fleet: &Fleet,
     probe: &'a ProbeSpec,
     registry: Option<&MetricsRegistry>,
     template: &WorldTemplate,
-    encoder: &mut QueryEncoder,
+    arena: &mut WorkerArena,
 ) -> ProbeResult<'a> {
-    let built = scenario_for(fleet, probe).build_with(template);
+    let built = scenario_for(fleet, probe)
+        .build_with_scratch(template, std::mem::take(&mut arena.scratch));
     let config = probe_config(fleet, &built);
     let expected = built.expected;
-    let mut transport = SimTransport::with_encoder(built, std::mem::take(encoder));
+    let mut transport = SimTransport::with_encoder(built, std::mem::take(&mut arena.encoder));
     let report = run_locator(config, &mut transport, registry, probe.org);
-    *encoder = transport.take_encoder();
-    // Ground truth moves out of the consumed scenario — nothing is cloned.
+    arena.encoder = transport.take_encoder();
+    // Ground truth moves out of the consumed scenario — nothing is cloned —
+    // and the spent simulator is torn back down into reusable capacity.
     let truth = transport.scenario.truth;
+    arena.scratch = transport.scenario.sim.into_scratch();
     ProbeResult { probe, report, truth, expected }
 }
 
@@ -275,8 +443,8 @@ pub fn measure_probe_captured<'a>(
     probe: &'a ProbeSpec,
 ) -> (ProbeResult<'a>, Vec<QueryFlow>) {
     let template = WorldTemplate::shared();
-    let mut encoder = QueryEncoder::new();
-    measure_probe_captured_with(fleet, probe, None, &template, &mut encoder)
+    let mut arena = WorkerArena::new();
+    measure_probe_captured_with(fleet, probe, None, &template, &mut arena)
 }
 
 /// [`measure_probe_with`] plus capture: identical build, config, and
@@ -288,17 +456,19 @@ fn measure_probe_captured_with<'a>(
     probe: &'a ProbeSpec,
     registry: Option<&MetricsRegistry>,
     template: &WorldTemplate,
-    encoder: &mut QueryEncoder,
+    arena: &mut WorkerArena,
 ) -> (ProbeResult<'a>, Vec<QueryFlow>) {
-    let built = scenario_for(fleet, probe).build_with(template);
+    let built = scenario_for(fleet, probe)
+        .build_with_scratch(template, std::mem::take(&mut arena.scratch));
     let config = probe_config(fleet, &built);
     let expected = built.expected;
-    let mut transport = SimTransport::with_encoder(built, std::mem::take(encoder));
+    let mut transport = SimTransport::with_encoder(built, std::mem::take(&mut arena.encoder));
     transport.enable_capture();
     let report = run_locator(config, &mut transport, registry, probe.org);
     let flows = transport.take_flows();
-    *encoder = transport.take_encoder();
+    arena.encoder = transport.take_encoder();
     let truth = transport.scenario.truth;
+    arena.scratch = transport.scenario.sim.into_scratch();
     (ProbeResult { probe, report, truth, expected }, flows)
 }
 

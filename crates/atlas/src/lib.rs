@@ -23,12 +23,14 @@ mod telemetry;
 
 pub use aggregate::{
     accuracy, figure3, figure4, retry_stats, table4, table5, table5_pattern, AccuracyStats,
-    Figure3, Figure3Bar, Figure4, Figure4Bar, RetryStats, Table4, Table4Row, Table5,
+    AggregateReport, CampaignSummary, Figure3, Figure3Bar, Figure4, Figure4Bar, RetryStats,
+    Table4, Table4Row, Table5,
 };
 pub use campaign::{
     measure_probe, measure_probe_archived, measure_probe_archived_metered,
     measure_probe_captured, measure_probe_metered, run_campaign, run_campaign_captured,
-    run_campaign_chunked, run_campaign_metered, run_campaign_observed, ProbeResult,
+    run_campaign_chunked, run_campaign_configured, run_campaign_metered, run_campaign_observed,
+    run_campaign_streaming, CampaignOptions, ProbeResult, WorkerArena,
 };
 pub use chart::{figure3_chart, figure4_chart};
 pub use metrics::{AsVerdicts, CampaignMetrics, MetricsRegistry};

@@ -25,6 +25,7 @@ pub struct CampaignTelemetry {
     total: AtomicU64,
     claimed: AtomicU64,
     completed: AtomicU64,
+    batches: AtomicU64,
     worker_claims: Vec<AtomicU64>,
 }
 
@@ -37,6 +38,7 @@ impl CampaignTelemetry {
             total: AtomicU64::new(0),
             claimed: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
             worker_claims: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -48,11 +50,13 @@ impl CampaignTelemetry {
         self.total.store(probes, Ordering::Relaxed);
     }
 
-    /// One probe claimed off the shared cursor by `worker`.
-    pub(crate) fn note_claim(&self, worker: usize) {
-        self.claimed.fetch_add(1, Ordering::Relaxed);
+    /// One batch of `probes` consecutive probes claimed off the shared
+    /// cursor by `worker` in a single `fetch_add`.
+    pub(crate) fn note_batch(&self, worker: usize, probes: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.claimed.fetch_add(probes, Ordering::Relaxed);
         if let Some(cell) = self.worker_claims.get(worker) {
-            cell.fetch_add(1, Ordering::Relaxed);
+            cell.fetch_add(probes, Ordering::Relaxed);
         }
     }
 
@@ -66,12 +70,22 @@ impl CampaignTelemetry {
         self.completed.load(Ordering::Relaxed)
     }
 
+    /// Non-empty batches claimed off the cursor so far. For `n` probes and
+    /// batch size `b` this ends at `ceil(n / b)` — whatever the thread
+    /// count, every batch is claimed exactly once.
+    pub fn batches_claimed(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
     /// Freezes the counters into a [`ProgressEvent`]. `elapsed_ms` is the
     /// caller's wall-clock reading; `done` marks the final event of a run.
     pub fn snapshot(&self, elapsed_ms: u64, done: bool) -> ProgressEvent {
         let completed = self.completed.load(Ordering::Relaxed);
+        // Fast campaigns can finish inside the monitor's first sampling
+        // interval, handing us elapsed_ms == 0 with completed > 0. Clamp
+        // the divisor so the rate is always finite — never NaN or inf.
         let probes_per_sec =
-            if elapsed_ms == 0 { 0.0 } else { completed as f64 * 1000.0 / elapsed_ms as f64 };
+            if completed == 0 { 0.0 } else { completed as f64 * 1000.0 / elapsed_ms.max(1) as f64 };
         ProgressEvent {
             elapsed_ms,
             total: self.total.load(Ordering::Relaxed),
@@ -110,6 +124,23 @@ pub struct ProgressEvent {
     pub done: bool,
 }
 
+impl ProgressEvent {
+    /// Throughput over the interval since `prev`: completions between the
+    /// two samples divided by the wall time between them. Like
+    /// [`CampaignTelemetry::snapshot`], the result is always finite — a
+    /// zero-length interval is clamped to 1ms, and an interval with no
+    /// progress reads as 0.0. Live tickers use this for an instantaneous
+    /// rate; `probes_per_sec` stays the whole-run average.
+    pub fn interval_probes_per_sec(&self, prev: &ProgressEvent) -> f64 {
+        let probes = self.completed.saturating_sub(prev.completed);
+        if probes == 0 {
+            return 0.0;
+        }
+        let ms = self.elapsed_ms.saturating_sub(prev.elapsed_ms).max(1);
+        probes as f64 * 1000.0 / ms as f64
+    }
+}
+
 impl fmt::Display for ProgressEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -143,8 +174,8 @@ mod tests {
     fn counters_accumulate_and_snapshot() {
         let t = CampaignTelemetry::new(3);
         t.set_total(5);
-        t.note_claim(0);
-        t.note_claim(2);
+        t.note_batch(0, 1);
+        t.note_batch(2, 1);
         t.note_complete();
         let ev = t.snapshot(2_000, false);
         assert_eq!(ev.total, 5);
@@ -154,6 +185,20 @@ mod tests {
         assert!((ev.probes_per_sec - 0.5).abs() < 1e-9);
         assert!(!ev.done);
         assert_eq!(t.completed(), 1);
+        assert_eq!(t.batches_claimed(), 2);
+    }
+
+    #[test]
+    fn batched_claims_count_every_probe_in_the_batch() {
+        let t = CampaignTelemetry::new(2);
+        t.set_total(100);
+        t.note_batch(0, 32);
+        t.note_batch(1, 32);
+        t.note_batch(0, 4);
+        let ev = t.snapshot(1_000, false);
+        assert_eq!(ev.claimed, 68);
+        assert_eq!(ev.per_worker_claims, vec![36, 32]);
+        assert_eq!(t.batches_claimed(), 3);
     }
 
     #[test]
@@ -162,7 +207,7 @@ mod tests {
         // sized for fewer workers than the scheduler spawns must not lose
         // the aggregate claim.
         let t = CampaignTelemetry::new(1);
-        t.note_claim(7);
+        t.note_batch(7, 1);
         let ev = t.snapshot(0, true);
         assert_eq!(ev.claimed, 1);
         assert_eq!(ev.per_worker_claims, vec![0]);
@@ -171,11 +216,54 @@ mod tests {
     }
 
     #[test]
+    fn throughput_is_finite_even_at_zero_elapsed() {
+        // A campaign that finishes inside the monitor's first sample must
+        // not report NaN or inf — the 0ms reading clamps to 1ms.
+        let t = CampaignTelemetry::new(1);
+        t.set_total(3);
+        for _ in 0..3 {
+            t.note_batch(0, 1);
+            t.note_complete();
+        }
+        let ev = t.snapshot(0, true);
+        assert!(ev.probes_per_sec.is_finite());
+        assert!((ev.probes_per_sec - 3_000.0).abs() < 1e-9);
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: ProgressEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn interval_rate_is_finite_and_tracks_the_delta() {
+        let t = CampaignTelemetry::new(1);
+        t.set_total(10);
+        t.note_batch(0, 4);
+        for _ in 0..4 {
+            t.note_complete();
+        }
+        let first = t.snapshot(1_000, false);
+        for _ in 0..2 {
+            t.note_batch(0, 1);
+            t.note_complete();
+        }
+        let second = t.snapshot(1_500, false);
+        assert!((second.interval_probes_per_sec(&first) - 4.0).abs() < 1e-9);
+        // Same timestamp twice (monitor raced the finish): still finite.
+        let racing = t.snapshot(1_500, true);
+        assert!(racing.interval_probes_per_sec(&second).is_finite());
+        assert_eq!(racing.interval_probes_per_sec(&second), 0.0);
+        // Progress with no measurable elapsed time clamps to 1ms.
+        t.note_complete();
+        let instant = t.snapshot(1_500, true);
+        assert!((instant.interval_probes_per_sec(&second) - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn progress_event_round_trips_and_renders() {
         let t = CampaignTelemetry::new(2);
         t.set_total(10);
         for _ in 0..4 {
-            t.note_claim(0);
+            t.note_batch(0, 1);
             t.note_complete();
         }
         let ev = t.snapshot(1_000, true);

@@ -11,8 +11,9 @@
 //! hop timeline.
 
 use atlas_sim::{
-    generate, run_campaign_captured, run_campaign_chunked, run_campaign_metered, FleetConfig,
-    MetricsRegistry,
+    generate, run_campaign_captured, run_campaign_chunked, run_campaign_configured,
+    run_campaign_metered, run_campaign_streaming, AggregateReport, CampaignOptions,
+    CampaignTelemetry, FleetConfig, MetricsRegistry,
 };
 use proptest::prelude::*;
 
@@ -73,6 +74,80 @@ proptest! {
             chunked_registry.snapshot(&fleet.config.orgs),
             baseline_snap
         );
+    }
+
+    #[test]
+    fn batched_claims_preserve_results_metrics_and_telemetry(
+        seed in any::<u64>(),
+        flaky_permille in 200u32..450,
+    ) {
+        let fleet = generate(FleetConfig {
+            size: 120,
+            seed,
+            flaky_rate: flaky_permille as f64 / 1000.0,
+            attempts: 2,
+            retry_backoff_ms: 30,
+            ..FleetConfig::default()
+        });
+
+        let baseline_registry = MetricsRegistry::new(fleet.config.orgs.len());
+        let baseline = run_campaign_metered(&fleet, 1, Some(&baseline_registry));
+        let baseline_snap = baseline_registry.snapshot(&fleet.config.orgs);
+        let baseline_json =
+            serde_json::to_string(&baseline_snap).expect("snapshot serializes");
+        let n = baseline.len() as u64;
+
+        // The streaming reference: folding the collected baseline must
+        // equal what the streaming scheduler produces at every knob.
+        let mut reference = AggregateReport::new();
+        for r in &baseline {
+            reference.fold(&fleet, r);
+        }
+        let reference_summary = reference.finish(15);
+
+        for batch_size in [1usize, 7, 64] {
+            for threads in [1usize, 4, 16] {
+                let options = CampaignOptions { threads, batch_size };
+
+                // Collected results: bitwise identical to the baseline.
+                let registry = MetricsRegistry::new(fleet.config.orgs.len());
+                let telemetry = CampaignTelemetry::new(threads);
+                let results =
+                    run_campaign_configured(&fleet, options, Some(&registry), Some(&telemetry));
+                prop_assert_eq!(results.len(), baseline.len());
+                for (a, b) in results.iter().zip(&baseline) {
+                    prop_assert_eq!(a.probe.id, b.probe.id);
+                    prop_assert_eq!(&a.report, &b.report);
+                    prop_assert_eq!(&a.truth, &b.truth);
+                    prop_assert_eq!(&a.expected, &b.expected);
+                }
+
+                // Metrics: identical snapshot and serialized form.
+                let snap = registry.snapshot(&fleet.config.orgs);
+                prop_assert_eq!(&snap, &baseline_snap);
+                prop_assert_eq!(
+                    &serde_json::to_string(&snap).expect("snapshot serializes"),
+                    &baseline_json
+                );
+
+                // Telemetry totals: every probe claimed and completed
+                // exactly once, in exactly ceil(n / batch) batches.
+                let ev = telemetry.snapshot(1_000, true);
+                prop_assert_eq!(ev.total, n);
+                prop_assert_eq!(ev.claimed, n);
+                prop_assert_eq!(ev.completed, n);
+                prop_assert_eq!(ev.per_worker_claims.iter().sum::<u64>(), n);
+                prop_assert_eq!(
+                    telemetry.batches_claimed(),
+                    n.div_ceil(batch_size as u64)
+                );
+
+                // Streaming fold: same aggregate as folding the baseline.
+                let streaming = run_campaign_streaming(&fleet, options, None, None);
+                prop_assert_eq!(streaming.probes(), n);
+                prop_assert_eq!(streaming.finish(15), reference_summary.clone());
+            }
+        }
     }
 
     #[test]

@@ -11,8 +11,9 @@
 
 use atlas_sim::{
     accuracy, figure3, figure4, generate, retry_stats, run_campaign_chunked,
-    run_campaign_metered, run_campaign_observed, scenario_for, table4, table5,
-    CampaignTelemetry, Fleet, FleetConfig, MetricsRegistry, ProbeResult, ProgressEvent,
+    run_campaign_configured, run_campaign_streaming, scenario_for, table4, table5,
+    CampaignOptions, CampaignTelemetry, Fleet, FleetConfig, MetricsRegistry, ProbeResult,
+    ProgressEvent,
 };
 use interception::{
     render_flows, CpeModelKind, HomeScenario, MiddleboxSpec, QueryFlow, SimTransport,
@@ -33,12 +34,15 @@ struct Args {
     size: usize,
     seed: u64,
     threads: usize,
+    batch: usize,
     attempts: u32,
     retry_backoff_ms: u64,
     json: Option<String>,
     archives: Option<String>,
     metrics: Option<String>,
     bench_json: Option<String>,
+    bench_probes: Option<usize>,
+    bench_mem_probes: Option<usize>,
     capture: bool,
     capture_json: Option<String>,
     progress: bool,
@@ -46,10 +50,10 @@ struct Args {
 }
 
 const USAGE: &str = "usage: repro [--all] [--table N] [--figure N] [--case xb6] \
-[--appendix a] [--size N] [--seed N] [--threads N] [--attempts N] \
+[--appendix a] [--size N] [--seed N] [--threads N] [--batch N] [--attempts N] \
 [--retry-backoff MS] [--json PATH] [--archives PATH] [--metrics PATH] \
-[--bench-json PATH] [--capture] [--capture-json PATH] [--progress] \
-[--progress-json PATH]";
+[--bench-json PATH] [--bench-probes N] [--bench-mem-probes N] [--capture] \
+[--capture-json PATH] [--progress] [--progress-json PATH]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("repro: {msg}");
@@ -83,12 +87,15 @@ fn parse_args() -> Args {
         size: 10_000,
         seed: 0x41544C53,
         threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        batch: CampaignOptions::DEFAULT_BATCH,
         attempts: 1,
         retry_backoff_ms: 0,
         json: None,
         archives: None,
         metrics: None,
         bench_json: None,
+        bench_probes: None,
+        bench_mem_probes: None,
         capture: false,
         capture_json: None,
         progress: false,
@@ -110,6 +117,7 @@ fn parse_args() -> Args {
             "--size" => args.size = parse_value("--size", &take(&mut i)),
             "--seed" => args.seed = parse_value("--seed", &take(&mut i)),
             "--threads" => args.threads = parse_value("--threads", &take(&mut i)),
+            "--batch" => args.batch = parse_value("--batch", &take(&mut i)),
             "--attempts" => args.attempts = parse_value("--attempts", &take(&mut i)),
             "--retry-backoff" => {
                 args.retry_backoff_ms = parse_value("--retry-backoff", &take(&mut i))
@@ -119,6 +127,13 @@ fn parse_args() -> Args {
             "--metrics" => args.metrics = Some(path_value("--metrics", take(&mut i))),
             "--bench-json" => {
                 args.bench_json = Some(path_value("--bench-json", take(&mut i)))
+            }
+            "--bench-probes" => {
+                args.bench_probes = Some(parse_value("--bench-probes", &take(&mut i)))
+            }
+            "--bench-mem-probes" => {
+                args.bench_mem_probes =
+                    Some(parse_value("--bench-mem-probes", &take(&mut i)))
             }
             "--capture" => args.capture = true,
             "--capture-json" => {
@@ -142,6 +157,15 @@ fn parse_args() -> Args {
     if args.threads == 0 {
         fail("--threads must be at least 1");
     }
+    if args.batch == 0 {
+        fail("--batch must be at least 1");
+    }
+    if args.bench_probes == Some(0) {
+        fail("--bench-probes must be at least 1");
+    }
+    if args.bench_mem_probes == Some(0) {
+        fail("--bench-mem-probes must be at least 1");
+    }
     if args.attempts == 0 {
         fail("--attempts must be at least 1");
     }
@@ -160,8 +184,8 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    if let Some(path) = &args.bench_json {
-        run_bench_json(path, args.size, args.seed, args.threads);
+    if args.bench_json.is_some() {
+        run_bench_json(&args);
         return;
     }
     let needs_campaign = args.all
@@ -199,12 +223,13 @@ fn main() {
     let campaign = fleet.as_ref().map(|fleet| {
         let registry =
             args.metrics.as_ref().map(|_| MetricsRegistry::new(fleet.config.orgs.len()));
+        let options = CampaignOptions { threads: args.threads, batch_size: args.batch };
         let started = std::time::Instant::now();
         let progress_on = args.progress || args.progress_json.is_some();
         let (results, events) = if progress_on {
-            run_campaign_with_progress(fleet, args.threads, registry.as_ref(), args.progress)
+            run_campaign_with_progress(fleet, options, registry.as_ref(), args.progress)
         } else {
-            (run_campaign_metered(fleet, args.threads, registry.as_ref()), Vec::new())
+            (run_campaign_configured(fleet, options, registry.as_ref(), None), Vec::new())
         };
         eprintln!(
             "campaign done: {} probes measured in {:.1}s",
@@ -259,13 +284,65 @@ fn main() {
     }
 }
 
-/// `--bench-json`: times the campaign schedulers against each other on a
+/// Reads this process's resident set size from `/proc/self/status`
+/// (`VmRSS`, in kB). Returns 0 where procfs is unavailable, which keeps
+/// the memory section well-defined (all growths report 0) off Linux.
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmRSS:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// The makespan the batched work-stealing schedule induces over measured
+/// per-probe costs: workers claim `batch` probes at a time, the earliest
+/// -free worker always claims next. This is the wall clock a machine with
+/// `threads` free cores would see — reported alongside the measured wall
+/// clock so the sweep stays honest on hosts with fewer cores.
+fn batched_makespan(costs: &[f64], threads: usize, batch: usize) -> f64 {
+    let mut workers = vec![0.0f64; threads.max(1)];
+    let mut next = 0;
+    while next < costs.len() {
+        let free = workers
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite cost"))
+            .map(|(i, _)| i)
+            .expect("at least one worker");
+        let end = (next + batch.max(1)).min(costs.len());
+        workers[free] += costs[next..end].iter().sum::<f64>();
+        next = end;
+    }
+    workers.iter().fold(0.0f64, |a, &b| a.max(b))
+}
+
+/// `--bench-json`: benchmarks the campaign scheduler end to end on a
 /// heavy-tail fleet (25% flaky probes burning retry backoff — the
-/// workload where static chunking leaves workers idle), isolates the
-/// once-per-campaign world-template saving, and writes one JSON report.
+/// workload where static chunking leaves workers idle) and writes one
+/// JSON report with four sections:
+///
+/// 1. `single_thread` — wall clock of the 1-thread run over the sweep
+///    fleet (`--bench-probes`, default `--size`), with a flag for the
+///    ≥2s floor the scaling sweep needs to be meaningful;
+/// 2. `thread_sweep` — 1/2/4/8/16 threads, each with the measured wall
+///    clock *and* the schedule-model seconds from per-probe costs fed
+///    through [`batched_makespan`]; `host_cores` is recorded so readers
+///    can tell which number is physical on this machine;
+/// 3. `world_build` — shared-template vs fresh-template build cost;
+/// 4. `memory` — RSS growth of the streaming aggregator vs collect-all
+///    over a `--bench-mem-probes` fleet (default 4× the sweep size):
+///    streaming must stay flat while collect-all grows with the fleet.
+///
 /// Timings vary run to run; the *schema* is stable, so CI diffs keys
-/// against the committed `BENCH_campaign.json`, never numbers.
-fn run_bench_json(path: &str, size: usize, seed: u64, threads: usize) {
+/// against the committed `BENCH_campaign.json`, never numbers — except
+/// the scaling gate, which checks `speedup_vs_single_at_16`.
+fn run_bench_json(args: &Args) {
     use std::time::Instant;
 
     #[derive(serde::Serialize)]
@@ -279,26 +356,32 @@ fn run_bench_json(path: &str, size: usize, seed: u64, threads: usize) {
         responding: usize,
         seed: u64,
         threads: usize,
+        batch_size: usize,
+        host_cores: usize,
         flaky_rate: f64,
         attempts: u32,
         retry_backoff_ms: u64,
     }
     #[derive(serde::Serialize)]
-    struct Scheduler {
+    struct SingleThread {
+        seconds: f64,
+        probes_per_sec: f64,
+        meets_two_second_floor: bool,
+    }
+    #[derive(serde::Serialize)]
+    struct MeasuredSchedulers {
         single_thread: Timing,
         static_chunks: Timing,
         work_stealing: Timing,
-        speedup_vs_static: f64,
-        speedup_vs_single: f64,
-        parallel_efficiency: f64,
         results_identical: bool,
     }
     #[derive(serde::Serialize)]
-    struct ScheduleProjection {
-        per_probe_total_seconds: f64,
-        static_chunks_makespan_seconds: f64,
-        work_stealing_makespan_seconds: f64,
-        projected_speedup: f64,
+    struct SweepEntry {
+        threads: usize,
+        measured_seconds: f64,
+        modeled_seconds: f64,
+        speedup_vs_single: f64,
+        parallel_efficiency: f64,
     }
     #[derive(serde::Serialize)]
     struct WorldBuild {
@@ -308,44 +391,79 @@ fn run_bench_json(path: &str, size: usize, seed: u64, threads: usize) {
         template_speedup: f64,
     }
     #[derive(serde::Serialize)]
+    struct MemPoint {
+        probes: usize,
+        responding: usize,
+        rss_before_kb: u64,
+        rss_after_kb: u64,
+        rss_growth_kb: i64,
+    }
+    #[derive(serde::Serialize)]
+    struct Memory {
+        streaming: Vec<MemPoint>,
+        collect_all: Vec<MemPoint>,
+        streaming_is_flat: bool,
+    }
+    #[derive(serde::Serialize)]
     struct BenchReport {
         schema_version: u32,
         config: BenchConfig,
-        scheduler: Scheduler,
-        schedule_projection: ScheduleProjection,
+        single_thread: SingleThread,
+        measured_schedulers: MeasuredSchedulers,
+        thread_sweep: Vec<SweepEntry>,
+        speedup_vs_single_at_16: f64,
         world_build: WorldBuild,
+        memory: Memory,
     }
 
-    let fleet = generate(FleetConfig {
-        size,
-        seed,
-        flaky_rate: 0.25,
-        attempts: 3,
-        retry_backoff_ms: 40,
-        ..FleetConfig::default()
-    });
+    const SWEEP_THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+
+    let path = args.bench_json.as_deref().expect("bench path checked by caller");
+    let size = args.bench_probes.unwrap_or(args.size);
+    let mem_size = args.bench_mem_probes.unwrap_or_else(|| size.saturating_mul(4).max(1));
+    let (seed, threads, batch) = (args.seed, args.threads, args.batch);
+    let host_cores =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let bench_fleet = |size: usize| {
+        generate(FleetConfig {
+            size,
+            seed,
+            flaky_rate: 0.25,
+            attempts: 3,
+            retry_backoff_ms: 40,
+            ..FleetConfig::default()
+        })
+    };
+    let fleet = bench_fleet(size);
     let responding = fleet.responding().count();
     eprintln!(
-        "bench: {size} probes ({responding} responding, heavy tail), {threads} threads"
+        "bench: {size} probes ({responding} responding, heavy tail), \
+         {threads} threads, batch {batch}, {host_cores} host cores"
     );
 
     // Warm the shared template and the allocator before any timed run.
     let _ = WorldTemplate::shared();
-    let _ = run_campaign_metered(&fleet, threads, None);
+    let warm_options = CampaignOptions { threads, batch_size: batch };
+    let _ = run_campaign_configured(&fleet, warm_options, None, None);
 
+    // Measured scheduler shoot-out at the requested thread count.
     let timed = |results: &[ProbeResult], seconds: f64| Timing {
         seconds,
-        probes_per_sec: results.len() as f64 / seconds,
+        probes_per_sec: if seconds > 0.0 { results.len() as f64 / seconds } else { 0.0 },
     };
-    let t = Instant::now();
-    let single = run_campaign_metered(&fleet, 1, None);
-    let single_s = t.elapsed().as_secs_f64();
+    let run_stealing = |threads: usize| {
+        let options = CampaignOptions { threads, batch_size: batch };
+        let t = Instant::now();
+        let results = run_campaign_configured(&fleet, options, None, None);
+        let seconds = t.elapsed().as_secs_f64();
+        (results, seconds)
+    };
+    let (single, single_s) = run_stealing(1);
     let t = Instant::now();
     let chunked = run_campaign_chunked(&fleet, threads, None);
     let chunked_s = t.elapsed().as_secs_f64();
-    let t = Instant::now();
-    let stealing = run_campaign_metered(&fleet, threads, None);
-    let stealing_s = t.elapsed().as_secs_f64();
+    let (stealing, stealing_s) = run_stealing(threads);
     let results_identical = single.len() == stealing.len()
         && chunked.len() == stealing.len()
         && stealing
@@ -353,15 +471,24 @@ fn run_bench_json(path: &str, size: usize, seed: u64, threads: usize) {
             .zip(&single)
             .zip(&chunked)
             .all(|((a, b), c)| a.report == b.report && a.report == c.report);
+    let meets_floor = single_s >= 2.0;
     eprintln!(
-        "bench: single {single_s:.2}s, static chunks {chunked_s:.2}s, \
-         work stealing {stealing_s:.2}s (identical results: {results_identical})"
+        "bench: single {single_s:.2}s (2s floor met: {meets_floor}), static \
+         chunks {chunked_s:.2}s, work stealing {stealing_s:.2}s \
+         (identical results: {results_identical})"
     );
+    if !meets_floor {
+        eprintln!(
+            "bench: warning — single-thread run under the 2s floor; pass a \
+             larger --bench-probes for a meaningful scaling sweep"
+        );
+    }
 
-    // Schedule projection: wall-clock deltas need as many cores as
-    // threads, so also measure each probe's individual cost and compute
-    // the makespan (critical path) each schedule induces — the wall
-    // clock a wide-enough machine would see, independent of this host.
+    // Per-probe costs feed the schedule model: on a host with fewer free
+    // cores than the sweep asks for (this one has {host_cores}), the
+    // measured wall clock cannot improve, so each sweep entry also
+    // reports the batched-makespan model over these measured costs — the
+    // number a wide-enough machine would see.
     let probes: Vec<_> = fleet.responding().collect();
     let mut costs = Vec::with_capacity(probes.len());
     for probe in &probes {
@@ -369,31 +496,37 @@ fn run_bench_json(path: &str, size: usize, seed: u64, threads: usize) {
         std::hint::black_box(atlas_sim::measure_probe(&fleet, probe));
         costs.push(t.elapsed().as_secs_f64());
     }
-    let per_probe_total: f64 = costs.iter().sum();
-    // Static chunking hands each worker one contiguous slice.
-    let chunk = probes.len().div_ceil(threads);
-    let static_makespan = costs
-        .chunks(chunk)
-        .map(|c| c.iter().sum::<f64>())
-        .fold(0.0f64, f64::max);
-    // Work stealing claims the next probe the moment a worker frees up.
-    let mut workers = vec![0.0f64; threads];
-    for &cost in &costs {
-        let next = workers
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite cost"))
-            .map(|(i, _)| i)
-            .expect("threads >= 1");
-        workers[next] += cost;
-    }
-    let stealing_makespan = workers.iter().fold(0.0f64, |a, &b| a.max(b));
-    eprintln!(
-        "bench: projected makespan at {threads} workers — static chunks \
-         {static_makespan:.3}s vs work stealing {stealing_makespan:.3}s \
-         ({:.2}x)",
-        static_makespan / stealing_makespan
-    );
+    let modeled_single = batched_makespan(&costs, 1, batch);
+
+    let thread_sweep: Vec<SweepEntry> = SWEEP_THREADS
+        .iter()
+        .map(|&sweep_threads| {
+            let (_, measured_seconds) = run_stealing(sweep_threads);
+            let modeled_seconds = batched_makespan(&costs, sweep_threads, batch);
+            let speedup = if modeled_seconds > 0.0 {
+                modeled_single / modeled_seconds
+            } else {
+                0.0
+            };
+            eprintln!(
+                "bench: sweep {sweep_threads:>2} threads — measured \
+                 {measured_seconds:.2}s, modeled {modeled_seconds:.2}s \
+                 ({speedup:.2}x vs single)"
+            );
+            SweepEntry {
+                threads: sweep_threads,
+                measured_seconds,
+                modeled_seconds,
+                speedup_vs_single: speedup,
+                parallel_efficiency: speedup / sweep_threads as f64,
+            }
+        })
+        .collect();
+    let speedup_at_16 = thread_sweep
+        .iter()
+        .find(|e| e.threads == 16)
+        .map(|e| e.speedup_vs_single)
+        .unwrap_or(0.0);
 
     // Build-cost isolation: the same worlds, built from the shared
     // template vs. from a template re-derived per probe (the old cost).
@@ -414,38 +547,99 @@ fn run_bench_json(path: &str, size: usize, seed: u64, threads: usize) {
         "bench: world build {shared_us:.0}us/probe shared vs {fresh_us:.0}us/probe fresh"
     );
 
+    // Memory: the streaming aggregator folds each probe into a constant-
+    // size report, so campaign RSS must not grow with the fleet; the
+    // collect-all path holds every ProbeResult and must grow linearly.
+    // Streaming is measured first (ascending sizes, after a warm run) so
+    // collect-all's retained pages can't mask it.
+    let options = CampaignOptions { threads, batch_size: batch };
+    let mem_points = [mem_size.div_ceil(4), mem_size];
+    let collect_points = [mem_size.div_ceil(16), mem_size.div_ceil(4)];
+    let streaming_point = |size: usize| {
+        let fleet = bench_fleet(size);
+        let rss_before_kb = rss_kb();
+        let report = run_campaign_streaming(&fleet, options, None, None);
+        let rss_after_kb = rss_kb();
+        let probes = report.probes() as usize;
+        eprintln!(
+            "bench: streaming {size} probes ({probes} responding) — RSS \
+             {rss_before_kb} -> {rss_after_kb} kB"
+        );
+        MemPoint {
+            probes: size,
+            responding: probes,
+            rss_before_kb,
+            rss_after_kb,
+            rss_growth_kb: rss_after_kb as i64 - rss_before_kb as i64,
+        }
+    };
+    let collect_point = |size: usize| {
+        let fleet = bench_fleet(size);
+        let rss_before_kb = rss_kb();
+        let results = run_campaign_configured(&fleet, options, None, None);
+        let rss_after_kb = rss_kb();
+        let responding = results.len();
+        drop(results);
+        eprintln!(
+            "bench: collect-all {size} probes ({responding} responding) — \
+             RSS {rss_before_kb} -> {rss_after_kb} kB"
+        );
+        MemPoint {
+            probes: size,
+            responding,
+            rss_before_kb,
+            rss_after_kb,
+            rss_growth_kb: rss_after_kb as i64 - rss_before_kb as i64,
+        }
+    };
+    // Warm arenas and allocator at the small size so the measured growth
+    // is steady-state, not first-touch.
+    {
+        let warm = bench_fleet(mem_points[0]);
+        let _ = run_campaign_streaming(&warm, options, None, None);
+    }
+    let streaming: Vec<MemPoint> = mem_points.iter().map(|&s| streaming_point(s)).collect();
+    let collect_all: Vec<MemPoint> = collect_points.iter().map(|&s| collect_point(s)).collect();
+    // Flat means: the full-size streaming run grew RSS by less than a
+    // fixed 32 MB allowance — a bound independent of fleet size, where
+    // collect-all at 1M probes grows by hundreds of MB.
+    let streaming_is_flat =
+        streaming.last().map(|p| p.rss_growth_kb <= 32 * 1024).unwrap_or(false);
+    eprintln!("bench: streaming_is_flat = {streaming_is_flat}");
+
     let report = BenchReport {
-        schema_version: 1,
+        schema_version: 2,
         config: BenchConfig {
             size,
             responding,
             seed,
             threads,
+            batch_size: batch,
+            host_cores,
             flaky_rate: fleet.config.flaky_rate,
             attempts: fleet.config.attempts,
             retry_backoff_ms: fleet.config.retry_backoff_ms,
         },
-        scheduler: Scheduler {
+        single_thread: SingleThread {
+            seconds: single_s,
+            probes_per_sec: if single_s > 0.0 { single.len() as f64 / single_s } else { 0.0 },
+            meets_two_second_floor: meets_floor,
+        },
+        measured_schedulers: MeasuredSchedulers {
             single_thread: timed(&single, single_s),
             static_chunks: timed(&chunked, chunked_s),
             work_stealing: timed(&stealing, stealing_s),
-            speedup_vs_static: chunked_s / stealing_s,
-            speedup_vs_single: single_s / stealing_s,
-            parallel_efficiency: single_s / stealing_s / threads as f64,
             results_identical,
         },
-        schedule_projection: ScheduleProjection {
-            per_probe_total_seconds: per_probe_total,
-            static_chunks_makespan_seconds: static_makespan,
-            work_stealing_makespan_seconds: stealing_makespan,
-            projected_speedup: static_makespan / stealing_makespan,
-        },
+        thread_sweep,
+        speedup_vs_single_at_16: speedup_at_16,
         world_build: WorldBuild {
             probes: build_probes.len(),
             fresh_world_us_per_probe: fresh_us,
             shared_template_us_per_probe: shared_us,
             template_speedup: fresh_us / shared_us,
         },
+        memory: Memory { streaming, collect_all, streaming_is_flat },
     };
     let mut json = serde_json::to_string_pretty(&report).expect("serializable");
     json.push('\n');
@@ -506,26 +700,36 @@ fn print_capture_timelines(json_path: Option<&str>) {
 /// The final event always has `done: true` and the finished counts.
 fn run_campaign_with_progress<'a>(
     fleet: &'a Fleet,
-    threads: usize,
+    options: CampaignOptions,
     registry: Option<&MetricsRegistry>,
     live: bool,
 ) -> (Vec<ProbeResult<'a>>, Vec<ProgressEvent>) {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
-    let telemetry = Arc::new(CampaignTelemetry::new(threads));
+    let telemetry = Arc::new(CampaignTelemetry::new(options.threads));
     let stop = Arc::new(AtomicBool::new(false));
     let monitor = {
         let telemetry = Arc::clone(&telemetry);
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             let started = std::time::Instant::now();
-            let mut events = Vec::new();
+            let mut events: Vec<ProgressEvent> = Vec::new();
             loop {
                 let done = stop.load(Ordering::Acquire);
                 let event = telemetry.snapshot(started.elapsed().as_millis() as u64, done);
                 if live {
-                    eprint!("\r{event}");
+                    // The event's own rate is the campaign average; the
+                    // delta against the previous sample is the ticker's
+                    // "right now" figure. Both are guarded against zero
+                    // elapsed, so the very first sample prints 0.
+                    match events.last() {
+                        Some(prev) => eprint!(
+                            "\r{event}  [{:.0}/s now]",
+                            event.interval_probes_per_sec(prev)
+                        ),
+                        None => eprint!("\r{event}"),
+                    }
                 }
                 events.push(event);
                 if done {
@@ -539,7 +743,7 @@ fn run_campaign_with_progress<'a>(
             events
         })
     };
-    let results = run_campaign_observed(fleet, threads, registry, Some(&telemetry));
+    let results = run_campaign_configured(fleet, options, registry, Some(&telemetry));
     stop.store(true, Ordering::Release);
     let events = monitor.join().expect("progress monitor panicked");
     (results, events)

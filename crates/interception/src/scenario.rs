@@ -12,7 +12,7 @@ use cpe::{models, CpeConfig, CpeDevice, DnsMode};
 use locator::{InterceptorLocation, LocatorConfig, ResolverKey};
 use netsim::{
     BurstLoss, Cidr, DnatRule, FaultProfile, Host, IfaceId, LateDelivery, NatEngine, NodeId,
-    Proto, Router, SimDuration, Simulator,
+    Proto, Router, SimDuration, SimScratch, Simulator,
 };
 use resolver_sim::{
     PublicBrand, PublicResolverSite, RecursiveResolver, ResolveCtx, SoftwareProfile, ZoneDb,
@@ -470,8 +470,17 @@ impl HomeScenario {
     /// this per probe so the zone database, resolver table, and root list
     /// are constructed once instead of once per household.
     pub fn build_with(&self, template: &WorldTemplate) -> BuiltScenario {
+        self.build_with_scratch(template, SimScratch::default())
+    }
+
+    /// Like [`HomeScenario::build_with`], but recycles the container
+    /// capacity in `scratch` (recovered from a previous simulator via
+    /// [`Simulator::into_scratch`]). Campaign workers use this so each
+    /// probe's world is built into already-sized allocations instead of
+    /// growing a fresh one from zero.
+    pub fn build_with_scratch(&self, template: &WorldTemplate, scratch: SimScratch) -> BuiltScenario {
         let isp = &self.isp;
-        let mut sim = Simulator::new(self.seed);
+        let mut sim = Simulator::with_scratch(self.seed, scratch);
         let zonedb = Arc::clone(&template.zonedb);
 
         // --- Addressing -------------------------------------------------

@@ -45,7 +45,7 @@ pub use route::{Cidr, CidrParseError, RouteTable};
 pub use router::{LocalPolicy, Router};
 pub use sim::{
     Attachment, BurstLoss, Ctx, Device, FaultProfile, IfaceId, LateDelivery, LinkId, LinkStats,
-    NodeId, SimStats, Simulator, TraceEntry,
+    NodeId, SimScratch, SimStats, Simulator, TraceEntry,
 };
 pub use switch::Switch;
 pub use time::{SimDuration, SimTime};

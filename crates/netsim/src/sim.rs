@@ -44,7 +44,7 @@ pub struct Ctx<'a> {
     now: SimTime,
     node: NodeId,
     rng: &'a mut StdRng,
-    actions: Vec<Action>,
+    actions: &'a mut Vec<Action>,
     capture_on: bool,
     capture: &'a mut dyn CaptureSink,
 }
@@ -222,8 +222,8 @@ pub struct LinkStats {
 }
 
 /// A consistent snapshot of the simulator's counters, with per-link
-/// breakdowns. Obtain one via [`Simulator::stats`]; the legacy per-counter
-/// accessors are deprecated in its favor.
+/// breakdowns. Obtain one via [`Simulator::stats`] — the single source for
+/// every counter the simulator keeps.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Events dispatched by the event loop.
@@ -289,6 +289,26 @@ pub struct TraceEntry {
     pub packet: IpPacket,
 }
 
+/// Recyclable container capacity for a [`Simulator`].
+///
+/// A fleet campaign builds one short-lived simulator per probe; the
+/// containers behind it (device table, link table, attachment map, event
+/// queue, trace buffer, action scratch) would otherwise be allocated and
+/// grown from zero every time. A worker keeps one `SimScratch`, passes it
+/// to [`Simulator::with_scratch`], and recovers it with
+/// [`Simulator::into_scratch`] when the measurement is done — the contents
+/// are always cleared, only the capacity survives, so a recycled simulator
+/// behaves bit-for-bit like a fresh one.
+#[derive(Default)]
+pub struct SimScratch {
+    devices: Vec<Box<dyn Device>>,
+    links: Vec<Link>,
+    attachments: HashMap<Attachment, LinkId>,
+    queue: Vec<Reverse<Event>>,
+    trace: Vec<TraceEntry>,
+    actions: Vec<Action>,
+}
+
 /// The simulator.
 pub struct Simulator {
     devices: Vec<Box<dyn Device>>,
@@ -307,21 +327,40 @@ pub struct Simulator {
     packets_dropped: u64,
     packets_duplicated: u64,
     packets_delayed: u64,
+    /// Reused buffer for device side effects, drained after every dispatch.
+    action_scratch: Vec<Action>,
 }
 
 impl Simulator {
     /// Creates a simulator with the given RNG seed.
     pub fn new(seed: u64) -> Simulator {
+        Simulator::with_scratch(seed, SimScratch::default())
+    }
+
+    /// Creates a simulator with the given RNG seed, recycling the container
+    /// capacity in `scratch`. Every container is cleared before use, so the
+    /// result is indistinguishable from [`Simulator::new`] apart from the
+    /// allocations it avoids.
+    pub fn with_scratch(seed: u64, scratch: SimScratch) -> Simulator {
+        let SimScratch { mut devices, mut links, mut attachments, mut queue, mut trace, mut actions } =
+            scratch;
+        devices.clear();
+        links.clear();
+        attachments.clear();
+        queue.clear();
+        trace.clear();
+        actions.clear();
         Simulator {
-            devices: Vec::new(),
-            links: Vec::new(),
-            attachments: HashMap::new(),
-            queue: BinaryHeap::new(),
+            devices,
+            links,
+            attachments,
+            // An empty vec heapifies in O(1) and keeps its capacity.
+            queue: BinaryHeap::from(queue),
             now: SimTime::ZERO,
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
             trace_enabled: false,
-            trace: Vec::new(),
+            trace,
             capture_on: false,
             // Box<NullCapture> is a zero-sized allocation-free box, so the
             // default recorder costs nothing even at construction.
@@ -330,7 +369,31 @@ impl Simulator {
             packets_dropped: 0,
             packets_duplicated: 0,
             packets_delayed: 0,
+            action_scratch: actions,
         }
+    }
+
+    /// Tears the simulator down, dropping devices and pending events but
+    /// keeping every container's capacity for the next
+    /// [`Simulator::with_scratch`] call.
+    pub fn into_scratch(self) -> SimScratch {
+        let Simulator {
+            mut devices,
+            mut links,
+            mut attachments,
+            queue,
+            mut trace,
+            action_scratch: mut actions,
+            ..
+        } = self;
+        devices.clear();
+        links.clear();
+        attachments.clear();
+        trace.clear();
+        actions.clear();
+        let mut queue = queue.into_vec();
+        queue.clear();
+        SimScratch { devices, links, attachments, queue, trace, actions }
     }
 
     /// Adds a device, returning its id.
@@ -441,30 +504,6 @@ impl Simulator {
         }
     }
 
-    /// Total events processed so far.
-    #[deprecated(since = "0.1.0", note = "use Simulator::stats().events_processed")]
-    pub fn events_processed(&self) -> u64 {
-        self.events_processed
-    }
-
-    /// Packets dropped by loss, down links, or missing attachments.
-    #[deprecated(since = "0.1.0", note = "use Simulator::stats().packets_dropped")]
-    pub fn packets_dropped(&self) -> u64 {
-        self.packets_dropped
-    }
-
-    /// Extra packet copies delivered by the duplication fault.
-    #[deprecated(since = "0.1.0", note = "use Simulator::stats().packets_duplicated")]
-    pub fn packets_duplicated(&self) -> u64 {
-        self.packets_duplicated
-    }
-
-    /// Packets hit by the late-delivery fault.
-    #[deprecated(since = "0.1.0", note = "use Simulator::stats().packets_delayed")]
-    pub fn packets_delayed(&self) -> u64 {
-        self.packets_delayed
-    }
-
     /// Installs a flight-recorder sink. The sink's
     /// [`enabled`](CaptureSink::enabled) flag is cached here: a disabled
     /// sink (the default [`NullCapture`]) reduces every emission site to
@@ -571,7 +610,10 @@ impl Simulator {
     }
 
     fn dispatch(&mut self, ev: Event) {
-        let (node, actions) = match ev.kind {
+        // The action buffer is recycled across every dispatch: taken here,
+        // drained below, and put back before any return path.
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        let node = match ev.kind {
             EventKind::Arrival { node, iface, packet, from } => {
                 if self.trace_enabled {
                     let name = self
@@ -603,33 +645,39 @@ impl Simulator {
                         kind: CaptureKind::Ingress { packet: packet.clone() },
                     });
                 }
-                let Some(device) = self.devices.get_mut(node.0) else { return };
+                let Some(device) = self.devices.get_mut(node.0) else {
+                    self.action_scratch = actions;
+                    return;
+                };
                 let mut ctx = Ctx {
                     now: ev.at,
                     node,
                     rng: &mut self.rng,
-                    actions: Vec::new(),
+                    actions: &mut actions,
                     capture_on: self.capture_on,
                     capture: &mut *self.capture,
                 };
                 device.receive(&mut ctx, iface, packet);
-                (node, ctx.actions)
+                node
             }
             EventKind::Timer { node, token } => {
-                let Some(device) = self.devices.get_mut(node.0) else { return };
+                let Some(device) = self.devices.get_mut(node.0) else {
+                    self.action_scratch = actions;
+                    return;
+                };
                 let mut ctx = Ctx {
                     now: ev.at,
                     node,
                     rng: &mut self.rng,
-                    actions: Vec::new(),
+                    actions: &mut actions,
                     capture_on: self.capture_on,
                     capture: &mut *self.capture,
                 };
                 device.timer(&mut ctx, token);
-                (node, ctx.actions)
+                node
             }
         };
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { iface, packet } => {
                     self.transmit(Attachment { node, iface }, packet)
@@ -640,6 +688,7 @@ impl Simulator {
                 }
             }
         }
+        self.action_scratch = actions;
     }
 
     /// Records a fault-layer capture event at the sending attachment.
@@ -1182,6 +1231,45 @@ mod tests {
         assert_eq!(stats.per_link[0], LinkStats { dropped: 1, ..LinkStats::default() });
         assert_eq!(stats.per_link[1], LinkStats { delivered: 2, ..LinkStats::default() });
         assert_eq!(stats.events_processed, 2);
+    }
+
+    #[test]
+    fn recycled_scratch_runs_are_bitwise_identical_to_fresh() {
+        // A simulator built from recycled scratch must behave exactly like
+        // one built fresh: same deliveries, same times, same counters.
+        let run = |scratch: SimScratch| -> (Vec<u64>, SimStats, SimScratch) {
+            let mut sim = Simulator::with_scratch(99, scratch);
+            let a = sim.add_device(Probe::new("a", false));
+            let b = sim.add_device(Probe::new("b", true));
+            let faults = FaultProfile {
+                loss: 0.2,
+                burst: Some(BurstLoss { start: 0.1, length: 3 }),
+                duplicate: 0.15,
+                late: Some(LateDelivery { probability: 0.1, delay: SimDuration::from_millis(50) }),
+            };
+            sim.connect_faulty((a, IfaceId(0)), (b, IfaceId(0)), SimDuration::from_millis(2), faults);
+            for _ in 0..100 {
+                sim.inject(a, IfaceId(0), pkt());
+            }
+            sim.run_to_quiescence();
+            let times = sim
+                .device::<Probe>(a)
+                .unwrap()
+                .received
+                .iter()
+                .map(|(t, _, _)| t.as_nanos())
+                .collect();
+            let stats = sim.stats();
+            (times, stats, sim.into_scratch())
+        };
+        let (fresh_times, fresh_stats, scratch) = run(SimScratch::default());
+        let (recycled_times, recycled_stats, scratch) = run(scratch);
+        assert_eq!(fresh_times, recycled_times);
+        assert_eq!(fresh_stats, recycled_stats);
+        // And a third generation, to show scratch keeps cycling.
+        let (third_times, third_stats, _) = run(scratch);
+        assert_eq!(fresh_times, third_times);
+        assert_eq!(fresh_stats, third_stats);
     }
 
     #[test]
