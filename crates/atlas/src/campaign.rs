@@ -72,8 +72,8 @@ impl Default for CampaignOptions {
 /// worker, not per probe) and the recycled simulator containers (each
 /// probe's world is built into the previous world's allocations).
 pub struct WorkerArena {
-    encoder: QueryEncoder,
-    scratch: SimScratch,
+    pub(crate) encoder: QueryEncoder,
+    pub(crate) scratch: SimScratch,
 }
 
 impl WorkerArena {
@@ -232,7 +232,7 @@ fn record_schedule(registry: Option<&MetricsRegistry>, measured: usize) {
 /// independently seeded — so any fold whose merge is commutative (or any
 /// collect keyed by claim index, as in [`run_collected`]) yields output
 /// independent of thread count and batch size.
-fn run_work_stealing<'a, R, A, F, I, G>(
+pub(crate) fn run_work_stealing<'a, R, A, F, I, G>(
     responding: &[&'a ProbeSpec],
     options: CampaignOptions,
     telemetry: Option<&CampaignTelemetry>,
@@ -320,7 +320,7 @@ where
 /// workers accumulate `(claim index, result)` pairs, and the per-worker
 /// batches are merged by claim index after the joins — `responding` is
 /// id-ordered, so the output is too.
-fn run_collected<'a, R, F>(
+pub(crate) fn run_collected<'a, R, F>(
     responding: &[&'a ProbeSpec],
     options: CampaignOptions,
     telemetry: Option<&CampaignTelemetry>,
@@ -387,7 +387,10 @@ pub fn run_campaign_chunked<'a>(
     results
 }
 
-fn probe_config(fleet: &Fleet, built: &interception::BuiltScenario) -> locator::LocatorConfig {
+pub(crate) fn probe_config(
+    fleet: &Fleet,
+    built: &interception::BuiltScenario,
+) -> locator::LocatorConfig {
     let mut config = built.locator_config();
     config.query_options.attempts = fleet.config.attempts;
     config.query_options.retry_backoff_ms = fleet.config.retry_backoff_ms;

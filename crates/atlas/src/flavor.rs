@@ -14,6 +14,11 @@ pub enum Flavor {
     BenignDnsmasqLan,
     /// Non-intercepting forwarder with port 53 open on the WAN (App. A).
     BenignOpenWan,
+    /// Forwarder relaying WAN queries with the client's source address
+    /// preserved — the transparent forwarder of the open-DNS taxonomy.
+    TransparentForwarder,
+    /// Resolver answering WAN queries itself — an open recursive.
+    OpenRecursive,
     /// Healthy XB6.
     BenignXb6Healthy,
     /// Buggy XB6 — the §5 case study.
@@ -90,6 +95,8 @@ impl Flavor {
                 | Flavor::BenignDnsmasqLan
                 | Flavor::BenignOpenWan
                 | Flavor::BenignXb6Healthy
+                | Flavor::TransparentForwarder
+                | Flavor::OpenRecursive
         )
     }
 
@@ -109,6 +116,12 @@ impl Flavor {
             }
             Flavor::BenignOpenWan => {
                 scenario.cpe_model = CpeModelKind::OpenWanForwarder { version: "2.80".into() }
+            }
+            Flavor::TransparentForwarder => {
+                scenario.cpe_model = CpeModelKind::TransparentForwarder { version: "2.80".into() }
+            }
+            Flavor::OpenRecursive => {
+                scenario.cpe_model = CpeModelKind::OpenRecursive { version: "2.80".into() }
             }
             Flavor::BenignXb6Healthy => scenario.cpe_model = CpeModelKind::Xb6Healthy,
             Flavor::Xb6Buggy => scenario.cpe_model = CpeModelKind::Xb6Buggy,

@@ -176,6 +176,49 @@ pub fn generate(config: FleetConfig) -> Fleet {
     Fleet { config, probes, isps }
 }
 
+/// Generates a fleet tailored to the taxonomy-classification campaign:
+/// every probe responds (a scanner can't classify silence), upstreams are
+/// loss-free (so verdicts reflect behaviour, not luck), and the five
+/// open-DNS classes cycle round-robin through the probe ids so every
+/// class is present in any contiguous slice of five.
+pub fn classification_fleet(size: usize, seed: u64) -> Fleet {
+    let config = FleetConfig {
+        size,
+        seed,
+        respond_rate: 1.0,
+        flaky_rate: 0.0,
+        ..FleetConfig::default()
+    };
+    let mut probes = Vec::with_capacity(size);
+    let mut next_customer: Vec<u32> = vec![0; config.orgs.len()];
+    for id in 0..size as u32 {
+        let flavor = match id % 5 {
+            0 => Flavor::TransparentForwarder,
+            1 => Flavor::BenignOpenWan,
+            2 => Flavor::OpenRecursive,
+            3 => Flavor::Xb6Buggy,
+            _ => Flavor::BenignPlain,
+        };
+        let org = id as usize % config.orgs.len();
+        let customer_index = next_customer[org];
+        next_customer[org] += 1;
+        let sim_seed =
+            config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(id as u64);
+        probes.push(ProbeSpec {
+            id,
+            org,
+            flavor,
+            has_v6: false,
+            responds: true,
+            flaky: false,
+            customer_index,
+            sim_seed,
+        });
+    }
+    let isps = config.orgs.iter().enumerate().map(|(i, o)| o.isp_profile(i)).collect();
+    Fleet { config, probes, isps }
+}
+
 /// Builds the [`interception::HomeScenario`] for one probe.
 pub fn scenario_for(fleet: &Fleet, probe: &ProbeSpec) -> interception::HomeScenario {
     let org = &fleet.config.orgs[probe.org];

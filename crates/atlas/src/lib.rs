@@ -14,6 +14,7 @@
 mod aggregate;
 mod campaign;
 mod chart;
+mod classify;
 mod flavor;
 mod fleet;
 mod metrics;
@@ -33,9 +34,16 @@ pub use campaign::{
     run_campaign_streaming, CampaignOptions, ProbeResult, WorkerArena,
 };
 pub use chart::{figure3_chart, figure4_chart};
+pub use classify::{
+    capture_consistent, classify_probe, classify_scenario, classify_with_transport,
+    run_classification, run_classification_streaming, ClassCounts, ClassifiedDevice,
+    ClassifySummary, DeviceClassification, SCAN_A_TXID, SCAN_QNAME, SCAN_WHOAMI_TXID,
+};
 pub use metrics::{AsVerdicts, CampaignMetrics, MetricsRegistry};
 pub use flavor::{region_of_country, Flavor};
-pub use fleet::{generate, scenario_for, Fleet, FleetConfig, ProbeSpec};
+pub use fleet::{
+    classification_fleet, generate, scenario_for, Fleet, FleetConfig, ProbeSpec,
+};
 pub use orgs::{default_catalog, OrgSpec};
 pub use raw::{RawMeasurement, RawQueryRecord, RecordingTransport, ReplayTransport};
 pub use telemetry::{CampaignTelemetry, ProgressEvent};

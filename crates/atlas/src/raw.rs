@@ -30,6 +30,11 @@ pub struct RawQueryRecord {
     pub txid: u16,
     /// Raw response bytes; `None` for a timeout.
     pub response: Option<Vec<u8>>,
+    /// Source address the response actually came from, when it was *not*
+    /// the queried server (the transparent-forwarder signature). Absent in
+    /// archives from before the source check existed, which deserialize
+    /// as properly sourced (absent fields read as `None`).
+    pub wrong_source: Option<IpAddr>,
 }
 
 impl RawQueryRecord {
@@ -82,9 +87,10 @@ impl<T: QueryTransport> QueryTransport for RecordingTransport<T> {
         opts: QueryOptions,
     ) -> QueryOutcome {
         let outcome = self.inner.query(server, question, txid, opts);
-        let response = match &outcome {
-            QueryOutcome::Response(m) => m.encode().ok(),
-            QueryOutcome::Timeout => None,
+        let (response, wrong_source) = match &outcome {
+            QueryOutcome::Response(m) => (m.encode().ok(), None),
+            QueryOutcome::Timeout => (None, None),
+            QueryOutcome::WrongSource { message, from } => (message.encode().ok(), Some(*from)),
         };
         self.measurement.records.push(RawQueryRecord {
             server,
@@ -93,6 +99,7 @@ impl<T: QueryTransport> QueryTransport for RecordingTransport<T> {
             qclass: question.qclass.to_u16(),
             txid,
             response,
+            wrong_source,
         });
         outcome
     }
@@ -149,7 +156,10 @@ impl QueryTransport for ReplayTransport {
         self.cursor += 1;
         match &record.response {
             Some(bytes) => match Message::parse(bytes) {
-                Ok(m) => QueryOutcome::Response(m),
+                Ok(m) => match record.wrong_source {
+                    Some(from) => QueryOutcome::WrongSource { message: m, from },
+                    None => QueryOutcome::Response(m),
+                },
                 Err(_) => QueryOutcome::Timeout,
             },
             None => QueryOutcome::Timeout,

@@ -7,13 +7,14 @@
 //! repro --case xb6            # §5 case-study packet trace
 //! repro --appendix a          # Appendix-A baseline comparison
 //! repro --json out.json       # machine-readable dump of the campaign
+//! repro --classify            # open-DNS taxonomy scan of a mixed fleet
 //! ```
 
 use atlas_sim::{
-    accuracy, figure3, figure4, generate, retry_stats, run_campaign_chunked,
-    run_campaign_configured, run_campaign_streaming, scenario_for, table4, table5,
-    CampaignOptions, CampaignTelemetry, Fleet, FleetConfig, MetricsRegistry, ProbeResult,
-    ProgressEvent,
+    accuracy, classification_fleet, figure3, figure4, generate, retry_stats,
+    run_campaign_chunked, run_campaign_configured, run_campaign_streaming,
+    run_classification_streaming, scenario_for, table4, table5, CampaignOptions,
+    CampaignTelemetry, Fleet, FleetConfig, MetricsRegistry, ProbeResult, ProgressEvent,
 };
 use interception::{
     render_flows, CpeModelKind, HomeScenario, MiddleboxSpec, QueryFlow, SimTransport,
@@ -47,13 +48,16 @@ struct Args {
     capture_json: Option<String>,
     progress: bool,
     progress_json: Option<String>,
+    classify: bool,
+    classify_json: Option<String>,
 }
 
 const USAGE: &str = "usage: repro [--all] [--table N] [--figure N] [--case xb6] \
 [--appendix a] [--size N] [--seed N] [--threads N] [--batch N] [--attempts N] \
 [--retry-backoff MS] [--json PATH] [--archives PATH] [--metrics PATH] \
 [--bench-json PATH] [--bench-probes N] [--bench-mem-probes N] [--capture] \
-[--capture-json PATH] [--progress] [--progress-json PATH]";
+[--capture-json PATH] [--progress] [--progress-json PATH] [--classify] \
+[--classify-json PATH]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("repro: {msg}");
@@ -100,6 +104,8 @@ fn parse_args() -> Args {
         capture_json: None,
         progress: false,
         progress_json: None,
+        classify: false,
+        classify_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -143,6 +149,10 @@ fn parse_args() -> Args {
             "--progress-json" => {
                 args.progress_json = Some(path_value("--progress-json", take(&mut i)))
             }
+            "--classify" => args.classify = true,
+            "--classify-json" => {
+                args.classify_json = Some(path_value("--classify-json", take(&mut i)))
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 std::process::exit(0);
@@ -176,6 +186,8 @@ fn parse_args() -> Args {
         && args.bench_json.is_none()
         && !args.capture
         && args.capture_json.is_none()
+        && !args.classify
+        && args.classify_json.is_none()
     {
         args.all = true;
     }
@@ -203,6 +215,9 @@ fn main() {
     }
     if args.capture || args.capture_json.is_some() {
         print_capture_timelines(args.capture_json.as_deref());
+    }
+    if args.classify || args.classify_json.is_some() {
+        run_classify(&args);
     }
 
     // Results borrow probe specs from the fleet, so the fleet must outlive
@@ -649,6 +664,52 @@ fn run_bench_json(args: &Args) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// `--classify`: scans a mixed fleet cycling through all five open-DNS
+/// classes and classifies every device via the scanner-vantage decision
+/// tree, aggregating per-taxonomy counts, ground-truth agreement, and
+/// flight-recorder corroboration through the streaming path.
+/// `--classify-json` additionally writes the aggregate as JSON. Exits
+/// non-zero if any device disagrees with its planted class or its packet
+/// capture — the run doubles as an end-to-end accuracy gate.
+fn run_classify(args: &Args) {
+    // `--size` defaults to the measurement campaign's 10k; the taxonomy
+    // scan is heavier per device (locator run + scanner probes + capture),
+    // so cap the default at 1000 — explicit sizes are honored as given.
+    let size = if args.size == 10_000 { 1_000 } else { args.size };
+    eprintln!(
+        "classifying: {size} devices, seed {}, {} threads…",
+        args.seed, args.threads
+    );
+    let fleet = classification_fleet(size, args.seed);
+    let options = CampaignOptions { threads: args.threads, batch_size: args.batch };
+    let started = std::time::Instant::now();
+    let summary = run_classification_streaming(&fleet, options);
+    eprintln!(
+        "classification done: {} devices in {:.1}s",
+        summary.probes,
+        started.elapsed().as_secs_f64()
+    );
+    println!("{summary}");
+    if let Some(path) = &args.classify_json {
+        let mut json = serde_json::to_string_pretty(&summary).expect("serializable");
+        json.push('\n');
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote taxonomy aggregate to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if summary.truth_mismatches > 0 || summary.capture_unconfirmed > 0 {
+        eprintln!(
+            "classification FAILED: {} ground-truth mismatches, {} capture-unconfirmed",
+            summary.truth_mismatches, summary.capture_unconfirmed
+        );
+        std::process::exit(1);
     }
 }
 

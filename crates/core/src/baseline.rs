@@ -54,7 +54,9 @@ pub fn a_record_cpe_check<T: QueryTransport>(
     let via_resolver = query_with_retry(transport, resolver_addr, &q, txids, opts).outcome;
     let cpe_answer = match &via_cpe {
         QueryOutcome::Response(m) => first_a(m),
-        QueryOutcome::Timeout => return ARecordVerdict::NoCpeAnswer,
+        QueryOutcome::Timeout | QueryOutcome::WrongSource { .. } => {
+            return ARecordVerdict::NoCpeAnswer
+        }
     };
     let resolver_answer = via_resolver.response().and_then(first_a);
     match (cpe_answer, resolver_answer) {
@@ -165,7 +167,7 @@ pub fn own_authoritative_check<T: QueryTransport>(
                 PrevalenceVerdict::Intercepted { egress }
             }
         }
-        QueryOutcome::Timeout => PrevalenceVerdict::Inconclusive,
+        QueryOutcome::Timeout | QueryOutcome::WrongSource { .. } => PrevalenceVerdict::Inconclusive,
     }
 }
 

@@ -89,13 +89,21 @@ pub struct HijackLocator {
     queries_sent: u32,
     wire_attempts: u32,
     retried_queries: u32,
+    source_mismatch_refs: Vec<EvidenceRef>,
 }
 
 impl HijackLocator {
     /// Creates a locator from configuration.
     pub fn new(config: LocatorConfig) -> HijackLocator {
         let txids = TxidSequence::new(config.initial_txid);
-        HijackLocator { config, txids, queries_sent: 0, wire_attempts: 0, retried_queries: 0 }
+        HijackLocator {
+            config,
+            txids,
+            queries_sent: 0,
+            wire_attempts: 0,
+            retried_queries: 0,
+            source_mismatch_refs: Vec::new(),
+        }
     }
 
     /// The configuration in use.
@@ -124,6 +132,7 @@ impl HijackLocator {
         self.queries_sent = 0;
         self.wire_attempts = 0;
         self.retried_queries = 0;
+        self.source_mismatch_refs.clear();
         let (matrix, p1) = self.step1_traced(transport, sink);
         emit_verdict(transport, sink, Step::Location, &p1);
         let intercepted = matrix.any_intercepted();
@@ -165,6 +174,22 @@ impl HijackLocator {
                 provenance.transparency = Some(pt);
             }
         }
+
+        // The source-consistency audit always decides: it sums what every
+        // step already observed (no extra queries), and "consistent" is as
+        // much a verdict as "mismatched" — the transparent-forwarder
+        // taxonomy needs the negative result too.
+        let mismatches = std::mem::take(&mut self.source_mismatch_refs);
+        let p_src = StepProvenance {
+            verdict: if mismatches.is_empty() {
+                "all responses source-consistent".into()
+            } else {
+                format!("{} response(s) from unexpected source", mismatches.len())
+            },
+            cited: mismatches,
+        };
+        emit_verdict(transport, sink, Step::SourceCheck, &p_src);
+        provenance.source_check = Some(p_src);
 
         if sink.enabled() {
             sink.record(TraceEvent::RunFinished {
@@ -259,7 +284,9 @@ impl HijackLocator {
                         );
                     }
                 }
-                QueryOutcome::Timeout => {}
+                // Wrong-source replies are never accepted as answers; like
+                // timeouts they read conservatively as non-response (§3.1).
+                QueryOutcome::Timeout | QueryOutcome::WrongSource { .. } => {}
             }
         }
         let result =
@@ -370,7 +397,7 @@ impl HijackLocator {
                 answered_refs.push(sent.evidence.clone());
                 BogonOutcome::Answered { observed: describe_response(&msg) }
             }
-            QueryOutcome::Timeout => BogonOutcome::Silent,
+            QueryOutcome::Timeout | QueryOutcome::WrongSource { .. } => BogonOutcome::Silent,
         };
         refs.push(sent.evidence);
         let v6 = if self.config.test_ipv6 {
@@ -381,7 +408,7 @@ impl HijackLocator {
                     answered_refs.push(sent.evidence.clone());
                     BogonOutcome::Answered { observed: describe_response(&msg) }
                 }
-                QueryOutcome::Timeout => BogonOutcome::Silent,
+                QueryOutcome::Timeout | QueryOutcome::WrongSource { .. } => BogonOutcome::Silent,
             };
             refs.push(sent.evidence);
             outcome
@@ -449,7 +476,7 @@ impl HijackLocator {
                         modified += 1;
                     }
                 }
-                QueryOutcome::Timeout => {}
+                QueryOutcome::Timeout | QueryOutcome::WrongSource { .. } => {}
             }
         }
         let verdict = match (transparent, modified) {
@@ -480,7 +507,7 @@ impl HijackLocator {
                     }
                 }
             }
-            QueryOutcome::Timeout => VersionBindAnswer::Timeout,
+            QueryOutcome::Timeout | QueryOutcome::WrongSource { .. } => VersionBindAnswer::Timeout,
         };
         (answer, sent.evidence)
     }
@@ -522,7 +549,20 @@ impl HijackLocator {
         let observed = match &retried.outcome {
             QueryOutcome::Response(msg) => describe_response(msg),
             QueryOutcome::Timeout => "TIMEOUT".into(),
+            QueryOutcome::WrongSource { from, .. } => format!("wrong-source({from})"),
         };
+        // Feed the source-consistency audit: any attempt of this query that
+        // drew a right-txid reply from the wrong address is evidence, even
+        // when a later attempt was properly answered.
+        if let Some(from) = retried.wrong_source {
+            self.source_mismatch_refs.push(EvidenceRef {
+                seq,
+                server,
+                txid: retried.txid,
+                attempts: retried.attempts_used,
+                observed: format!("wrong-source({from})"),
+            });
+        }
         Sent {
             outcome: retried.outcome,
             evidence: EvidenceRef {
@@ -819,6 +859,9 @@ mod tests {
         assert!(report.provenance.step2.is_none());
         assert!(report.provenance.step3.is_none());
         assert!(report.provenance.transparency.is_none());
+        let src = report.provenance.source_check.expect("source check always decides");
+        assert_eq!(src.verdict, "all responses source-consistent");
+        assert!(src.cited.is_empty());
         // Citations are in issue order and match the txid sequence.
         for (i, e) in p1.cited.iter().enumerate() {
             assert_eq!(e.seq, i as u32);
@@ -884,6 +927,33 @@ mod tests {
     }
 
     #[test]
+    fn wrong_source_replies_fold_into_the_source_check_verdict() {
+        // A transparent forwarder relays every query upstream, and the
+        // upstream answers the probe directly: right txid, wrong source
+        // address. None of those replies may be accepted as answers, and
+        // the source check must cite every one of them.
+        let mut t = MockTransport::new();
+        let upstream: IpAddr = "9.9.9.9".parse().unwrap();
+        t.push_rule(
+            None,
+            None,
+            None,
+            crate::mock::Respond::WrongSource(
+                upstream,
+                Box::new(crate::mock::Respond::Txt("IAD".into())),
+            ),
+        );
+        let mut locator = HijackLocator::new(config_with_cpe());
+        let report = locator.run(&mut t);
+        assert!(!report.intercepted, "wrong-source replies are never accepted answers");
+        assert_eq!(*report.matrix.v4.get(ResolverKey::Google), LocationTestResult::Timeout);
+        let src = report.provenance.source_check.expect("source check always decides");
+        assert_eq!(src.verdict, "16 response(s) from unexpected source");
+        assert_eq!(src.cited.len(), 16, "one citation per location query");
+        assert!(src.cited.iter().all(|e| e.observed == "wrong-source(9.9.9.9)"));
+    }
+
+    #[test]
     fn tracing_changes_no_verdict_and_mirrors_provenance() {
         use crate::trace::TraceRecorder;
         let make = || {
@@ -917,12 +987,15 @@ mod tests {
             })
             .collect();
         let p = &traced.provenance;
-        assert_eq!(verdicts.len(), 3, "location, cpe-check, transparency");
+        assert_eq!(verdicts.len(), 4, "location, cpe-check, transparency, source-check");
         assert_eq!(verdicts[0].0, Step::Location);
         assert_eq!(verdicts[0].2, p.step1.as_ref().unwrap().cited);
         assert_eq!(verdicts[1].0, Step::CpeCheck);
         assert_eq!(verdicts[1].1, p.step2.as_ref().unwrap().verdict);
         assert_eq!(verdicts[2].0, Step::Transparency);
+        assert_eq!(verdicts[3].0, Step::SourceCheck);
+        assert_eq!(verdicts[3].1, p.source_check.as_ref().unwrap().verdict);
+        assert_eq!(verdicts[3].1, "all responses source-consistent");
         assert!(matches!(rec.events.last(), Some(TraceEvent::RunFinished { .. })));
     }
 

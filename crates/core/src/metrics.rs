@@ -82,6 +82,10 @@ pub struct ProbeMetrics {
     pub attempt_timeouts: u64,
     /// Responses discarded for carrying the wrong transaction ID.
     pub dropped_wrong_txid: u64,
+    /// Responses with the right transaction ID that arrived from an
+    /// address other than the queried server (transparent-forwarder
+    /// signature); never accepted as answers.
+    pub wrong_source_responses: u64,
 }
 
 impl Default for ProbeMetrics {
@@ -91,6 +95,7 @@ impl Default for ProbeMetrics {
             retries: 0,
             attempt_timeouts: 0,
             dropped_wrong_txid: 0,
+            wrong_source_responses: 0,
         }
     }
 }
@@ -182,6 +187,9 @@ impl TraceSink for MetricsFolder {
             }
             TraceEvent::ResponseDropped { .. } => {
                 self.metrics.dropped_wrong_txid += 1;
+            }
+            TraceEvent::ResponseWrongSource { .. } => {
+                self.metrics.wrong_source_responses += 1;
             }
             TraceEvent::AttemptTimedOut { .. } => {
                 self.metrics.attempt_timeouts += 1;

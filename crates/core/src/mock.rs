@@ -34,6 +34,10 @@ pub enum Respond {
     /// transaction ID corrupted — a late or blindly spoofed reply that a
     /// correct transport must drop.
     WrongTxid(Box<Respond>),
+    /// Answers like the inner `Respond` (right transaction ID), but the
+    /// reply arrives from `IpAddr` instead of the queried server — the
+    /// transparent-forwarder shape the source check must flag.
+    WrongSource(IpAddr, Box<Respond>),
 }
 
 #[derive(Debug, Clone)]
@@ -288,6 +292,9 @@ impl MockTransport {
                 msg.header.id ^= 0x5A5A;
                 Some(msg)
             }
+            // The outcome-level rewrite happens in `query`; the message
+            // itself is the inner one, txid intact.
+            Respond::WrongSource(_, inner) => Self::build_response(q, txid, inner),
         }
     }
 }
@@ -317,6 +324,13 @@ impl QueryTransport for MockTransport {
                 if rule.remaining_failures > 0 {
                     rule.remaining_failures -= 1;
                     return QueryOutcome::Timeout;
+                }
+                if let Respond::WrongSource(from, _) = &rule.respond {
+                    let from = *from;
+                    return match Self::build_response(question, txid, &rule.respond) {
+                        Some(message) => QueryOutcome::WrongSource { message, from },
+                        None => QueryOutcome::Timeout,
+                    };
                 }
                 return match Self::build_response(question, txid, &rule.respond) {
                     Some(msg) => QueryOutcome::Response(msg),
@@ -402,6 +416,29 @@ mod tests {
         assert!(q(&mut t, server, question.clone()).is_timeout());
         let out = q(&mut t, server, question);
         assert_eq!(out.response().unwrap().answers[0].rdata.txt_string().as_deref(), Some("IAD"));
+    }
+
+    #[test]
+    fn wrong_source_rules_surface_the_foreign_address() {
+        let mut t = MockTransport::new();
+        let server: IpAddr = "1.1.1.1".parse().unwrap();
+        let upstream: IpAddr = "9.9.9.9".parse().unwrap();
+        t.push_rule(
+            None,
+            None,
+            None,
+            Respond::WrongSource(upstream, Box::new(Respond::Txt("IAD".into()))),
+        );
+        let out = q(&mut t, server, Question::chaos_txt("id.server".parse().unwrap()));
+        assert!(out.response().is_none(), "wrong-source replies are not accepted answers");
+        assert_eq!(out.wrong_source(), Some(upstream));
+        match out {
+            QueryOutcome::WrongSource { message, from } => {
+                assert_eq!(from, upstream);
+                assert_eq!(message.header.id, 0x1234, "the txid itself is right");
+            }
+            other => panic!("expected WrongSource, got {other:?}"),
+        }
     }
 
     #[test]

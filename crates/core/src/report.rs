@@ -271,6 +271,10 @@ pub struct Provenance {
     pub step3: Option<StepProvenance>,
     /// The §4.1.2 whoami transparency verdict.
     pub transparency: Option<StepProvenance>,
+    /// The response-source consistency audit: whether any reply arrived
+    /// from an address other than the queried server (the
+    /// transparent-forwarder signature).
+    pub source_check: Option<StepProvenance>,
 }
 
 // Manual impl rather than derived: archives written before provenance
@@ -285,6 +289,7 @@ impl Deserialize for Provenance {
                 step2: Deserialize::from_value(serde::__get_field(obj, "step2"))?,
                 step3: Deserialize::from_value(serde::__get_field(obj, "step3"))?,
                 transparency: Deserialize::from_value(serde::__get_field(obj, "transparency"))?,
+                source_check: Deserialize::from_value(serde::__get_field(obj, "source_check"))?,
             }),
             _ => Err(serde::DeError::custom("Provenance: expected object or null")),
         }
@@ -299,6 +304,7 @@ impl Provenance {
             ("step2", self.step2.as_ref()),
             ("step3", self.step3.as_ref()),
             ("transparency", self.transparency.as_ref()),
+            ("source_check", self.source_check.as_ref()),
         ]
         .into_iter()
         .filter_map(|(label, p)| p.map(|p| (label, p)))

@@ -170,7 +170,7 @@ pub fn nxdomain_wildcard_check_traced<T: QueryTransport, S: TraceSink>(
             }
             _ => WildcardVerdict::Inconclusive,
         },
-        QueryOutcome::Timeout => WildcardVerdict::Inconclusive,
+        QueryOutcome::Timeout | QueryOutcome::WrongSource { .. } => WildcardVerdict::Inconclusive,
     }
 }
 

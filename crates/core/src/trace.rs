@@ -39,17 +39,21 @@ pub enum Step {
     SideCheck,
     /// The §6 TTL-scan extension.
     TtlScan,
+    /// The response-source consistency audit (transparent-forwarder
+    /// taxonomy): did every reply come from the server it was sent to?
+    SourceCheck,
 }
 
 impl Step {
     /// Every step, in pipeline order.
-    pub const ALL: [Step; 6] = [
+    pub const ALL: [Step; 7] = [
         Step::Location,
         Step::CpeCheck,
         Step::Bogon,
         Step::Transparency,
         Step::SideCheck,
         Step::TtlScan,
+        Step::SourceCheck,
     ];
 
     /// Stable index into per-step tables (`0..Step::ALL.len()`).
@@ -61,6 +65,7 @@ impl Step {
             Step::Transparency => 3,
             Step::SideCheck => 4,
             Step::TtlScan => 5,
+            Step::SourceCheck => 6,
         }
     }
 
@@ -73,6 +78,7 @@ impl Step {
             Step::Transparency => "transparency",
             Step::SideCheck => "side-check",
             Step::TtlScan => "ttl-scan",
+            Step::SourceCheck => "source-check",
         }
     }
 }
@@ -147,6 +153,21 @@ pub enum TraceEvent {
         /// Transport clock, microseconds.
         at_us: Option<u64>,
     },
+    /// A response carried the right transaction ID but arrived from an
+    /// address other than the queried server — the transparent-forwarder
+    /// signature. It is never accepted as the answer.
+    ResponseWrongSource {
+        /// Owning query.
+        seq: u32,
+        /// Attempt the response claimed to satisfy.
+        attempt: u32,
+        /// The transaction ID the response carried (== the attempt's).
+        txid: u16,
+        /// The address the reply actually came from.
+        from: IpAddr,
+        /// Transport clock, microseconds.
+        at_us: Option<u64>,
+    },
     /// One wire attempt ran out its timeout without an acceptable answer.
     AttemptTimedOut {
         /// Owning query.
@@ -193,6 +214,7 @@ impl TraceEvent {
             | TraceEvent::AttemptSent { seq, .. }
             | TraceEvent::ResponseAccepted { seq, .. }
             | TraceEvent::ResponseDropped { seq, .. }
+            | TraceEvent::ResponseWrongSource { seq, .. }
             | TraceEvent::AttemptTimedOut { seq, .. } => Some(*seq),
             TraceEvent::StepVerdict { .. } | TraceEvent::RunFinished { .. } => None,
         }
@@ -205,6 +227,7 @@ impl TraceEvent {
             | TraceEvent::AttemptSent { at_us, .. }
             | TraceEvent::ResponseAccepted { at_us, .. }
             | TraceEvent::ResponseDropped { at_us, .. }
+            | TraceEvent::ResponseWrongSource { at_us, .. }
             | TraceEvent::AttemptTimedOut { at_us, .. }
             | TraceEvent::StepVerdict { at_us, .. }
             | TraceEvent::RunFinished { at_us, .. } => *at_us,
@@ -248,6 +271,13 @@ impl fmt::Display for TraceEvent {
                 write!(
                     f,
                     "[{:>10}] q{seq:<3} attempt {attempt} DROPPED wrong txid: expected {expected_txid:#06x}, got {got_txid:#06x}",
+                    fmt_clock(at_us)
+                )
+            }
+            TraceEvent::ResponseWrongSource { seq, attempt, txid, from, at_us } => {
+                write!(
+                    f,
+                    "[{:>10}] q{seq:<3} attempt {attempt} WRONG SOURCE txid={txid:#06x}: reply from {from}",
                     fmt_clock(at_us)
                 )
             }

@@ -57,20 +57,43 @@ pub enum QueryOutcome {
     /// No matching response within the timeout. The paper conservatively
     /// treats timeouts as *not* interception (§3.1).
     Timeout,
+    /// A reply carrying the right transaction ID arrived, but from an
+    /// address other than the queried server. A connected-UDP stub would
+    /// silently drop this; surfacing it instead is the transparent-
+    /// forwarder signal (Nawrocki et al.): a device that relays the query
+    /// upstream while preserving the client's source address makes the
+    /// *upstream* resolver answer the client directly.
+    WrongSource {
+        /// The response message (txid and QR already verified).
+        message: Message,
+        /// The address the reply actually came from.
+        from: IpAddr,
+    },
 }
 
 impl QueryOutcome {
-    /// The response, if one arrived.
+    /// The response, if one arrived *from the queried server*. A
+    /// wrong-source reply is never an answer: the pipeline treats it like
+    /// a timeout for verdict purposes and flags it separately.
     pub fn response(&self) -> Option<&Message> {
         match self {
             QueryOutcome::Response(m) => Some(m),
-            QueryOutcome::Timeout => None,
+            QueryOutcome::Timeout | QueryOutcome::WrongSource { .. } => None,
         }
     }
 
     /// True if this outcome is a timeout.
     pub fn is_timeout(&self) -> bool {
         matches!(self, QueryOutcome::Timeout)
+    }
+
+    /// The responding source address, when a reply with the right
+    /// transaction ID arrived from somewhere other than the queried server.
+    pub fn wrong_source(&self) -> Option<IpAddr> {
+        match self {
+            QueryOutcome::WrongSource { from, .. } => Some(*from),
+            _ => None,
+        }
     }
 }
 
@@ -160,6 +183,10 @@ pub struct RetriedQuery {
     /// Transaction ID of the decisive attempt: the accepted response's ID,
     /// or the final attempt's ID when every attempt went unanswered.
     pub txid: u16,
+    /// Source address of the first reply that carried the right
+    /// transaction ID but came from the wrong address, if any attempt saw
+    /// one — recorded even when a later attempt was properly answered.
+    pub wrong_source: Option<IpAddr>,
 }
 
 /// Trace context for one logical query: its sequence number and the
@@ -220,6 +247,11 @@ pub fn query_with_retry_traced<T: QueryTransport, S: TraceSink>(
 ) -> RetriedQuery {
     let attempts = opts.attempts.max(1);
     let mut last_txid = 0;
+    // The first wrong-source reply seen across attempts; if no attempt is
+    // properly answered it becomes the final outcome (it is stronger
+    // evidence than a bare timeout), and if one is, it is still reported
+    // through [`RetriedQuery::wrong_source`].
+    let mut mismatch: Option<(Message, IpAddr)> = None;
     for attempt in 0..attempts {
         if attempt > 0 && opts.retry_backoff_ms > 0 {
             transport.backoff(opts.retry_backoff_ms);
@@ -249,6 +281,7 @@ pub fn query_with_retry_traced<T: QueryTransport, S: TraceSink>(
                     outcome: QueryOutcome::Response(msg),
                     attempts_used: attempt + 1,
                     txid,
+                    wrong_source: mismatch.map(|(_, from)| from),
                 };
             }
             // Wrong-ID responses and timeouts both burn the attempt.
@@ -263,6 +296,22 @@ pub fn query_with_retry_traced<T: QueryTransport, S: TraceSink>(
                     });
                 }
             }
+            // A right-ID reply from the wrong address burns the attempt
+            // too — it is not an answer — but is remembered as evidence.
+            QueryOutcome::WrongSource { message, from } => {
+                if sink.enabled() {
+                    sink.record(TraceEvent::ResponseWrongSource {
+                        seq: ctx.seq,
+                        attempt: attempt + 1,
+                        txid,
+                        from,
+                        at_us: transport.now_us(),
+                    });
+                }
+                if mismatch.is_none() {
+                    mismatch = Some((message, from));
+                }
+            }
             QueryOutcome::Timeout => {
                 if sink.enabled() {
                     sink.record(TraceEvent::AttemptTimedOut {
@@ -275,7 +324,20 @@ pub fn query_with_retry_traced<T: QueryTransport, S: TraceSink>(
             }
         }
     }
-    RetriedQuery { outcome: QueryOutcome::Timeout, attempts_used: attempts, txid: last_txid }
+    match mismatch {
+        Some((message, from)) => RetriedQuery {
+            outcome: QueryOutcome::WrongSource { message, from },
+            attempts_used: attempts,
+            txid: last_txid,
+            wrong_source: Some(from),
+        },
+        None => RetriedQuery {
+            outcome: QueryOutcome::Timeout,
+            attempts_used: attempts,
+            txid: last_txid,
+            wrong_source: None,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +357,7 @@ mod tests {
         Timeout,
         Answer,
         WrongTxid,
+        WrongSource,
     }
 
     impl Script {
@@ -323,6 +386,13 @@ mod tests {
                 Reaction::WrongTxid => {
                     let q = Message::query(txid.wrapping_add(1), question.clone());
                     QueryOutcome::Response(Message::response_to(&q, Rcode::NoError))
+                }
+                Reaction::WrongSource => {
+                    let q = Message::query(txid, question.clone());
+                    QueryOutcome::WrongSource {
+                        message: Message::response_to(&q, Rcode::NoError),
+                        from: "198.51.100.99".parse().unwrap(),
+                    }
                 }
             }
         }
@@ -446,6 +516,65 @@ mod tests {
         let r = ask(&mut t, opts(2, 0));
         assert!(r.outcome.is_timeout());
         assert_eq!(r.txid, 0x4001, "timeout reports the final attempt's txid");
+    }
+
+    #[test]
+    fn wrong_source_response_is_flagged_not_accepted() {
+        let mut t = Script::new(vec![Reaction::WrongSource]);
+        let r = ask(&mut t, opts(1, 0));
+        // Not an answer: the pipeline must never consume it as one.
+        assert!(r.outcome.response().is_none());
+        assert!(!r.outcome.is_timeout(), "a wrong-source reply is evidence, not a timeout");
+        let from: IpAddr = "198.51.100.99".parse().unwrap();
+        assert_eq!(r.outcome.wrong_source(), Some(from));
+        assert_eq!(r.wrong_source, Some(from));
+    }
+
+    #[test]
+    fn wrong_source_burns_the_attempt_and_later_answer_still_wins() {
+        let mut t = Script::new(vec![Reaction::WrongSource, Reaction::Answer]);
+        let r = ask(&mut t, opts(2, 0));
+        assert_eq!(r.attempts_used, 2);
+        let msg = r.outcome.response().expect("second attempt answered");
+        assert_eq!(msg.header.id, 0x4001);
+        // The mismatch evidence survives alongside the accepted answer.
+        assert_eq!(r.wrong_source, Some("198.51.100.99".parse().unwrap()));
+    }
+
+    #[test]
+    fn exhausted_attempts_prefer_wrong_source_over_timeout() {
+        let mut t = Script::new(vec![Reaction::Timeout, Reaction::WrongSource]);
+        let r = ask(&mut t, opts(2, 0));
+        assert_eq!(r.attempts_used, 2);
+        assert!(matches!(r.outcome, QueryOutcome::WrongSource { .. }));
+    }
+
+    #[test]
+    fn traced_wrong_source_emits_its_own_event() {
+        use crate::trace::{TraceEvent, TraceRecorder};
+        let mut t = Script::new(vec![Reaction::WrongSource]);
+        let server: IpAddr = "192.0.2.1".parse().unwrap();
+        let q = Question::new("example.com".parse().unwrap(), dns_wire::RType::A);
+        let mut txids = TxidSequence::new(0x4000);
+        let mut rec = TraceRecorder::default();
+        let r = query_with_retry_traced(
+            &mut t,
+            server,
+            &q,
+            &mut txids,
+            opts(1, 0),
+            &mut rec,
+            QueryCtx { seq: 3, step: Step::Location },
+        );
+        assert!(matches!(r.outcome, QueryOutcome::WrongSource { .. }));
+        match &rec.events[1] {
+            TraceEvent::ResponseWrongSource { seq, txid, from, .. } => {
+                assert_eq!(*seq, 3);
+                assert_eq!(*txid, 0x4000);
+                assert_eq!(*from, "198.51.100.99".parse::<IpAddr>().unwrap());
+            }
+            other => panic!("expected wrong-source event, got {other:?}"),
+        }
     }
 
     #[test]

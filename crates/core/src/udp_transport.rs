@@ -2,9 +2,13 @@
 //!
 //! This is the deployment form of the paper's claim that the technique
 //! "can be implemented on any device that can make DNS queries, without
-//! requiring root access": one unprivileged UDP socket per query,
-//! connected to the server so the kernel enforces the source-address match
-//! that makes spoofing necessary (§2).
+//! requiring root access": one unprivileged UDP socket per query. The
+//! socket is deliberately *not* `connect()`ed: a connected socket would
+//! make the kernel silently discard replies from any other address, and
+//! a reply from the wrong address is exactly the transparent-forwarder
+//! signal the source check needs to see. The transport performs the
+//! source comparison itself and surfaces mismatches as
+//! [`QueryOutcome::WrongSource`] instead of dropping them on the floor.
 //!
 //! The TTL option of [`QueryOptions`] is honored via `IP_TTL` where the
 //! platform allows it without privileges; on failure the query proceeds
@@ -72,38 +76,49 @@ impl QueryTransport for UdpTransport {
             // Best-effort: not all platforms allow it unprivileged.
             let _ = socket.set_ttl(ttl as u32);
         }
-        if socket.connect(SocketAddr::new(server, self.port)).is_err() {
-            return QueryOutcome::Timeout;
-        }
-        if socket.send(&payload).is_err() {
+        let target = SocketAddr::new(server, self.port);
+        if socket.send_to(&payload, target).is_err() {
             return QueryOutcome::Timeout;
         }
         self.sent += 1;
 
         let deadline = Instant::now() + Duration::from_millis(opts.timeout_ms);
         let mut buf = [0u8; 4096];
+        // First right-txid reply that came from somewhere other than the
+        // queried server. Kept (not returned immediately) so a properly
+        // sourced answer arriving later still wins.
+        let mut mismatch: Option<(Message, IpAddr)> = None;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
-                return QueryOutcome::Timeout;
+                break;
             }
             if socket.set_read_timeout(Some(remaining)).is_err() {
-                return QueryOutcome::Timeout;
+                break;
             }
-            match socket.recv(&mut buf) {
-                Ok(n) => {
-                    // connect() already guarantees the source address; check
-                    // transaction id and QR, drop anything else and keep
-                    // listening until the deadline.
+            match socket.recv_from(&mut buf) {
+                Ok((n, peer)) => {
+                    // Check transaction id and QR first (stale-txid defense),
+                    // then the source address; keep listening until the
+                    // deadline either way.
                     if let Ok(resp) = Message::parse(&buf[..n]) {
                         if resp.header.id == txid && resp.header.qr {
-                            self.received += 1;
-                            return QueryOutcome::Response(resp);
+                            if peer == target {
+                                self.received += 1;
+                                return QueryOutcome::Response(resp);
+                            }
+                            if mismatch.is_none() {
+                                mismatch = Some((resp, peer.ip()));
+                            }
                         }
                     }
                 }
-                Err(_) => return QueryOutcome::Timeout,
+                Err(_) => break,
             }
+        }
+        match mismatch {
+            Some((message, from)) => QueryOutcome::WrongSource { message, from },
+            None => QueryOutcome::Timeout,
         }
     }
 
@@ -177,6 +192,53 @@ mod tests {
         let out = t.query("127.0.0.1".parse().unwrap(), &a_question(), 0x5244, opts(300));
         assert!(out.is_timeout());
         assert_eq!(t.received, 0);
+    }
+
+    /// Spawns a transparent-forwarder-shaped responder: queries arrive at
+    /// the returned 127.0.0.1 port, but the (txid-correct) answer is sent
+    /// from a *different* socket bound to 127.0.0.2 — the upstream
+    /// answering the scanner directly. Returns the queried port.
+    fn spawn_wrong_source_server(n: usize) -> u16 {
+        let listener = UdpSocket::bind("127.0.0.1:0").expect("bind loopback");
+        let port = listener.local_addr().unwrap().port();
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let upstream = UdpSocket::bind("127.0.0.2:0").expect("bind 127.0.0.2");
+            tx.send(()).ok();
+            let mut buf = [0u8; 4096];
+            for _ in 0..n {
+                let Ok((len, peer)) = listener.recv_from(&mut buf) else { return };
+                let Ok(query) = Message::parse(&buf[..len]) else { continue };
+                let resp = Message::response_to(&query, Rcode::NoError).with_answer(
+                    Record::new(
+                        query.questions[0].qname.clone(),
+                        30,
+                        RData::A(Ipv4Addr::new(93, 184, 216, 34)),
+                    ),
+                );
+                let bytes = resp.encode().unwrap();
+                upstream.send_to(&bytes, peer).ok();
+            }
+        });
+        rx.recv().ok();
+        port
+    }
+
+    #[test]
+    fn wrong_source_reply_is_flagged_not_silently_accepted() {
+        let mut t = UdpTransport::default();
+        t.port = spawn_wrong_source_server(1);
+        let out = t.query("127.0.0.1".parse().unwrap(), &a_question(), 0x5244, opts(400));
+        assert!(out.response().is_none(), "a wrong-source reply must not be accepted");
+        assert_eq!(out.wrong_source(), Some("127.0.0.2".parse().unwrap()));
+        match out {
+            QueryOutcome::WrongSource { message, from } => {
+                assert_eq!(from, "127.0.0.2".parse::<IpAddr>().unwrap());
+                assert_eq!(message.header.id, 0x5244, "the reply's txid was right");
+            }
+            other => panic!("expected WrongSource, got {other:?}"),
+        }
+        assert_eq!(t.received, 0, "only properly sourced answers count as received");
     }
 
     #[test]

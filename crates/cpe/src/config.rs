@@ -5,6 +5,29 @@ use netsim::Cidr;
 use resolver_sim::SoftwareProfile;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
+/// How the forwarder relays DNS queries that arrive on the *WAN* side —
+/// the axis the open-DNS taxonomy (transparent forwarder / open forwarder /
+/// open recursive) classifies scanners' findings along.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WanMode {
+    /// WAN queries get only synchronous local answers (CHAOS identity,
+    /// blocklist hits, refusals); recursive names are never relayed for
+    /// outside clients.
+    #[default]
+    LocalOnly,
+    /// Open forwarder: relays WAN queries upstream *with its own source
+    /// address* and returns the upstream answer itself.
+    OpenRelay,
+    /// Transparent forwarder: relays the scanner's packet upstream
+    /// unchanged, preserving the original (possibly spoofed) source, so
+    /// the upstream answers the scanner directly — the response-source
+    /// mismatch signature.
+    Transparent,
+    /// Open recursive: resolves WAN queries itself and answers from the
+    /// queried address; reflector names reveal the CPE's own egress.
+    Recurse,
+}
+
 /// The DNS forwarder embedded in a CPE.
 #[derive(Debug, Clone)]
 pub struct ForwarderSpec {
@@ -19,6 +42,9 @@ pub struct ForwarderSpec {
     /// Whether the forwarder also answers queries addressed to the CPE's
     /// *public* (WAN) address — the "port 53 open" condition of Appendix A.
     pub listen_wan: bool,
+    /// What the forwarder does with recursive queries from the WAN side
+    /// (only reachable when `listen_wan` is set).
+    pub wan_mode: WanMode,
 }
 
 impl ForwarderSpec {
@@ -30,6 +56,7 @@ impl ForwarderSpec {
             upstream_v6: None,
             blocklist: Vec::new(),
             listen_wan: false,
+            wan_mode: WanMode::LocalOnly,
         }
     }
 }

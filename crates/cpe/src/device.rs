@@ -7,15 +7,16 @@
 //! conntrack restores the original destination as the reply's source — so
 //! the client sees an answer "from" 8.8.8.8 that Google never sent.
 
-use crate::config::{CpeConfig, DnsMode, ForwarderSpec, InterceptSpec};
+use crate::config::{CpeConfig, DnsMode, ForwarderSpec, InterceptSpec, WanMode};
 use bytes::Bytes;
-use dns_wire::Message;
+use dns_wire::{Message, RClass, Rcode};
 use netsim::{
     CaptureKind, Ctx, Device, DnatRule, IfaceId, IpPacket, NatEngine, NatVerdict, Proto,
 };
-use resolver_sim::{ForwarderCore, FwdAction};
+use resolver_sim::{ForwarderCore, FwdAction, ResolveCtx, ZoneDb};
 use std::any::Any;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// The CPE's LAN-side interface.
 pub const LAN: IfaceId = IfaceId(0);
@@ -33,6 +34,9 @@ enum ReplyPath {
     /// The query was DNAT-intercepted; reply through conntrack so the
     /// source is spoofed back to the original destination.
     NatSpoof(IpPacket),
+    /// The query came from the WAN side (an outside scanner) to our open
+    /// forwarder; reply out the WAN interface from the queried address.
+    WanDirect(IpPacket),
 }
 
 /// The home router.
@@ -40,10 +44,15 @@ pub struct CpeDevice {
     config: CpeConfig,
     nat: NatEngine,
     forwarder: Option<ForwarderCore<ReplyPath>>,
+    /// Zone data an open-recursive CPE resolves against ([`WanMode::Recurse`]).
+    zonedb: Option<Arc<ZoneDb>>,
     /// DNS queries the DNAT rule captured.
     pub intercepted_queries: u64,
     /// DNS queries answered on the CPE's own addresses.
     pub self_queries: u64,
+    /// WAN-side queries relayed upstream with the client source preserved
+    /// ([`WanMode::Transparent`]).
+    pub transparent_relays: u64,
 }
 
 impl CpeDevice {
@@ -76,12 +85,31 @@ impl CpeDevice {
             fc.blocklist = spec.blocklist.clone();
             fc
         });
-        CpeDevice { config, nat, forwarder, intercepted_queries: 0, self_queries: 0 }
+        CpeDevice {
+            config,
+            nat,
+            forwarder,
+            zonedb: None,
+            intercepted_queries: 0,
+            self_queries: 0,
+            transparent_relays: 0,
+        }
     }
 
     /// Boxed convenience constructor.
     pub fn boxed(config: CpeConfig) -> Box<CpeDevice> {
         Box::new(CpeDevice::new(config))
+    }
+
+    /// Attaches the authoritative world an open-recursive CPE resolves
+    /// against. Required for [`WanMode::Recurse`]; ignored otherwise.
+    pub fn with_zonedb(mut self, zonedb: Arc<ZoneDb>) -> CpeDevice {
+        self.zonedb = Some(zonedb);
+        self
+    }
+
+    fn wan_mode(&self) -> WanMode {
+        self.spec().map(|s| s.wan_mode).unwrap_or_default()
     }
 
     /// The device configuration.
@@ -120,11 +148,20 @@ impl CpeDevice {
         let Ok(query) = Message::parse(&udp.payload) else { return };
         let upstream_v6 = self.spec().and_then(|s| s.upstream_v6);
         let upstream_v4 = self.spec().map(|s| s.upstream_v4);
+        // `ForwarderCore` keeps the path only for forwarded queries, so the
+        // reply direction of a synchronous answer must be decided here.
+        let wan_side = matches!(path, ReplyPath::WanDirect(_));
         let Some(fc) = &mut self.forwarder else { return };
         match fc.handle_query(query, path) {
             FwdAction::Respond(resp) => {
                 let Ok(bytes) = resp.encode() else { return };
-                self.send_reply_for(ctx, &request, Bytes::from(bytes));
+                if wan_side {
+                    if let Some(reply) = resolver_sim::reply_packet(&request, Bytes::from(bytes)) {
+                        ctx.send(WAN, reply);
+                    }
+                } else {
+                    self.send_reply_for(ctx, &request, Bytes::from(bytes));
+                }
             }
             FwdAction::Forward(relayed) => {
                 let Ok(bytes) = relayed.encode() else { return };
@@ -188,6 +225,65 @@ impl CpeDevice {
                     ctx.send(LAN, reply);
                 }
             }
+            ReplyPath::WanDirect(request) => {
+                // The open forwarder answers the outside client itself,
+                // from the address that was queried — no spoofing involved.
+                if let Some(reply) = resolver_sim::reply_packet(&request, payload) {
+                    ctx.send(WAN, reply);
+                }
+            }
+        }
+    }
+
+    /// [`WanMode::Transparent`]: relay the scanner's packet upstream with
+    /// the *original source preserved* — no NAT state, no pending entry.
+    /// The upstream resolver answers the (possibly spoofed) client
+    /// directly, which is exactly the response-source mismatch the paper's
+    /// scanner taxonomy keys on.
+    fn relay_transparently(&mut self, ctx: &mut Ctx<'_>, packet: IpPacket) {
+        let Some(spec) = self.spec() else { return };
+        let upstream = spec.upstream_v4;
+        let mut relayed = packet;
+        if !relayed.set_dst(upstream) {
+            return;
+        }
+        if relayed.decrement_ttl() {
+            self.transparent_relays += 1;
+            ctx.send(WAN, relayed);
+        }
+    }
+
+    /// [`WanMode::Recurse`]: resolve the query locally against the
+    /// attached zone database and answer from the queried address. The
+    /// egress handed to reflector zones is the CPE's own WAN address, so a
+    /// whoami probe reveals the CPE itself — the open-recursive signature.
+    fn answer_recursively_wan(&mut self, ctx: &mut Ctx<'_>, packet: &IpPacket) {
+        let Some(udp) = packet.udp_payload() else { return };
+        let Ok(query) = Message::parse(&udp.payload) else { return };
+        if query.header.qr {
+            return;
+        }
+        let Some(spec) = self.spec() else { return };
+        let resp = if let Some(maybe) = resolver_sim::handle_server_id(&query, &spec.profile) {
+            match maybe {
+                Some(resp) => resp,
+                None => return, // profile stays silent on identity queries
+            }
+        } else {
+            let Some(q) = query.question() else { return };
+            if q.qclass != RClass::In {
+                Message::response_to(&query, Rcode::NotImp)
+            } else {
+                let Some(db) = &self.zonedb else { return };
+                let result = db.resolve(q, &ResolveCtx::v4(self.config.wan_v4));
+                let mut resp = Message::response_to(&query, result.rcode);
+                resp.answers = result.answers.clone();
+                resp
+            }
+        };
+        let Ok(bytes) = resp.encode() else { return };
+        if let Some(reply) = resolver_sim::reply_packet(packet, Bytes::from(bytes)) {
+            ctx.send(WAN, reply);
         }
     }
 
@@ -258,21 +354,36 @@ impl CpeDevice {
                 return;
             }
             // DNS queries arriving from the WAN side at our public address
-            // (an outside scanner): served only with listen_wan.
+            // (an outside scanner): served only with listen_wan. What
+            // happens next is the open-DNS taxonomy axis.
             let is_dns = packet.udp_payload().map(|u| u.dst_port == 53).unwrap_or(false);
             if is_dns && self.serves_addr(packet.dst()) {
                 self.self_queries += 1;
-                let path = ReplyPath::Direct(packet.clone());
-                // Reply must leave via the WAN side.
-                let Some(udp) = packet.udp_payload() else { return };
-                let Ok(query) = Message::parse(&udp.payload) else { return };
-                let Some(fc) = &mut self.forwarder else { return };
-                if let FwdAction::Respond(resp) = fc.handle_query(query, path) {
-                    if let Ok(bytes) = resp.encode() {
-                        if let Some(reply) = resolver_sim::reply_packet(&packet, Bytes::from(bytes)) {
-                            ctx.send(WAN, reply);
+                match self.wan_mode() {
+                    WanMode::LocalOnly => {
+                        // Synchronous answers only (CHAOS identity and
+                        // friends); recursive names are never relayed for
+                        // outside clients, so they go unanswered.
+                        let path = ReplyPath::Direct(packet.clone());
+                        let Some(udp) = packet.udp_payload() else { return };
+                        let Ok(query) = Message::parse(&udp.payload) else { return };
+                        let Some(fc) = &mut self.forwarder else { return };
+                        if let FwdAction::Respond(resp) = fc.handle_query(query, path) {
+                            if let Ok(bytes) = resp.encode() {
+                                if let Some(reply) =
+                                    resolver_sim::reply_packet(&packet, Bytes::from(bytes))
+                                {
+                                    ctx.send(WAN, reply);
+                                }
+                            }
                         }
                     }
+                    WanMode::OpenRelay => {
+                        let path = ReplyPath::WanDirect(packet.clone());
+                        self.handle_forwarder_query(ctx, packet, path);
+                    }
+                    WanMode::Transparent => self.relay_transparently(ctx, packet),
+                    WanMode::Recurse => self.answer_recursively_wan(ctx, &packet),
                 }
             }
             return;

@@ -18,7 +18,7 @@ mod config;
 mod device;
 pub mod models;
 
-pub use config::{CpeConfig, DnsMode, ForwarderSpec, InterceptSpec};
+pub use config::{CpeConfig, DnsMode, ForwarderSpec, InterceptSpec, WanMode};
 pub use device::{CpeDevice, LAN, WAN};
 
 #[cfg(test)]
@@ -243,6 +243,128 @@ mod tests {
         let resp = responses(&mut sim, probe);
         assert_eq!(resp.len(), 1);
         assert_eq!(resp[0].1.header.rcode, Rcode::Refused);
+    }
+
+    const SCANNER: &str = "91.216.216.9";
+
+    /// scanner / ISP resolver / CPE all hang off one WAN-side core router,
+    /// so packets relayed upstream by the CPE (and upstream answers sent
+    /// straight back to the scanner) actually route. Returns
+    /// (sim, scanner, cpe).
+    fn wan_world(config: CpeConfig) -> (Simulator, netsim::NodeId, netsim::NodeId) {
+        use netsim::{Cidr, Router};
+        let mut sim = Simulator::new(11);
+        let cpe_dev =
+            CpeDevice::new(config).with_zonedb(Arc::new(ZoneDb::standard_world()));
+        let cpe = sim.add_device(Box::new(cpe_dev));
+        let resolver = sim.add_device(RecursiveResolver::boxed(
+            "isp-resolver",
+            [ISP_RESOLVER.parse::<IpAddr>().unwrap()],
+            ResolveCtx::v4("75.75.75.10".parse().unwrap()),
+            Arc::new(ZoneDb::standard_world()),
+            SoftwareProfile::unbound("1.9.0"),
+        ));
+        let scanner = sim.add_device(Host::boxed("scanner", [SCANNER.parse::<IpAddr>().unwrap()]));
+        let mut core = Router::new("wan-core");
+        core.routes.add(Cidr::host(WAN_IP.parse().unwrap()), IfaceId(0));
+        core.routes.add(Cidr::host(ISP_RESOLVER.parse().unwrap()), IfaceId(1));
+        core.routes.add(Cidr::host(SCANNER.parse().unwrap()), IfaceId(2));
+        let core = sim.add_device(Box::new(core));
+        let ms = SimDuration::from_millis;
+        sim.connect((core, IfaceId(0)), (cpe, WAN), ms(5));
+        sim.connect((core, IfaceId(1)), (resolver, IfaceId(0)), ms(5));
+        sim.connect((core, IfaceId(2)), (scanner, IfaceId(0)), ms(5));
+        (sim, scanner, cpe)
+    }
+
+    fn scan_query_pkt(question: Question, id: u16) -> IpPacket {
+        let msg = Message::query(id, question);
+        IpPacket::udp_v4(
+            SCANNER.parse().unwrap(),
+            WAN_IP.parse().unwrap(),
+            4321,
+            53,
+            Bytes::from(msg.encode().unwrap()),
+        )
+    }
+
+    #[test]
+    fn transparent_forwarder_relays_with_source_preserved() {
+        // The taxonomy's key population: the scanner queries the CPE, but
+        // the answer comes back from the *upstream resolver's* address —
+        // the response-source mismatch.
+        let (mut sim, scanner, cpe) = wan_world(models::transparent_forwarder(
+            WAN_IP.parse().unwrap(),
+            ISP_RESOLVER.parse().unwrap(),
+            "2.80",
+        ));
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        sim.inject(scanner, IfaceId(0), scan_query_pkt(q, 41));
+        sim.run_to_quiescence();
+        let resp = responses(&mut sim, scanner);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].0, ISP_RESOLVER.parse::<IpAddr>().unwrap(), "answer source is the upstream, not the queried CPE");
+        assert_eq!(resp[0].1.header.id, 41);
+        assert_eq!(resp[0].1.answers[0].rdata, RData::A("93.184.216.34".parse().unwrap()));
+        assert_eq!(sim.device::<CpeDevice>(cpe).unwrap().transparent_relays, 1);
+    }
+
+    #[test]
+    fn open_relay_answers_scanner_from_queried_address() {
+        let (mut sim, scanner, cpe) = wan_world(models::open_wan_forwarder(
+            WAN_IP.parse().unwrap(),
+            ISP_RESOLVER.parse().unwrap(),
+            "2.80",
+        ));
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        sim.inject(scanner, IfaceId(0), scan_query_pkt(q, 42));
+        sim.run_to_quiescence();
+        let resp = responses(&mut sim, scanner);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].0, WAN_IP.parse::<IpAddr>().unwrap(), "open forwarder answers from its own address");
+        assert_eq!(resp[0].1.header.id, 42);
+        assert_eq!(resp[0].1.answers[0].rdata, RData::A("93.184.216.34".parse().unwrap()));
+        assert_eq!(sim.device::<CpeDevice>(cpe).unwrap().transparent_relays, 0);
+    }
+
+    #[test]
+    fn open_recursive_reveals_its_own_egress_on_whoami() {
+        let (mut sim, scanner, _cpe) = wan_world(models::open_recursive(
+            WAN_IP.parse().unwrap(),
+            ISP_RESOLVER.parse().unwrap(),
+            "2.80",
+        ));
+        let q = Question::new("whoami.akamai.com".parse().unwrap(), RType::A);
+        sim.inject(scanner, IfaceId(0), scan_query_pkt(q, 43));
+        sim.run_to_quiescence();
+        let resp = responses(&mut sim, scanner);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].0, WAN_IP.parse::<IpAddr>().unwrap());
+        assert_eq!(
+            resp[0].1.answers[0].rdata,
+            RData::A(WAN_IP.parse().unwrap()),
+            "the recursing CPE's egress is its own public address"
+        );
+    }
+
+    #[test]
+    fn local_only_wan_listener_never_relays_for_outsiders() {
+        // The XB6 answers version.bind at its public address but a
+        // recursive A query from the outside goes unanswered.
+        let (mut sim, scanner, _cpe) = wan_world(models::xb6_buggy(
+            WAN_IP.parse().unwrap(),
+            ISP_RESOLVER.parse().unwrap(),
+        ));
+        let q = Question::chaos_txt(debug_queries::version_bind());
+        sim.inject(scanner, IfaceId(0), scan_query_pkt(q, 44));
+        sim.run_to_quiescence();
+        let resp = responses(&mut sim, scanner);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].1.answers[0].rdata.txt_string().unwrap(), "dnsmasq-2.78-xfin");
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        sim.inject(scanner, IfaceId(0), scan_query_pkt(q, 45));
+        sim.run_to_quiescence();
+        assert!(responses(&mut sim, scanner).is_empty(), "no relay service for WAN clients");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The CPE model catalog: named configurations matching the device
 //! populations the paper observed.
 
-use crate::config::{CpeConfig, DnsMode, ForwarderSpec, InterceptSpec};
+use crate::config::{CpeConfig, DnsMode, ForwarderSpec, InterceptSpec, WanMode};
 use resolver_sim::SoftwareProfile;
 use std::net::{IpAddr, Ipv4Addr};
 
@@ -28,6 +28,7 @@ pub fn dnsmasq_lan(wan_v4: Ipv4Addr, upstream: IpAddr, version: &str) -> CpeConf
 pub fn open_wan_forwarder(wan_v4: Ipv4Addr, upstream: IpAddr, version: &str) -> CpeConfig {
     let mut spec = ForwarderSpec::new(SoftwareProfile::dnsmasq(version), upstream);
     spec.listen_wan = true;
+    spec.wan_mode = WanMode::OpenRelay;
     CpeConfig::v4_only("open-forwarder", wan_v4, DnsMode::Forwarder(spec))
 }
 
@@ -40,7 +41,29 @@ pub fn open_wan_forwarder_nxdomain(wan_v4: Ipv4Addr, upstream: IpAddr) -> CpeCon
         upstream,
     );
     spec.listen_wan = true;
+    spec.wan_mode = WanMode::OpenRelay;
     CpeConfig::v4_only("open-forwarder-nxd", wan_v4, DnsMode::Forwarder(spec))
+}
+
+/// A transparent forwarder (Nawrocki et al.'s key population): WAN-side
+/// queries are relayed upstream with the *scanner's source preserved*, so
+/// the upstream answers the scanner directly and the response arrives from
+/// an address the scanner never queried.
+pub fn transparent_forwarder(wan_v4: Ipv4Addr, upstream: IpAddr, version: &str) -> CpeConfig {
+    let mut spec = ForwarderSpec::new(SoftwareProfile::dnsmasq(version), upstream);
+    spec.listen_wan = true;
+    spec.wan_mode = WanMode::Transparent;
+    CpeConfig::v4_only("transparent-forwarder", wan_v4, DnsMode::Forwarder(spec))
+}
+
+/// An open recursive resolver on the CPE: WAN queries are resolved by the
+/// device itself, and reflector names reveal the CPE's own public address
+/// as the resolving egress.
+pub fn open_recursive(wan_v4: Ipv4Addr, upstream: IpAddr, version: &str) -> CpeConfig {
+    let mut spec = ForwarderSpec::new(SoftwareProfile::dnsmasq(version), upstream);
+    spec.listen_wan = true;
+    spec.wan_mode = WanMode::Recurse;
+    CpeConfig::v4_only("open-recursive", wan_v4, DnsMode::Forwarder(spec))
 }
 
 /// The §5 case study: an XB6/XB7 running RDK-B whose XDNS component DNATs

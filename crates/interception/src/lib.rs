@@ -26,8 +26,9 @@ mod transport;
 pub use flow::{flows_to_json, reconstruct_flows, render_flows, FlowDirection, FlowHop, QueryFlow};
 pub use isp::{IspProfile, MiddleboxSpec, RedirectTarget, ResolverMode};
 pub use scenario::{
-    BuiltScenario, CpeModelKind, GroundTruth, HomeScenario, Region, ScenarioAddrs, WorldTemplate,
+    BuiltScenario, CpeModelKind, GroundTruth, HomeScenario, OpenDnsClass, Region, ScenarioAddrs,
+    WorldTemplate,
 };
 pub use background::{start_background, BackgroundClient};
 pub use replicate::ReplicatingInterceptor;
-pub use transport::SimTransport;
+pub use transport::{SimTransport, Vantage};

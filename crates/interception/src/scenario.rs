@@ -107,6 +107,18 @@ pub enum CpeModelKind {
         /// Dnsmasq version.
         version: String,
     },
+    /// Transparent forwarder: relays WAN queries upstream with the
+    /// scanner's source preserved, so the upstream answers the scanner
+    /// directly (the open-DNS taxonomy's key population).
+    TransparentForwarder {
+        /// Dnsmasq version.
+        version: String,
+    },
+    /// Open recursive resolver on the CPE: resolves WAN queries itself.
+    OpenRecursive {
+        /// Dnsmasq version.
+        version: String,
+    },
 }
 
 impl CpeModelKind {
@@ -119,7 +131,57 @@ impl CpeModelKind {
                 | CpeModelKind::OpenWanForwarder { .. }
                 | CpeModelKind::OpenWanForwarderNxDomain
                 | CpeModelKind::Xb6Healthy
+                | CpeModelKind::TransparentForwarder { .. }
+                | CpeModelKind::OpenRecursive { .. }
         )
+    }
+}
+
+/// The open-DNS taxonomy a WAN-side scanner sorts devices into
+/// (Nawrocki et al.; the scanner-mode campaign's classification target).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum OpenDnsClass {
+    /// Relays upstream preserving the (spoofed) client source; the
+    /// upstream answers the scanner from an address it never queried.
+    TransparentForwarder,
+    /// Relays upstream with its own source and answers the scanner itself.
+    OpenForwarder,
+    /// Resolves queries itself; reflector names reveal its own egress.
+    OpenRecursive,
+    /// Port 53 serves no outside clients, but outbound queries from the
+    /// home are DNAT-captured (the XB6 pattern).
+    DnatInterceptor,
+    /// No scanner-visible DNS service and no interception.
+    Clean,
+}
+
+impl OpenDnsClass {
+    /// All classes, in a stable reporting order.
+    pub const ALL: [OpenDnsClass; 5] = [
+        OpenDnsClass::TransparentForwarder,
+        OpenDnsClass::OpenForwarder,
+        OpenDnsClass::OpenRecursive,
+        OpenDnsClass::DnatInterceptor,
+        OpenDnsClass::Clean,
+    ];
+
+    /// Stable snake_case label (aggregate JSON keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpenDnsClass::TransparentForwarder => "transparent_forwarder",
+            OpenDnsClass::OpenForwarder => "open_forwarder",
+            OpenDnsClass::OpenRecursive => "open_recursive",
+            OpenDnsClass::DnatInterceptor => "dnat_interceptor",
+            OpenDnsClass::Clean => "clean",
+        }
+    }
+}
+
+impl std::fmt::Display for OpenDnsClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -258,6 +320,51 @@ impl HomeScenario {
         ]
     }
 
+    /// One canonical scenario per open-DNS taxonomy class, as
+    /// `(name, scenario)` pairs. The golden classification suite and the
+    /// scanner-mode campaign's mixed fleets draw from exactly these shapes.
+    pub fn taxonomy_examples() -> Vec<(&'static str, HomeScenario)> {
+        vec![
+            (
+                "transparent_forwarder",
+                HomeScenario {
+                    cpe_model: CpeModelKind::TransparentForwarder { version: "2.80".into() },
+                    ..HomeScenario::clean()
+                },
+            ),
+            (
+                "open_forwarder",
+                HomeScenario {
+                    cpe_model: CpeModelKind::OpenWanForwarder { version: "2.80".into() },
+                    ..HomeScenario::clean()
+                },
+            ),
+            (
+                "open_recursive",
+                HomeScenario {
+                    cpe_model: CpeModelKind::OpenRecursive { version: "2.80".into() },
+                    ..HomeScenario::clean()
+                },
+            ),
+            ("dnat_interceptor", HomeScenario::xb6_case_study()),
+            ("clean", HomeScenario::clean()),
+        ]
+    }
+
+    /// The open-DNS taxonomy class this household's CPE belongs to —
+    /// scanner-vantage ground truth for the classification campaign.
+    pub fn open_dns_class(&self) -> OpenDnsClass {
+        match &self.cpe_model {
+            CpeModelKind::TransparentForwarder { .. } => OpenDnsClass::TransparentForwarder,
+            CpeModelKind::OpenWanForwarder { .. } | CpeModelKind::OpenWanForwarderNxDomain => {
+                OpenDnsClass::OpenForwarder
+            }
+            CpeModelKind::OpenRecursive { .. } => OpenDnsClass::OpenRecursive,
+            model if model.intercepts() => OpenDnsClass::DnatInterceptor,
+            _ => OpenDnsClass::Clean,
+        }
+    }
+
     /// Ground truth implied by the specification. CPE interception shadows
     /// anything further out because queries meet the CPE first.
     pub fn truth(&self) -> GroundTruth {
@@ -344,6 +451,9 @@ pub struct ScenarioAddrs {
     pub cpe_public_v4: Ipv4Addr,
     /// The CPE's public IPv6 address.
     pub cpe_public_v6: Option<Ipv6Addr>,
+    /// The outside scanner's IPv4 address (the WAN-side measurement
+    /// vantage of the open-DNS taxonomy campaign).
+    pub scanner_v4: Ipv4Addr,
 }
 
 /// A constructed world ready to measure.
@@ -354,6 +464,8 @@ pub struct BuiltScenario {
     pub probe: NodeId,
     /// The CPE's node id.
     pub cpe: NodeId,
+    /// The outside scanner host's node id (WAN-vantage queries).
+    pub scanner: NodeId,
     /// Relevant addresses.
     pub addrs: ScenarioAddrs,
     /// Ground truth.
@@ -512,7 +624,10 @@ impl HomeScenario {
                 }
             }
         }
-        let cpe = sim.add_device(CpeDevice::boxed(cpe_config));
+        // The zone database rides along for open-recursive models; for
+        // everything else it is an unused Arc clone.
+        let cpe =
+            sim.add_device(Box::new(CpeDevice::new(cpe_config).with_zonedb(Arc::clone(&zonedb))));
 
         // --- Optional inner (user) router ---------------------------------
         let inner_node = self.inner_router.as_ref().map(|model| {
@@ -960,16 +1075,30 @@ impl HomeScenario {
             sim.connect((core, IfaceId(9)), (auth, IfaceId(0)), ms(7));
         }
 
+        // --- Outside scanner --------------------------------------------------
+        // The WAN-side vantage of the open-DNS taxonomy campaign: a host
+        // out in the core, beyond the client AS. Appended after everything
+        // else so every pre-existing node id stays stable.
+        let scanner_v4 = Ipv4Addr::new(91, 216, 216, 9);
+        let scanner = sim.add_device(Host::boxed("scanner", [IpAddr::V4(scanner_v4)]));
+        sim.device_mut::<Router>(core)
+            .expect("core is a router")
+            .routes
+            .add(Cidr::host(IpAddr::V4(scanner_v4)), IfaceId(10));
+        sim.connect((core, IfaceId(10)), (scanner, IfaceId(0)), ms(8));
+
         let addrs = ScenarioAddrs {
             probe_v4: effective_probe_v4,
             probe_v6: home_v6.then_some(probe_v6),
             cpe_public_v4: wan_v4,
             cpe_public_v6: home_v6.then_some(wan_v6),
+            scanner_v4,
         };
         BuiltScenario {
             sim,
             probe,
             cpe,
+            scanner,
             addrs,
             truth: self.truth(),
             expected: self.expected_location(),
@@ -1008,6 +1137,10 @@ impl HomeScenario {
             CpeModelKind::SelectiveTargeted { targets, version } => {
                 models::single_resolver_targeted(wan_v4, up, targets, version)
             }
+            CpeModelKind::TransparentForwarder { version } => {
+                models::transparent_forwarder(wan_v4, up, version)
+            }
+            CpeModelKind::OpenRecursive { version } => models::open_recursive(wan_v4, up, version),
         }
     }
 

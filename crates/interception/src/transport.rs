@@ -21,11 +21,29 @@ use locator::{QueryOptions, QueryOutcome, QueryTransport};
 use netsim::{Host, IfaceId, IpPacket, SimDuration};
 use std::net::IpAddr;
 
+/// Which host in the scenario issues the queries.
+///
+/// The paper's measurements run from inside the home ([`Vantage::Probe`]);
+/// the open-DNS taxonomy scan instead queries the CPE's public address
+/// from an Internet-side scanner host ([`Vantage::Scanner`]), which is the
+/// vantage that can observe a transparent forwarder's response-source
+/// mismatch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Vantage {
+    /// The RIPE-Atlas-style probe on the home LAN (the default).
+    #[default]
+    Probe,
+    /// The WAN-side scanner host outside the home ISP (IPv4 only).
+    Scanner,
+}
+
 /// Transport over a built scenario.
 pub struct SimTransport {
     /// The scenario being measured (public so harnesses can inspect ground
     /// truth and device state afterwards).
     pub scenario: BuiltScenario,
+    /// Where queries originate; see [`Vantage`].
+    pub vantage: Vantage,
     next_sport: u16,
     /// Queries injected so far.
     pub queries_injected: u64,
@@ -51,6 +69,7 @@ impl SimTransport {
     pub fn with_encoder(scenario: BuiltScenario, encoder: QueryEncoder) -> SimTransport {
         SimTransport {
             scenario,
+            vantage: Vantage::Probe,
             next_sport: 40000,
             queries_injected: 0,
             corrupt_response_txid_xor: 0,
@@ -98,13 +117,18 @@ impl QueryTransport for SimTransport {
         };
         let payload = payload.to_vec();
 
+        let (node, src_v4) = match self.vantage {
+            Vantage::Probe => (self.scenario.probe, self.scenario.addrs.probe_v4),
+            Vantage::Scanner => (self.scenario.scanner, self.scenario.addrs.scanner_v4),
+        };
         let src: IpAddr = if server.is_ipv4() {
-            IpAddr::V4(self.scenario.addrs.probe_v4)
+            IpAddr::V4(src_v4)
         } else {
-            match self.scenario.addrs.probe_v6 {
-                Some(v6) => IpAddr::V6(v6),
-                // No v6 connectivity: the query can't even be sent.
-                None => return QueryOutcome::Timeout,
+            match (self.vantage, self.scenario.addrs.probe_v6) {
+                (Vantage::Probe, Some(v6)) => IpAddr::V6(v6),
+                // No v6 connectivity (the scanner host is v4-only): the
+                // query can't even be sent.
+                _ => return QueryOutcome::Timeout,
             }
         };
         let Some(mut pkt) = IpPacket::udp(src, server, sport, 53, payload.into()) else {
@@ -116,31 +140,41 @@ impl QueryTransport for SimTransport {
 
         self.queries_injected += 1;
         let sim = &mut self.scenario.sim;
-        sim.inject(self.scenario.probe, IfaceId(0), pkt);
+        sim.inject(node, IfaceId(0), pkt);
         let deadline = sim.now() + SimDuration::from_millis(opts.timeout_ms);
         sim.run_until(deadline);
 
-        let deliveries = sim
-            .device_mut::<Host>(self.scenario.probe)
-            .expect("probe is a Host")
-            .drain_inbox();
+        let deliveries =
+            sim.device_mut::<Host>(node).expect("vantage is a Host").drain_inbox();
+        // First right-txid reply from an address other than the queried
+        // server; kept so a properly sourced answer later in the inbox
+        // still wins, as it would on a real unconnected socket.
+        let mut mismatch: Option<(Message, IpAddr)> = None;
         for d in deliveries {
-            // Source-address match: the stub only accepts replies that claim
-            // to come from the server it queried.
-            if d.packet.src() != server {
-                continue;
-            }
             let Some(udp) = d.packet.udp_payload() else { continue };
             if udp.dst_port != sport || udp.src_port != 53 {
                 continue;
             }
             let Ok(mut resp) = Message::parse(&udp.payload) else { continue };
             resp.header.id ^= self.corrupt_response_txid_xor;
-            if resp.header.id == txid && resp.header.qr {
+            if resp.header.id != txid || !resp.header.qr {
+                continue;
+            }
+            // Source-address match: the stub only accepts replies that claim
+            // to come from the server it queried. A right-txid reply from
+            // anywhere else is the transparent-forwarder signature and is
+            // surfaced, not silently dropped.
+            if d.packet.src() == server {
                 return QueryOutcome::Response(resp);
             }
+            if mismatch.is_none() {
+                mismatch = Some((resp, d.packet.src()));
+            }
         }
-        QueryOutcome::Timeout
+        match mismatch {
+            Some((message, from)) => QueryOutcome::WrongSource { message, from },
+            None => QueryOutcome::Timeout,
+        }
     }
 
     fn backoff(&mut self, ms: u64) {

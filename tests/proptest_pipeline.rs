@@ -94,6 +94,11 @@ proptest! {
                     }
                 }
                 QueryOutcome::Timeout => {}
+                QueryOutcome::WrongSource { message, .. } => {
+                    // A mis-sourced reply still echoes our question; only
+                    // its source address disqualifies it.
+                    prop_assert!(message.header.qr);
+                }
             }
         }
     }

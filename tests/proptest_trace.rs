@@ -98,6 +98,9 @@ proptest! {
                 TraceEvent::AttemptTimedOut { seq, attempt, txid, .. } => {
                     prop_assert_eq!(attempts_seen.get(&(*seq, *attempt)), Some(txid));
                 }
+                TraceEvent::ResponseWrongSource { seq, attempt, txid, .. } => {
+                    prop_assert_eq!(attempts_seen.get(&(*seq, *attempt)), Some(txid));
+                }
                 TraceEvent::StepVerdict { .. } | TraceEvent::RunFinished { .. } => {}
             }
         }
