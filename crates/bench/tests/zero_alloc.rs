@@ -1,0 +1,119 @@
+//! The hot path's zero-allocation contract, enforced at the allocator.
+//!
+//! Once the caches are warm — the query encoder holds the wire bytes, the
+//! payload pool holds recycled slabs, the simulator's queues hold spare
+//! capacity — a probe query that crosses the simulated home and dies
+//! without an answer must not allocate at all: cached encode, pooled
+//! payload, packet forwarding hop by hop, and the borrowed-view receive
+//! filter are all allocation-free. The same counter also pins the
+//! component pieces individually, so a regression report names the layer
+//! that started allocating rather than just "the path".
+//!
+//! Everything runs inside one `#[test]` because the counter is a process
+//! global; parallel test threads would bleed into each other's deltas.
+
+use dns_wire::{Message, MessageView, Name, QueryEncoder, Question, RType};
+use interception::{HomeScenario, SimTransport, Vantage};
+use locator::{QueryOptions, QueryTransport};
+use netsim::PayloadPool;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_in<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (after - before, result)
+}
+
+#[test]
+fn steady_state_probe_path_allocates_nothing() {
+    // --- End to end: a warm scanner-vantage query through the clean home.
+    // The clean CPE keeps WAN port 53 closed, so the query crosses the
+    // core, the ISP, and the access link, is dropped at the device, and
+    // times out — the full transport + netsim wire path with no answer to
+    // materialize. After warmup, that entire round must be allocation-free.
+    let mut transport = SimTransport::new(HomeScenario::clean().build());
+    transport.vantage = Vantage::Scanner;
+    let server = IpAddr::V4(transport.scenario.addrs.cpe_public_v4);
+    let question = Question::new("example.com".parse().unwrap(), RType::A);
+    let opts = QueryOptions::default();
+    for i in 0..4 {
+        let out = transport.query(server, &question, 0x6000 + i, opts);
+        assert!(out.is_timeout(), "clean CPE must not answer scanner queries");
+    }
+    let (allocs, out) = allocations_in(|| transport.query(server, &question, 0x6100, opts));
+    assert!(out.is_timeout());
+    assert_eq!(
+        allocs, 0,
+        "steady-state probe wire path allocated {allocs} times; \
+         the hot path must be allocation-free once warm"
+    );
+
+    // --- Component: cached query encoding re-stamps the txid in place.
+    let mut encoder = QueryEncoder::new();
+    encoder.encode_query(1, &question).unwrap();
+    let (allocs, _) = allocations_in(|| {
+        for txid in 2..50u16 {
+            encoder.encode_query(txid, &question).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "warm QueryEncoder hit allocated");
+
+    // --- Component: the payload pool recycles slabs once payloads drop.
+    let mut pool = PayloadPool::new();
+    drop(pool.alloc(b"warm"));
+    let (allocs, _) = allocations_in(|| {
+        for _ in 0..50 {
+            drop(pool.alloc(b"steady-state payload bytes"));
+        }
+    });
+    assert_eq!(allocs, 0, "warm PayloadPool recycle allocated");
+
+    // --- Component: the borrowed view parses and filters without copying.
+    let name: Name = "example.com".parse().unwrap();
+    let wire = Message::query(0x77, Question::new(name.clone(), RType::A)).encode().unwrap();
+    let (allocs, _) = allocations_in(|| {
+        for _ in 0..50 {
+            let view = MessageView::parse(&wire).expect("valid wire");
+            assert_eq!(view.header().id, 0x77);
+            assert!(!view.header().qr);
+            let q = view.question().expect("one question");
+            assert!(q.matches(&Question::new(name.clone(), RType::A)));
+        }
+    });
+    assert_eq!(allocs, 0, "MessageView parse + filter allocated");
+
+    // --- Component: Name comparison and suffix checks walk in place.
+    let parent: Name = "com".parse().unwrap();
+    let other: Name = "example.org".parse().unwrap();
+    let (allocs, _) = allocations_in(|| {
+        for _ in 0..50 {
+            assert!(name.is_subdomain_of(&parent));
+            assert!(!other.is_subdomain_of(&parent));
+            assert_ne!(name, other);
+            assert_eq!(name.label_count(), 2);
+        }
+    });
+    assert_eq!(allocs, 0, "Name comparison/suffix ops allocated");
+}

@@ -71,13 +71,21 @@ impl Default for LocatorConfig {
             cpe_public_v6: None,
             bogon_v4: IpAddr::V4(std::net::Ipv4Addr::new(198, 51, 100, 53)),
             bogon_v6: IpAddr::V6("100::53".parse().expect("static address")),
-            probe_domain: "probe.dns-hijack-study.example".parse().expect("static name"),
+            probe_domain: default_probe_domain(),
             whoami_domain: debug_queries::whoami_akamai(),
             query_options: QueryOptions::default(),
             test_ipv6: true,
             initial_txid: 0x1000,
         }
     }
+}
+
+/// The experimenters' probe domain, interned: campaign runners build one
+/// `LocatorConfig` per probe, and a parse per config is the kind of
+/// allocation the hot path no longer makes.
+fn default_probe_domain() -> Name {
+    static NAME: std::sync::OnceLock<Name> = std::sync::OnceLock::new();
+    NAME.get_or_init(|| "probe.dns-hijack-study.example".parse().expect("static name")).clone()
 }
 
 /// The paper's locator. Owns nothing but configuration and a transaction-ID

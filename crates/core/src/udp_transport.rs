@@ -20,7 +20,7 @@
 //! rejects responses carrying any other ID.
 
 use crate::transport::{QueryOptions, QueryOutcome, QueryTransport};
-use dns_wire::{Message, Question};
+use dns_wire::{Message, MessageView, QueryEncoder, Question};
 use std::net::{IpAddr, SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
 
@@ -36,12 +36,15 @@ pub struct UdpTransport {
     pub sent: u64,
     /// Responses accepted.
     pub received: u64,
+    /// Reusable encode scratch: the measurement question set is small and
+    /// fixed, so repeat queries are a cached memcpy plus a txid patch.
+    encoder: QueryEncoder,
 }
 
 impl UdpTransport {
     /// Creates a transport with default socket settings.
     pub fn new() -> UdpTransport {
-        UdpTransport { bind_addr: None, port: 53, sent: 0, received: 0 }
+        UdpTransport { bind_addr: None, port: 53, sent: 0, received: 0, encoder: QueryEncoder::new() }
     }
 
     fn bind_for(&self, server: IpAddr) -> std::io::Result<UdpSocket> {
@@ -68,16 +71,16 @@ impl QueryTransport for UdpTransport {
         txid: u16,
         opts: QueryOptions,
     ) -> QueryOutcome {
-        let msg = Message::query(txid, question.clone());
-        let Ok(payload) = msg.encode() else { return QueryOutcome::Timeout };
-
         let Ok(socket) = self.bind_for(server) else { return QueryOutcome::Timeout };
         if let Some(ttl) = opts.ttl {
             // Best-effort: not all platforms allow it unprivileged.
             let _ = socket.set_ttl(ttl as u32);
         }
         let target = SocketAddr::new(server, self.port);
-        if socket.send_to(&payload, target).is_err() {
+        let Ok(payload) = self.encoder.encode_query(txid, question) else {
+            return QueryOutcome::Timeout;
+        };
+        if socket.send_to(payload, target).is_err() {
             return QueryOutcome::Timeout;
         }
         self.sent += 1;
@@ -100,15 +103,17 @@ impl QueryTransport for UdpTransport {
                 Ok((n, peer)) => {
                     // Check transaction id and QR first (stale-txid defense),
                     // then the source address; keep listening until the
-                    // deadline either way.
-                    if let Ok(resp) = Message::parse(&buf[..n]) {
-                        if resp.header.id == txid && resp.header.qr {
+                    // deadline either way. The borrowed view keeps rejected
+                    // datagrams allocation-free; only an accepted (or
+                    // mismatch-kept) reply is decoded into an owned Message.
+                    if let Ok(view) = MessageView::parse(&buf[..n]) {
+                        if view.header().id == txid && view.header().qr {
                             if peer == target {
                                 self.received += 1;
-                                return QueryOutcome::Response(resp);
+                                return QueryOutcome::Response(view.to_message());
                             }
                             if mismatch.is_none() {
-                                mismatch = Some((resp, peer.ip()));
+                                mismatch = Some((view.to_message(), peer.ip()));
                             }
                         }
                     }

@@ -142,6 +142,16 @@ impl CpeConfig {
         self
     }
 
+    /// True if `addr` is one of the CPE's own addresses. Checked for every
+    /// packet the device receives, so it compares in place instead of going
+    /// through the `self_addrs` Vec.
+    pub fn owns_addr(&self, addr: IpAddr) -> bool {
+        match addr {
+            IpAddr::V4(v4) => v4 == self.lan_v4 || v4 == self.wan_v4,
+            IpAddr::V6(v6) => self.lan_v6 == Some(v6) || self.wan_v6 == Some(v6),
+        }
+    }
+
     /// All addresses owned by the CPE itself.
     pub fn self_addrs(&self) -> Vec<IpAddr> {
         let mut out = vec![IpAddr::V4(self.lan_v4), IpAddr::V4(self.wan_v4)];

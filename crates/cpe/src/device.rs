@@ -9,7 +9,7 @@
 
 use crate::config::{CpeConfig, DnsMode, ForwarderSpec, InterceptSpec, WanMode};
 use bytes::Bytes;
-use dns_wire::{Message, RClass, Rcode};
+use dns_wire::{EncodeScratch, Message, RClass, Rcode};
 use netsim::{
     CaptureKind, Ctx, Device, DnatRule, IfaceId, IpPacket, NatEngine, NatVerdict, Proto,
 };
@@ -53,6 +53,14 @@ pub struct CpeDevice {
     /// WAN-side queries relayed upstream with the client source preserved
     /// ([`WanMode::Transparent`]).
     pub transparent_relays: u64,
+    scratch: EncodeScratch,
+}
+
+/// Encodes `msg` through the device's scratch and the simulator's payload
+/// pool: no fresh `Vec` per response, no per-payload `Bytes` allocation.
+fn pooled_payload(ctx: &mut Ctx<'_>, msg: &Message, scratch: &mut EncodeScratch) -> Option<Bytes> {
+    let wire = msg.encode_into(scratch).ok()?;
+    Some(ctx.alloc_payload(wire))
 }
 
 impl CpeDevice {
@@ -93,6 +101,7 @@ impl CpeDevice {
             intercepted_queries: 0,
             self_queries: 0,
             transparent_relays: 0,
+            scratch: EncodeScratch::new(),
         }
     }
 
@@ -140,7 +149,7 @@ impl CpeDevice {
     }
 
     fn is_self_addr(&self, dst: IpAddr) -> bool {
-        self.config.self_addrs().contains(&dst)
+        self.config.owns_addr(dst)
     }
 
     fn handle_forwarder_query(&mut self, ctx: &mut Ctx<'_>, request: IpPacket, path: ReplyPath) {
@@ -154,17 +163,18 @@ impl CpeDevice {
         let Some(fc) = &mut self.forwarder else { return };
         match fc.handle_query(query, path) {
             FwdAction::Respond(resp) => {
-                let Ok(bytes) = resp.encode() else { return };
+                let Some(payload) = pooled_payload(ctx, &resp, &mut self.scratch) else { return };
                 if wan_side {
-                    if let Some(reply) = resolver_sim::reply_packet(&request, Bytes::from(bytes)) {
+                    if let Some(reply) = resolver_sim::reply_packet(&request, payload) {
                         ctx.send(WAN, reply);
                     }
                 } else {
-                    self.send_reply_for(ctx, &request, Bytes::from(bytes));
+                    self.send_reply_for(ctx, &request, payload);
                 }
             }
             FwdAction::Forward(relayed) => {
-                let Ok(bytes) = relayed.encode() else { return };
+                let Some(payload) =
+                    pooled_payload(ctx, &relayed, &mut self.scratch) else { return };
                 // Choose upstream by the family the CPE can speak.
                 let (src, dst) = match (request.is_v4(), upstream_v6, self.config.wan_v6) {
                     (false, Some(up6), Some(wan6)) => (IpAddr::V6(wan6), up6),
@@ -173,7 +183,7 @@ impl CpeDevice {
                         (IpAddr::V4(self.config.wan_v4), up)
                     }
                 };
-                if let Some(pkt) = IpPacket::udp(src, dst, FWD_SPORT, 53, Bytes::from(bytes)) {
+                if let Some(pkt) = IpPacket::udp(src, dst, FWD_SPORT, 53, payload) {
                     ctx.send(WAN, pkt);
                 }
             }
@@ -204,8 +214,7 @@ impl CpeDevice {
         let Ok(response) = Message::parse(&udp.payload) else { return };
         let Some(fc) = &mut self.forwarder else { return };
         let Some((path, restored)) = fc.handle_upstream_response(response) else { return };
-        let Ok(bytes) = restored.encode() else { return };
-        let payload = Bytes::from(bytes);
+        let Some(payload) = pooled_payload(ctx, &restored, &mut self.scratch) else { return };
         match path {
             ReplyPath::Direct(request) => {
                 if let Some(reply) = resolver_sim::reply_packet(&request, payload) {
@@ -281,8 +290,8 @@ impl CpeDevice {
                 resp
             }
         };
-        let Ok(bytes) = resp.encode() else { return };
-        if let Some(reply) = resolver_sim::reply_packet(packet, Bytes::from(bytes)) {
+        let Some(payload) = pooled_payload(ctx, &resp, &mut self.scratch) else { return };
+        if let Some(reply) = resolver_sim::reply_packet(packet, payload) {
             ctx.send(WAN, reply);
         }
     }
@@ -369,9 +378,11 @@ impl CpeDevice {
                         let Ok(query) = Message::parse(&udp.payload) else { return };
                         let Some(fc) = &mut self.forwarder else { return };
                         if let FwdAction::Respond(resp) = fc.handle_query(query, path) {
-                            if let Ok(bytes) = resp.encode() {
+                            if let Some(payload) =
+                                pooled_payload(ctx, &resp, &mut self.scratch)
+                            {
                                 if let Some(reply) =
-                                    resolver_sim::reply_packet(&packet, Bytes::from(bytes))
+                                    resolver_sim::reply_packet(&packet, payload)
                                 {
                                     ctx.send(WAN, reply);
                                 }

@@ -24,36 +24,51 @@
 use crate::message::{Message, Question};
 use crate::name::Name;
 use crate::types::{RClass, RType};
+use std::sync::OnceLock;
+
+/// Interns a fixed name: parsed once per process, every caller gets a
+/// refcount-bumped clone. The debugging-query names are asked on every
+/// single probe, so per-call parsing would be the hot path's main
+/// allocation source.
+fn interned(cell: &OnceLock<Name>, text: &str) -> Name {
+    cell.get_or_init(|| text.parse().expect("static name is valid")).clone()
+}
 
 /// Returns the `version.bind` name.
 pub fn version_bind() -> Name {
-    Name::from_labels([&b"version"[..], &b"bind"[..]]).expect("static name is valid")
+    static NAME: OnceLock<Name> = OnceLock::new();
+    interned(&NAME, "version.bind")
 }
 
 /// Returns the `id.server` name.
 pub fn id_server() -> Name {
-    Name::from_labels([&b"id"[..], &b"server"[..]]).expect("static name is valid")
+    static NAME: OnceLock<Name> = OnceLock::new();
+    interned(&NAME, "id.server")
 }
 
 /// Returns the `hostname.bind` name.
 pub fn hostname_bind() -> Name {
-    Name::from_labels([&b"hostname"[..], &b"bind"[..]]).expect("static name is valid")
+    static NAME: OnceLock<Name> = OnceLock::new();
+    interned(&NAME, "hostname.bind")
 }
 
 /// Returns Google's `o-o.myaddr.l.google.com` self-address name.
 pub fn google_myaddr() -> Name {
-    "o-o.myaddr.l.google.com".parse().expect("static name is valid")
+    static NAME: OnceLock<Name> = OnceLock::new();
+    interned(&NAME, "o-o.myaddr.l.google.com")
 }
 
 /// Returns OpenDNS's `debug.opendns.com` name.
 pub fn opendns_debug() -> Name {
-    "debug.opendns.com".parse().expect("static name is valid")
+    static NAME: OnceLock<Name> = OnceLock::new();
+    interned(&NAME, "debug.opendns.com")
 }
 
 /// Returns Akamai's `whoami.akamai.com` resolver-identity name, used by the
 /// paper's transparency test (§4.1.2).
 pub fn whoami_akamai() -> Name {
-    "whoami.akamai.com".parse().expect("static name is valid")
+    static NAME: OnceLock<Name> = OnceLock::new();
+    interned(&NAME, "whoami.akamai.com")
 }
 
 /// Builds a CHAOS TXT `version.bind` query message.

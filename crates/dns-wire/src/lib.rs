@@ -37,11 +37,13 @@ mod name;
 mod rdata;
 pub mod tcp;
 mod types;
+mod view;
 mod wire;
 
 pub use error::{BuildError, ParseError};
 pub use message::{EncodeScratch, Header, Message, QueryEncoder, Question, Record};
-pub use name::{LabelIter, Name, MAX_LABEL_LEN, MAX_NAME_LEN};
+pub use name::{LabelIter, Name, NameCompressor, MAX_LABEL_LEN, MAX_NAME_LEN};
+pub use view::{MessageView, NameRef, QuestionIter, QuestionView, RecordIter, RecordView};
 pub use rdata::{RData, Soa};
 pub use types::{Opcode, RClass, RType, Rcode};
 pub use wire::{Reader, Writer};

@@ -2,12 +2,11 @@
 //! parse/encode and builder helpers.
 
 use crate::error::{BuildError, ParseError};
-use crate::name::Name;
+use crate::name::{Name, NameCompressor};
 use crate::rdata::{encode_with_length, RData};
 use crate::types::{Opcode, RClass, RType, Rcode};
 use crate::wire::{Reader, Writer};
 use core::fmt;
-use std::collections::HashMap;
 
 /// Decoded DNS header (RFC 1035 §4.1.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +50,7 @@ impl Header {
         }
     }
 
-    fn parse(r: &mut Reader<'_>) -> Result<(Header, [u16; 4]), ParseError> {
+    pub(crate) fn parse(r: &mut Reader<'_>) -> Result<(Header, [u16; 4]), ParseError> {
         if r.remaining() < 12 {
             return Err(ParseError::TruncatedHeader);
         }
@@ -137,7 +136,7 @@ impl Question {
         })
     }
 
-    fn encode(&self, w: &mut Writer, compress: &mut HashMap<Vec<u8>, u16>) {
+    fn encode(&self, w: &mut Writer, compress: &mut NameCompressor) {
         self.qname.encode(w, Some(compress));
         w.write_u16(self.qtype.to_u16());
         w.write_u16(self.qclass.to_u16());
@@ -185,7 +184,7 @@ impl Record {
         Ok(Record { name, class, ttl, rdata })
     }
 
-    fn encode(&self, w: &mut Writer, compress: &mut HashMap<Vec<u8>, u16>) -> Result<(), BuildError> {
+    fn encode(&self, w: &mut Writer, compress: &mut NameCompressor) -> Result<(), BuildError> {
         self.name.encode(w, Some(compress));
         w.write_u16(self.rdata.rtype().to_u16());
         w.write_u16(self.class.to_u16());
@@ -306,11 +305,22 @@ impl Message {
         Ok(std::mem::take(&mut scratch.buf))
     }
 
-    /// Encodes into `scratch`, reusing its buffer and compression-map
+    /// Encodes into `scratch`, reusing its buffer and compression-state
     /// allocations, and returns the encoded bytes. Produces exactly the
     /// bytes [`Message::encode`] would; hot paths that encode many
     /// messages keep one scratch alive instead of allocating per message.
     pub fn encode_into<'s>(&self, scratch: &'s mut EncodeScratch) -> Result<&'s [u8], BuildError> {
+        let EncodeScratch { buf, compress } = scratch;
+        self.encode_to(buf, compress)?;
+        Ok(buf)
+    }
+
+    /// Encodes into the caller's buffer (cleared first), reusing `compress`
+    /// for name-compression state. This is the primitive behind both
+    /// [`Message::encode`] and [`Message::encode_into`]; callers that own
+    /// the destination buffer (like [`QueryEncoder`]'s cache slots) encode
+    /// straight into it with no intermediate copy.
+    pub fn encode_to(&self, out: &mut Vec<u8>, compress: &mut NameCompressor) -> Result<(), BuildError> {
         for section_len in [
             self.questions.len(),
             self.answers.len(),
@@ -321,8 +331,8 @@ impl Message {
                 return Err(BuildError::TooManyRecords);
             }
         }
-        let mut w = Writer::from_vec(std::mem::take(&mut scratch.buf));
-        scratch.compress.clear();
+        let mut w = Writer::from_vec(std::mem::take(out));
+        compress.clear();
         self.header.encode(
             &mut w,
             [
@@ -333,7 +343,7 @@ impl Message {
             ],
         );
         for q in &self.questions {
-            q.encode(&mut w, &mut scratch.compress);
+            q.encode(&mut w, compress);
         }
         let records = self
             .answers
@@ -341,27 +351,27 @@ impl Message {
             .chain(self.authority.iter())
             .chain(self.additional.iter());
         for rec in records {
-            if let Err(e) = rec.encode(&mut w, &mut scratch.compress) {
-                scratch.buf = w.into_bytes();
+            if let Err(e) = rec.encode(&mut w, compress) {
+                *out = w.into_bytes();
                 return Err(e);
             }
         }
         if w.len() > u16::MAX as usize {
-            scratch.buf = w.into_bytes();
+            *out = w.into_bytes();
             return Err(BuildError::MessageTooLong);
         }
-        scratch.buf = w.into_bytes();
-        Ok(&scratch.buf)
+        *out = w.into_bytes();
+        Ok(())
     }
 }
 
-/// Reusable encode state: the output buffer and the name-compression map.
+/// Reusable encode state: the output buffer and the name-compression state.
 /// [`Message::encode_into`] clears and refills both, so one warm scratch
 /// serves any number of encodes without fresh buffer allocations.
 #[derive(Debug, Default)]
 pub struct EncodeScratch {
     buf: Vec<u8>,
-    compress: HashMap<Vec<u8>, u16>,
+    compress: NameCompressor,
 }
 
 impl EncodeScratch {
@@ -381,7 +391,7 @@ impl EncodeScratch {
 /// per-worker encoder turns per-query encoding into a memcpy.
 #[derive(Debug, Default)]
 pub struct QueryEncoder {
-    scratch: EncodeScratch,
+    compress: NameCompressor,
     cache: Vec<(Question, Vec<u8>)>,
 }
 
@@ -398,18 +408,24 @@ impl QueryEncoder {
     /// Returns the wire bytes of a standard recursive query for
     /// `question` with transaction ID `txid`, encoding on first sight and
     /// patching the cached bytes thereafter.
+    ///
+    /// A miss encodes directly into the cache slot (recycling an evicted
+    /// slot's buffer once the cache is full), so the bytes are written
+    /// exactly once.
     pub fn encode_query(&mut self, txid: u16, question: &Question) -> Result<&[u8], BuildError> {
         if let Some(idx) = self.cache.iter().position(|(q, _)| q == question) {
             let bytes = &mut self.cache[idx].1;
             bytes[0..2].copy_from_slice(&txid.to_be_bytes());
             return Ok(&self.cache[idx].1);
         }
+        let mut slot = if self.cache.len() >= Self::CAPACITY {
+            self.cache.remove(0).1
+        } else {
+            Vec::new()
+        };
         let msg = Message::query(txid, question.clone());
-        let bytes = msg.encode_into(&mut self.scratch)?.to_vec();
-        if self.cache.len() >= Self::CAPACITY {
-            self.cache.remove(0);
-        }
-        self.cache.push((question.clone(), bytes));
+        msg.encode_to(&mut slot, &mut self.compress)?;
+        self.cache.push((question.clone(), slot));
         Ok(&self.cache.last().expect("just pushed").1)
     }
 }

@@ -2,14 +2,17 @@
 //! encoding with compression.
 //!
 //! Names are stored in canonical wire form (length-prefixed labels ending in
-//! a zero octet) inside a small owned buffer. Comparison and hashing are
-//! ASCII-case-insensitive, per RFC 1035 §2.3.3.
+//! a zero octet) behind a shared `Arc<[u8]>` buffer, so cloning a name —
+//! which the measurement pipeline does for every query it builds — is a
+//! reference-count bump, not a heap copy. The label count is computed once
+//! at construction. Comparison and hashing are ASCII-case-insensitive, per
+//! RFC 1035 §2.3.3.
 
 use crate::error::{BuildError, ParseError};
 use crate::wire::{Reader, Writer};
 use core::fmt;
-use std::collections::HashMap;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Maximum total length of a name on the wire (RFC 1035 §2.3.4).
 pub const MAX_NAME_LEN: usize = 255;
@@ -21,6 +24,81 @@ pub const MAX_LABEL_LEN: usize = 63;
 /// far beyond anything produced by real software.
 const MAX_POINTER_CHASES: usize = 128;
 
+/// Walks a (possibly compressed) name at the reader's cursor, enforcing
+/// exactly the rules of [`Name::parse`]: strictly-backwards pointers, a
+/// bounded chase chain, legal label types, and the 255-octet total limit.
+///
+/// `f` is invoked once per label in order; returning `false` aborts the
+/// walk early (the result is `Ok(false)` and the caller's reader is left
+/// mid-name — only use early abort with a throwaway reader). On a complete
+/// walk the caller's reader ends just past the name *as it appears at the
+/// cursor's starting position*, i.e. after the pointer if compressed.
+pub(crate) fn walk_name<'a>(
+    r: &mut Reader<'a>,
+    f: &mut dyn FnMut(&'a [u8]) -> bool,
+) -> Result<bool, ParseError> {
+    // Cursor for chasing; once we follow the first pointer we stop
+    // advancing the caller's reader.
+    let mut chase = *r;
+    let mut followed_pointer = false;
+    let mut chases = 0usize;
+    let mut last_pointer_target = usize::MAX;
+    let mut wire_len = 0usize;
+    loop {
+        let offset = chase.position();
+        let len = chase.read_u8()?;
+        match len {
+            0 => {
+                wire_len += 1;
+                if !followed_pointer {
+                    *r = chase;
+                }
+                if wire_len > MAX_NAME_LEN {
+                    return Err(ParseError::NameTooLong);
+                }
+                return Ok(true);
+            }
+            1..=63 => {
+                let label = chase.read_bytes(len as usize)?;
+                wire_len += 1 + len as usize;
+                if wire_len > MAX_NAME_LEN {
+                    return Err(ParseError::NameTooLong);
+                }
+                if !followed_pointer {
+                    *r = chase;
+                }
+                if !f(label) {
+                    return Ok(false);
+                }
+            }
+            0xC0..=0xFF => {
+                let second = chase.read_u8()?;
+                let target = (((len & 0x3F) as usize) << 8) | second as usize;
+                // Pointers must move strictly backwards to rule out loops;
+                // we additionally bound the chain length.
+                if target >= offset || target >= last_pointer_target {
+                    return Err(ParseError::BadPointer { offset });
+                }
+                chases += 1;
+                if chases > MAX_POINTER_CHASES {
+                    return Err(ParseError::BadPointer { offset });
+                }
+                if !followed_pointer {
+                    *r = chase;
+                    followed_pointer = true;
+                }
+                last_pointer_target = target;
+                chase.seek(target)?;
+            }
+            _ => {
+                // 0x40..=0xBF: reserved label types (EDNS0 extended labels
+                // were never deployed).
+                return Err(ParseError::BadLabel { offset });
+            }
+        }
+    }
+}
+
 /// An owned, validated domain name in wire form.
 ///
 /// ```
@@ -31,15 +109,18 @@ const MAX_POINTER_CHASES: usize = 128;
 /// ```
 #[derive(Clone)]
 pub struct Name {
-    /// Canonical wire form: `\x07version\x04bind\x00`. Always non-empty and
-    /// always terminated by a zero octet.
-    wire: Vec<u8>,
+    /// Canonical wire form: `\x07version\x04bind\x00`. Always non-empty,
+    /// always terminated by a zero octet, and shared: clones bump a
+    /// refcount instead of copying.
+    wire: Arc<[u8]>,
+    /// Label count, fixed at construction (the root has zero).
+    labels: u8,
 }
 
 impl Name {
     /// The root name (`.`).
     pub fn root() -> Self {
-        Name { wire: vec![0] }
+        Name { wire: Arc::from(&[0u8][..]), labels: 0 }
     }
 
     /// Builds a name from an iterator of label byte-slices.
@@ -48,6 +129,7 @@ impl Name {
         I: IntoIterator<Item = &'a [u8]>,
     {
         let mut wire = Vec::with_capacity(32);
+        let mut count = 0u8;
         for label in labels {
             if label.is_empty() {
                 return Err(BuildError::EmptyLabel);
@@ -57,22 +139,24 @@ impl Name {
             }
             wire.push(label.len() as u8);
             wire.extend_from_slice(label);
+            count = count.saturating_add(1);
         }
         wire.push(0);
         if wire.len() > MAX_NAME_LEN {
             return Err(BuildError::NameTooLong);
         }
-        Ok(Name { wire })
+        Ok(Name { wire: wire.into(), labels: count })
     }
 
     /// True for the root name.
     pub fn is_root(&self) -> bool {
-        self.wire == [0]
+        self.wire.as_ref() == [0]
     }
 
-    /// Number of labels (the root has zero).
+    /// Number of labels (the root has zero). Cached at construction — this
+    /// is a field read, not a walk.
     pub fn label_count(&self) -> usize {
-        self.labels().count()
+        self.labels as usize
     }
 
     /// Iterates over the labels as byte slices, left to right.
@@ -92,16 +176,21 @@ impl Name {
 
     /// True if `self` equals `other` or is a subdomain of `other`
     /// (case-insensitively). Every name is under the root.
+    ///
+    /// Walks `self`'s wire form in place to skip the leading labels, then
+    /// compares the remaining suffix bytes directly — no per-call label
+    /// collection.
     pub fn is_subdomain_of(&self, other: &Name) -> bool {
-        let mine: Vec<&[u8]> = self.labels().collect();
-        let theirs: Vec<&[u8]> = other.labels().collect();
-        if theirs.len() > mine.len() {
+        let mine = self.labels as usize;
+        let theirs = other.labels as usize;
+        if theirs > mine {
             return false;
         }
-        mine.iter()
-            .rev()
-            .zip(theirs.iter().rev())
-            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+        let mut pos = 0usize;
+        for _ in 0..mine - theirs {
+            pos += 1 + self.wire[pos] as usize;
+        }
+        self.wire[pos..].eq_ignore_ascii_case(&other.wire)
     }
 
     /// Returns the parent name (one label stripped), or `None` at the root.
@@ -110,13 +199,23 @@ impl Name {
             return None;
         }
         let first_len = self.wire[0] as usize;
-        Some(Name { wire: self.wire[1 + first_len..].to_vec() })
+        Some(Name { wire: Arc::from(&self.wire[1 + first_len..]), labels: self.labels - 1 })
     }
 
     /// Joins `self` (treated as a relative prefix) onto `suffix`.
+    ///
+    /// The wire forms are concatenated directly (prefix minus its root
+    /// octet, then the suffix) — both sides are already validated, so no
+    /// label re-walk is needed.
     pub fn join(&self, suffix: &Name) -> Result<Name, BuildError> {
-        let labels: Vec<&[u8]> = self.labels().chain(suffix.labels()).collect();
-        Name::from_labels(labels)
+        let total = (self.wire.len() - 1) + suffix.wire.len();
+        if total > MAX_NAME_LEN {
+            return Err(BuildError::NameTooLong);
+        }
+        let mut wire = Vec::with_capacity(total);
+        wire.extend_from_slice(&self.wire[..self.wire.len() - 1]);
+        wire.extend_from_slice(&suffix.wire);
+        Ok(Name { wire: wire.into(), labels: self.labels + suffix.labels })
     }
 
     /// Parses a name from the reader, chasing compression pointers.
@@ -124,80 +223,37 @@ impl Name {
     /// The cursor ends just past the name *as it appears at the cursor's
     /// starting position* (i.e. after the pointer, if the name was
     /// compressed), which is what message parsing needs.
+    ///
+    /// Decompresses through a stack buffer (names are at most 255 octets),
+    /// so the only heap allocation is the final shared buffer.
     pub fn parse(r: &mut Reader<'_>) -> Result<Self, ParseError> {
-        let mut wire = Vec::with_capacity(32);
-        // Cursor for chasing; once we follow the first pointer we stop
-        // advancing the caller's reader.
-        let mut chase = *r;
-        let mut followed_pointer = false;
-        let mut chases = 0usize;
-        let mut last_pointer_target = usize::MAX;
-        loop {
-            let offset = chase.position();
-            let len = chase.read_u8()?;
-            match len {
-                0 => {
-                    wire.push(0);
-                    if !followed_pointer {
-                        *r = chase;
-                    }
-                    if wire.len() > MAX_NAME_LEN {
-                        return Err(ParseError::NameTooLong);
-                    }
-                    return Ok(Name { wire });
-                }
-                1..=63 => {
-                    let label = chase.read_bytes(len as usize)?;
-                    wire.push(len);
-                    wire.extend_from_slice(label);
-                    if wire.len() > MAX_NAME_LEN {
-                        return Err(ParseError::NameTooLong);
-                    }
-                    if !followed_pointer {
-                        *r = chase;
-                    }
-                }
-                0xC0..=0xFF => {
-                    let second = chase.read_u8()?;
-                    let target = (((len & 0x3F) as usize) << 8) | second as usize;
-                    // Pointers must move strictly backwards to rule out loops;
-                    // we additionally bound the chain length.
-                    if target >= offset || target >= last_pointer_target {
-                        return Err(ParseError::BadPointer { offset });
-                    }
-                    chases += 1;
-                    if chases > MAX_POINTER_CHASES {
-                        return Err(ParseError::BadPointer { offset });
-                    }
-                    if !followed_pointer {
-                        *r = chase;
-                        followed_pointer = true;
-                    }
-                    last_pointer_target = target;
-                    chase.seek(target)?;
-                }
-                _ => {
-                    // 0x40..=0xBF: reserved label types (EDNS0 extended labels
-                    // were never deployed).
-                    return Err(ParseError::BadLabel { offset });
-                }
-            }
-        }
+        let mut buf = [0u8; MAX_NAME_LEN];
+        let mut len = 0usize;
+        let mut labels = 0u8;
+        let complete = walk_name(r, &mut |label| {
+            // walk_name has already checked the 255-octet bound, so these
+            // writes stay inside the stack buffer.
+            buf[len] = label.len() as u8;
+            buf[len + 1..len + 1 + label.len()].copy_from_slice(label);
+            len += 1 + label.len();
+            labels += 1;
+            true
+        })?;
+        debug_assert!(complete, "walk_name never aborts with an always-true visitor");
+        buf[len] = 0;
+        len += 1;
+        Ok(Name { wire: Arc::from(&buf[..len]), labels })
     }
 
     /// Encodes the name, compressing against previously written names.
-    ///
-    /// `compress` maps a canonical lower-cased suffix (in wire form) to the
-    /// message offset where it was first written. Offsets beyond 0x3FFF
-    /// cannot be pointer targets and are not recorded.
-    pub fn encode(&self, w: &mut Writer, compress: Option<&mut HashMap<Vec<u8>, u16>>) {
+    pub fn encode(&self, w: &mut Writer, compress: Option<&mut NameCompressor>) {
         match compress {
-            Some(map) => self.encode_compressed(w, map),
+            Some(comp) => self.encode_compressed(w, comp),
             None => w.write_bytes(&self.wire),
         }
     }
 
-    fn encode_compressed(&self, w: &mut Writer, map: &mut HashMap<Vec<u8>, u16>) {
+    fn encode_compressed(&self, w: &mut Writer, comp: &mut NameCompressor) {
         // Walk suffixes from the full name down to the root.
         let mut pos = 0usize;
         loop {
@@ -206,19 +262,78 @@ impl Name {
                 w.write_u8(0);
                 return;
             }
-            let key = suffix.to_ascii_lowercase();
-            if let Some(&offset) = map.get(&key) {
+            if let Some(offset) = comp.find(w.as_slice(), suffix) {
                 w.write_u16(0xC000 | offset);
                 return;
             }
             let here = w.len();
             if here <= 0x3FFF {
-                map.insert(key, here as u16);
+                comp.starts.push(here as u16);
             }
             let label_len = self.wire[pos] as usize;
             w.write_bytes(&self.wire[pos..pos + 1 + label_len]);
             pos += 1 + label_len;
         }
+    }
+}
+
+/// Name-compression state for one message encode.
+///
+/// Replaces the old `HashMap<Vec<u8>, u16>` suffix map, which allocated a
+/// lower-cased key per suffix per name. This keeps only the offsets of
+/// labels written literally into the message; candidate suffixes are
+/// compared against the already-written bytes in place (chasing pointers),
+/// so a warm compressor encodes without touching the heap. Offsets beyond
+/// 0x3FFF cannot be pointer targets and are not recorded.
+#[derive(Debug, Default)]
+pub struct NameCompressor {
+    /// Offsets (into the message being written) of every label start that
+    /// was emitted literally, in emission order. First match wins, which
+    /// reproduces the first-insertion-wins behaviour of the old map.
+    starts: Vec<u16>,
+}
+
+impl NameCompressor {
+    /// An empty compressor.
+    pub fn new() -> NameCompressor {
+        NameCompressor::default()
+    }
+
+    /// Forgets all recorded offsets; call between messages.
+    pub fn clear(&mut self) {
+        self.starts.clear();
+    }
+
+    /// Finds a previously written name suffix equal (case-insensitively) to
+    /// `suffix` (canonical wire form ending in the root octet), returning
+    /// its offset. Walks the written buffer label by label, following
+    /// pointers — every recorded offset resolves to a complete suffix chain
+    /// because we wrote it.
+    fn find(&self, buf: &[u8], suffix: &[u8]) -> Option<u16> {
+        'candidates: for &start in &self.starts {
+            let mut off = start as usize;
+            let mut spos = 0usize;
+            loop {
+                let len = buf[off] as usize;
+                if len & 0xC0 == 0xC0 {
+                    off = ((len & 0x3F) << 8) | buf[off + 1] as usize;
+                    continue;
+                }
+                let slen = suffix[spos] as usize;
+                if len != slen {
+                    continue 'candidates;
+                }
+                if len == 0 {
+                    return Some(start);
+                }
+                if !buf[off + 1..off + 1 + len].eq_ignore_ascii_case(&suffix[spos + 1..spos + 1 + slen]) {
+                    continue 'candidates;
+                }
+                off += 1 + len;
+                spos += 1 + slen;
+            }
+        }
+        None
     }
 }
 
@@ -233,7 +348,7 @@ impl Eq for Name {}
 
 impl std::hash::Hash for Name {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        for b in &self.wire {
+        for b in self.wire.iter() {
             state.write_u8(b.to_ascii_lowercase());
         }
     }
@@ -326,6 +441,32 @@ mod tests {
     }
 
     #[test]
+    fn clone_shares_the_wire_buffer() {
+        let a = name("www.example.com");
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_wire().as_ptr(), b.as_wire().as_ptr()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn label_count_is_cached_consistently() {
+        for s in ["", "com", "example.com", "a.b.c.d.e.f.g"] {
+            let n = name(s);
+            assert_eq!(n.label_count(), n.labels().count(), "{s:?}");
+            // Parse from wire agrees with presentation parse.
+            let mut r = Reader::new(n.as_wire());
+            let back = Name::parse(&mut r).unwrap();
+            assert_eq!(back.label_count(), n.label_count(), "{s:?}");
+            // parent/join keep the cache honest.
+            if let Some(p) = n.parent() {
+                assert_eq!(p.label_count(), p.labels().count());
+            }
+            let joined = name("x").join(&n).unwrap();
+            assert_eq!(joined.label_count(), joined.labels().count());
+        }
+    }
+
+    #[test]
     fn case_insensitive_equality_and_hash() {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
@@ -351,6 +492,14 @@ mod tests {
     }
 
     #[test]
+    fn subdomain_rejects_same_depth_mismatch() {
+        // Equal label counts but different leading label: the suffix
+        // comparison must not be fooled by matching tails.
+        assert!(!name("www.example.com").is_subdomain_of(&name("ftp.example.com")));
+        assert!(!name("a.example.com").is_subdomain_of(&name("example.org")));
+    }
+
+    #[test]
     fn parent_walk() {
         let n = name("a.b.c");
         let p = n.parent().unwrap();
@@ -365,6 +514,14 @@ mod tests {
         let rel = name("www");
         let apex = name("example.com");
         assert_eq!(rel.join(&apex).unwrap(), name("www.example.com"));
+    }
+
+    #[test]
+    fn join_too_long_rejected() {
+        let l = "a".repeat(63);
+        let long = name(&format!("{l}.{l}.{l}"));
+        let more = name(&l);
+        assert_eq!(more.join(&long).unwrap_err(), BuildError::NameTooLong);
     }
 
     #[test]
@@ -429,6 +586,29 @@ mod tests {
     }
 
     #[test]
+    fn wire_parse_rejects_overlong_decompressed_name() {
+        // Four 63-byte labels via a pointer chain: each segment is legal on
+        // its own but the decompressed name exceeds 255 octets.
+        let mut bytes = Vec::new();
+        let label = [b'a'; 63];
+        // Segment 0 at offset 0: one label + terminator.
+        bytes.push(63);
+        bytes.extend_from_slice(&label);
+        bytes.push(0);
+        let mut prev = 0u16;
+        for _ in 0..3 {
+            let here = bytes.len() as u16;
+            bytes.push(63);
+            bytes.extend_from_slice(&label);
+            bytes.extend_from_slice(&(0xC000 | prev).to_be_bytes());
+            prev = here;
+        }
+        let mut r = Reader::new(&bytes);
+        r.seek(prev as usize).unwrap();
+        assert_eq!(Name::parse(&mut r), Err(ParseError::NameTooLong));
+    }
+
+    #[test]
     fn label_too_long_rejected() {
         let long = "a".repeat(64);
         assert_eq!(long.parse::<Name>().unwrap_err(), BuildError::LabelTooLong);
@@ -460,10 +640,10 @@ mod tests {
     #[test]
     fn encode_with_compression_emits_pointer() {
         let mut w = Writer::new();
-        let mut map = HashMap::new();
-        name("example.com").encode(&mut w, Some(&mut map));
+        let mut comp = NameCompressor::new();
+        name("example.com").encode(&mut w, Some(&mut comp));
         let first_len = w.len();
-        name("www.example.com").encode(&mut w, Some(&mut map));
+        name("www.example.com").encode(&mut w, Some(&mut comp));
         // Second name: 1+3 bytes of label + 2 bytes of pointer.
         assert_eq!(w.len(), first_len + 4 + 2);
         // Decode both back.
@@ -476,12 +656,32 @@ mod tests {
     #[test]
     fn compression_is_case_insensitive() {
         let mut w = Writer::new();
-        let mut map = HashMap::new();
-        name("EXAMPLE.COM").encode(&mut w, Some(&mut map));
+        let mut comp = NameCompressor::new();
+        name("EXAMPLE.COM").encode(&mut w, Some(&mut comp));
         let before = w.len();
-        name("example.com").encode(&mut w, Some(&mut map));
+        name("example.com").encode(&mut w, Some(&mut comp));
         // Entire second name is a single pointer.
         assert_eq!(w.len(), before + 2);
+    }
+
+    #[test]
+    fn compression_chains_through_pointers() {
+        // Third name must compress against a suffix that was itself written
+        // with a trailing pointer, exercising the pointer-chasing
+        // comparison in NameCompressor::find.
+        let mut w = Writer::new();
+        let mut comp = NameCompressor::new();
+        name("example.com").encode(&mut w, Some(&mut comp));
+        name("www.example.com").encode(&mut w, Some(&mut comp));
+        let before = w.len();
+        name("WWW.example.com").encode(&mut w, Some(&mut comp));
+        // Entire third name is one pointer to the second.
+        assert_eq!(w.len(), before + 2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for expect in ["example.com", "www.example.com", "www.example.com"] {
+            assert_eq!(Name::parse(&mut r).unwrap(), name(expect));
+        }
     }
 
     #[test]

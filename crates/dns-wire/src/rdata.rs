@@ -1,12 +1,11 @@
 //! Typed RDATA representations.
 
 use crate::error::{BuildError, ParseError};
-use crate::name::Name;
+use crate::name::{walk_name, Name, NameCompressor};
 use crate::types::RType;
 use crate::wire::{Reader, Writer};
 use bytes::Bytes;
 use core::fmt;
-use std::collections::HashMap;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
 /// SOA record fields (RFC 1035 §3.3.13).
@@ -168,6 +167,63 @@ impl RData {
         Ok(out)
     }
 
+    /// Validates RDATA of `rtype` over exactly `rdlength` bytes at the
+    /// cursor without building anything. Accepts and rejects exactly the
+    /// inputs [`RData::parse`] does — the zero-copy message view uses this
+    /// to guarantee a validated view can always be materialized.
+    pub(crate) fn skip(
+        r: &mut Reader<'_>,
+        rtype: RType,
+        rdlength: u16,
+    ) -> Result<(), ParseError> {
+        let start = r.position();
+        let end = start + rdlength as usize;
+        match rtype {
+            RType::A => {
+                if rdlength != 4 {
+                    return Err(ParseError::BadRdataLength { rtype: rtype.to_u16() });
+                }
+                r.read_bytes(4)?;
+            }
+            RType::Aaaa => {
+                if rdlength != 16 {
+                    return Err(ParseError::BadRdataLength { rtype: rtype.to_u16() });
+                }
+                r.read_bytes(16)?;
+            }
+            RType::Txt => {
+                while r.position() < end {
+                    let len = r.read_u8()? as usize;
+                    if r.position() + len > end {
+                        return Err(ParseError::BadCharacterString);
+                    }
+                    r.read_bytes(len)?;
+                }
+            }
+            RType::Cname | RType::Ns | RType::Ptr => {
+                walk_name(r, &mut |_| true)?;
+            }
+            RType::Mx => {
+                r.read_u16()?;
+                walk_name(r, &mut |_| true)?;
+            }
+            RType::Soa => {
+                walk_name(r, &mut |_| true)?;
+                walk_name(r, &mut |_| true)?;
+                for _ in 0..5 {
+                    r.read_u32()?;
+                }
+            }
+            _ => {
+                r.read_bytes(rdlength as usize)?;
+            }
+        }
+        if r.position() != end {
+            return Err(ParseError::BadRdataLength { rtype: rtype.to_u16() });
+        }
+        Ok(())
+    }
+
     /// Encodes the RDATA body (without the RDLENGTH prefix, which the record
     /// encoder back-patches).
     ///
@@ -241,7 +297,7 @@ impl fmt::Display for RData {
 pub(crate) fn encode_with_length(
     rdata: &RData,
     w: &mut Writer,
-    _compress: &mut HashMap<Vec<u8>, u16>,
+    _compress: &mut NameCompressor,
 ) -> Result<(), BuildError> {
     let len_at = w.len();
     w.write_u16(0);
@@ -261,7 +317,7 @@ mod tests {
 
     fn roundtrip(rd: &RData) -> RData {
         let mut w = Writer::new();
-        let mut map = HashMap::new();
+        let mut map = NameCompressor::new();
         encode_with_length(rd, &mut w, &mut map).unwrap();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);

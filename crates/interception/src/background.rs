@@ -3,8 +3,7 @@
 //! technique's verdicts are unaffected by concurrent traffic and that the
 //! CPE's conntrack keeps flows separated under load.
 
-use bytes::Bytes;
-use dns_wire::{Message, Question, RType};
+use dns_wire::{QueryEncoder, Question, RType};
 use netsim::{Ctx, Device, IfaceId, IpPacket, SimDuration};
 use std::any::Any;
 use std::net::IpAddr;
@@ -24,6 +23,7 @@ pub struct BackgroundClient {
     pub received: u64,
     /// Responses whose source did not match the queried resolver.
     pub mismatched_sources: u64,
+    encoder: QueryEncoder,
 }
 
 impl BackgroundClient {
@@ -48,6 +48,7 @@ impl BackgroundClient {
             sent: 0,
             received: 0,
             mismatched_sources: 0,
+            encoder: QueryEncoder::new(),
         }
     }
 
@@ -70,11 +71,10 @@ impl BackgroundClient {
         let qname = self.names[self.sent as usize % self.names.len()].clone();
         let txid = self.next_txid;
         self.next_txid = self.next_txid.wrapping_add(1);
-        let msg = Message::query(txid, Question::new(qname, RType::A));
-        let Ok(bytes) = msg.encode() else { return };
-        if let Some(pkt) =
-            IpPacket::udp(self.addr, self.resolver, self.sport, 53, Bytes::from(bytes))
-        {
+        let question = Question::new(qname, RType::A);
+        let Ok(wire) = self.encoder.encode_query(txid, &question) else { return };
+        let payload = ctx.alloc_payload(wire);
+        if let Some(pkt) = IpPacket::udp(self.addr, self.resolver, self.sport, 53, payload) {
             self.sent += 1;
             ctx.send(IfaceId(0), pkt);
         }
@@ -124,6 +124,7 @@ pub fn start_background(sim: &mut netsim::Simulator, node: netsim::NodeId, delay
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use netsim::Simulator;
 
     #[test]

@@ -504,6 +504,93 @@ pub struct WorldTemplate {
     pub resolvers: Arc<[locator::PublicResolver]>,
     /// Root-server addresses for the hostname.bind baseline.
     pub root_addrs: Vec<IpAddr>,
+    /// The standard-world authoritative tree (iterative-resolver fidelity
+    /// mode), with every qname interned: apexes, delegation targets, and
+    /// reflector names are parsed once here and refcount-cloned into each
+    /// probe's authoritative servers.
+    pub auth_tree: Arc<AuthTree>,
+}
+
+/// The pre-built authoritative tree of the standard world.
+pub struct AuthTree {
+    /// The root zone: delegations (with glue) for every standard apex.
+    pub root: resolver_sim::ServedZone,
+    /// The zones of the world authoritative server.
+    pub world: Vec<resolver_sim::ServedZone>,
+}
+
+/// Glue address every standard-world delegation points at.
+const WORLD_AUTH_V4: Ipv4Addr = Ipv4Addr::new(192, 0, 35, 1);
+
+impl AuthTree {
+    /// Builds the standard tree, parsing each qname exactly once.
+    fn standard() -> AuthTree {
+        use resolver_sim::{Delegation, ReflectKind, ReflectorZone, ServedZone, StaticZone};
+        let apexes = [
+            "example.com",
+            "akamai.com",
+            "google.com",
+            "opendns.com",
+            "dns-hijack-study.example",
+        ];
+        let root = ServedZone {
+            apex: dns_wire::Name::root(),
+            zone: Arc::new(StaticZone::new()),
+            delegations: apexes
+                .iter()
+                .map(|apex| Delegation {
+                    child: apex.parse().expect("static name"),
+                    nameservers: vec![(
+                        format!("ns1.{apex}").parse().expect("static name"),
+                        IpAddr::V4(WORLD_AUTH_V4),
+                    )],
+                })
+                .collect(),
+        };
+        let mut example = StaticZone::new();
+        example.add_a("example.com", 3600, Ipv4Addr::new(93, 184, 216, 34));
+        example.add_a("www.example.com", 3600, Ipv4Addr::new(93, 184, 216, 34));
+        let mut probe_zone = StaticZone::new();
+        probe_zone.add_a(
+            "probe.dns-hijack-study.example",
+            60,
+            Ipv4Addr::new(93, 184, 216, 40),
+        );
+        let world = vec![
+            ServedZone {
+                apex: "example.com".parse().expect("static name"),
+                zone: Arc::new(example),
+                delegations: vec![],
+            },
+            ServedZone {
+                apex: "akamai.com".parse().expect("static name"),
+                zone: Arc::new(ReflectorZone::new(
+                    dns_wire::debug_queries::whoami_akamai(),
+                    ReflectKind::Address,
+                )),
+                delegations: vec![],
+            },
+            ServedZone {
+                apex: "google.com".parse().expect("static name"),
+                zone: Arc::new(ReflectorZone::new(
+                    dns_wire::debug_queries::google_myaddr(),
+                    ReflectKind::Text,
+                )),
+                delegations: vec![],
+            },
+            ServedZone {
+                apex: "opendns.com".parse().expect("static name"),
+                zone: Arc::new(StaticZone::new()),
+                delegations: vec![],
+            },
+            ServedZone {
+                apex: "dns-hijack-study.example".parse().expect("static name"),
+                zone: Arc::new(probe_zone),
+                delegations: vec![],
+            },
+        ];
+        AuthTree { root, world }
+    }
 }
 
 impl WorldTemplate {
@@ -517,6 +604,7 @@ impl WorldTemplate {
             zonedb: Arc::new(ZoneDb::standard_world()),
             resolvers: locator::default_resolvers().into(),
             root_addrs: locator::baseline::default_root_addrs(),
+            auth_tree: Arc::new(AuthTree::standard()),
         }
     }
 
@@ -529,6 +617,7 @@ impl WorldTemplate {
                 zonedb: Arc::new(ZoneDb::standard_world()),
                 resolvers: locator::shared_default_resolvers(),
                 root_addrs: locator::baseline::default_root_addrs(),
+                auth_tree: Arc::new(AuthTree::standard()),
             })
         }))
     }
@@ -808,80 +897,25 @@ impl HomeScenario {
         };
 
         // --- Authoritative tree (iterative-resolver fidelity mode) -----------
+        // The zones and every qname in them come pre-built (and interned)
+        // from the template; only the server devices are per-probe.
         let auth_nodes = use_iterative.then(|| {
-            use resolver_sim::{AuthoritativeServer, Delegation, ServedZone};
-            let auth_v4: Ipv4Addr = Ipv4Addr::new(192, 0, 35, 1);
+            use resolver_sim::AuthoritativeServer;
+            let tree = &template.auth_tree;
             let mut root_auth =
                 AuthoritativeServer::new("root-auth", [IpAddr::V4(root_auth_v4)]);
-            let apexes = [
-                "example.com",
-                "akamai.com",
-                "google.com",
-                "opendns.com",
-                "dns-hijack-study.example",
-            ];
-            root_auth.serve(ServedZone {
-                apex: dns_wire::Name::root(),
-                zone: Arc::new(resolver_sim::StaticZone::new()),
-                delegations: apexes
-                    .iter()
-                    .map(|apex| Delegation {
-                        child: apex.parse().expect("static name"),
-                        nameservers: vec![(
-                            format!("ns1.{apex}").parse().expect("static name"),
-                            IpAddr::V4(auth_v4),
-                        )],
-                    })
-                    .collect(),
-            });
+            root_auth.serve(tree.root.clone());
             let root_auth = sim.add_device(root_auth.boxed());
 
-            let mut auth = AuthoritativeServer::new("world-auth", [IpAddr::V4(auth_v4)]);
-            let mut example = resolver_sim::StaticZone::new();
-            example.add_a("example.com", 3600, Ipv4Addr::new(93, 184, 216, 34));
-            example.add_a("www.example.com", 3600, Ipv4Addr::new(93, 184, 216, 34));
-            auth.serve(ServedZone {
-                apex: "example.com".parse().expect("static name"),
-                zone: Arc::new(example),
-                delegations: vec![],
-            });
-            auth.serve(ServedZone {
-                apex: "akamai.com".parse().expect("static name"),
-                zone: Arc::new(resolver_sim::ReflectorZone::new(
-                    "whoami.akamai.com".parse().expect("static name"),
-                    resolver_sim::ReflectKind::Address,
-                )),
-                delegations: vec![],
-            });
-            auth.serve(ServedZone {
-                apex: "google.com".parse().expect("static name"),
-                zone: Arc::new(resolver_sim::ReflectorZone::new(
-                    "o-o.myaddr.l.google.com".parse().expect("static name"),
-                    resolver_sim::ReflectKind::Text,
-                )),
-                delegations: vec![],
-            });
-            auth.serve(ServedZone {
-                apex: "opendns.com".parse().expect("static name"),
-                zone: Arc::new(resolver_sim::StaticZone::new()),
-                delegations: vec![],
-            });
-            let mut probe_zone = resolver_sim::StaticZone::new();
-            probe_zone.add_a(
-                "probe.dns-hijack-study.example",
-                60,
-                Ipv4Addr::new(93, 184, 216, 40),
-            );
-            auth.serve(ServedZone {
-                apex: "dns-hijack-study.example".parse().expect("static name"),
-                zone: Arc::new(probe_zone),
-                delegations: vec![],
-            });
+            let mut auth = AuthoritativeServer::new("world-auth", [IpAddr::V4(WORLD_AUTH_V4)]);
+            for zone in &tree.world {
+                auth.serve(zone.clone());
+            }
             let auth = sim.add_device(auth.boxed());
 
             let core_router = sim.device_mut::<Router>(core).expect("core is a router");
             core_router.routes.add(Cidr::host(IpAddr::V4(root_auth_v4)), IfaceId(8));
-            core_router.routes.add(Cidr::host(IpAddr::V4(auth_v4)), IfaceId(9));
+            core_router.routes.add(Cidr::host(IpAddr::V4(WORLD_AUTH_V4)), IfaceId(9));
             (root_auth, auth)
         });
 

@@ -16,7 +16,7 @@
 //! timeout — never as an accepted answer.
 
 use crate::scenario::BuiltScenario;
-use dns_wire::{Message, QueryEncoder, Question};
+use dns_wire::{Message, MessageView, QueryEncoder, Question};
 use locator::{QueryOptions, QueryOutcome, QueryTransport};
 use netsim::{Host, IfaceId, IpPacket, SimDuration};
 use std::net::IpAddr;
@@ -112,11 +112,6 @@ impl QueryTransport for SimTransport {
         opts: QueryOptions,
     ) -> QueryOutcome {
         let sport = self.alloc_sport();
-        let Ok(payload) = self.encoder.encode_query(txid, question) else {
-            return QueryOutcome::Timeout;
-        };
-        let payload = payload.to_vec();
-
         let (node, src_v4) = match self.vantage {
             Vantage::Probe => (self.scenario.probe, self.scenario.addrs.probe_v4),
             Vantage::Scanner => (self.scenario.scanner, self.scenario.addrs.scanner_v4),
@@ -131,7 +126,13 @@ impl QueryTransport for SimTransport {
                 _ => return QueryOutcome::Timeout,
             }
         };
-        let Some(mut pkt) = IpPacket::udp(src, server, sport, 53, payload.into()) else {
+        let Ok(wire) = self.encoder.encode_query(txid, question) else {
+            return QueryOutcome::Timeout;
+        };
+        // One copy, straight from the encoder's cache slot into a recycled
+        // pool slab — no intermediate Vec.
+        let payload = self.scenario.sim.alloc_payload(wire);
+        let Some(mut pkt) = IpPacket::udp(src, server, sport, 53, payload) else {
             return QueryOutcome::Timeout;
         };
         if let Some(ttl) = opts.ttl {
@@ -155,9 +156,12 @@ impl QueryTransport for SimTransport {
             if udp.dst_port != sport || udp.src_port != 53 {
                 continue;
             }
-            let Ok(mut resp) = Message::parse(&udp.payload) else { continue };
-            resp.header.id ^= self.corrupt_response_txid_xor;
-            if resp.header.id != txid || !resp.header.qr {
+            // Zero-copy filter: validate the wire and check id/qr on the
+            // borrowed view; only a reply that passes is materialized into
+            // an owned Message.
+            let Ok(view) = MessageView::parse(&udp.payload) else { continue };
+            let id = view.header().id ^ self.corrupt_response_txid_xor;
+            if id != txid || !view.header().qr {
                 continue;
             }
             // Source-address match: the stub only accepts replies that claim
@@ -165,9 +169,13 @@ impl QueryTransport for SimTransport {
             // anywhere else is the transparent-forwarder signature and is
             // surfaced, not silently dropped.
             if d.packet.src() == server {
+                let mut resp = view.to_message();
+                resp.header.id = id;
                 return QueryOutcome::Response(resp);
             }
             if mismatch.is_none() {
+                let mut resp = view.to_message();
+                resp.header.id = id;
                 mismatch = Some((resp, d.packet.src()));
             }
         }

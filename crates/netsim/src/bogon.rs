@@ -9,50 +9,69 @@
 
 use crate::route::Cidr;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::sync::OnceLock;
+
+// The parsed lists live in process-wide statics: `is_bogon` sits on the
+// router's per-packet forwarding path, where rebuilding the list would be
+// an allocation (and a parse) per packet.
+
+fn bogons_v4_table() -> &'static [Cidr] {
+    static TABLE: OnceLock<Vec<Cidr>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        [
+            "0.0.0.0/8",       // "this network"
+            "10.0.0.0/8",      // RFC 1918
+            "100.64.0.0/10",   // CGN shared space (RFC 6598)
+            "127.0.0.0/8",     // loopback
+            "169.254.0.0/16",  // link local
+            "172.16.0.0/12",   // RFC 1918
+            "192.0.0.0/24",    // IETF protocol assignments
+            "192.0.2.0/24",    // TEST-NET-1
+            "192.168.0.0/16",  // RFC 1918
+            "198.18.0.0/15",   // benchmarking
+            "198.51.100.0/24", // TEST-NET-2
+            "203.0.113.0/24",  // TEST-NET-3
+            "224.0.0.0/4",     // multicast
+            "240.0.0.0/4",     // reserved
+        ]
+        .iter()
+        .map(|s| s.parse().expect("static prefix"))
+        .collect()
+    })
+}
+
+fn bogons_v6_table() -> &'static [Cidr] {
+    static TABLE: OnceLock<Vec<Cidr>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        [
+            "::/8",         // unspecified / v4-mapped region
+            "100::/64",     // discard-only (RFC 6666)
+            "2001:db8::/32",// documentation
+            "fc00::/7",     // unique local
+            "fe80::/10",    // link local
+            "ff00::/8",     // multicast
+        ]
+        .iter()
+        .map(|s| s.parse().expect("static prefix"))
+        .collect()
+    })
+}
 
 /// IPv4 bogon prefixes (RFC 6890 and friends).
 pub fn bogons_v4() -> Vec<Cidr> {
-    [
-        "0.0.0.0/8",       // "this network"
-        "10.0.0.0/8",      // RFC 1918
-        "100.64.0.0/10",   // CGN shared space (RFC 6598)
-        "127.0.0.0/8",     // loopback
-        "169.254.0.0/16",  // link local
-        "172.16.0.0/12",   // RFC 1918
-        "192.0.0.0/24",    // IETF protocol assignments
-        "192.0.2.0/24",    // TEST-NET-1
-        "192.168.0.0/16",  // RFC 1918
-        "198.18.0.0/15",   // benchmarking
-        "198.51.100.0/24", // TEST-NET-2
-        "203.0.113.0/24",  // TEST-NET-3
-        "224.0.0.0/4",     // multicast
-        "240.0.0.0/4",     // reserved
-    ]
-    .iter()
-    .map(|s| s.parse().expect("static prefix"))
-    .collect()
+    bogons_v4_table().to_vec()
 }
 
 /// IPv6 bogon prefixes.
 pub fn bogons_v6() -> Vec<Cidr> {
-    [
-        "::/8",         // unspecified / v4-mapped region
-        "100::/64",     // discard-only (RFC 6666)
-        "2001:db8::/32",// documentation
-        "fc00::/7",     // unique local
-        "fe80::/10",    // link local
-        "ff00::/8",     // multicast
-    ]
-    .iter()
-    .map(|s| s.parse().expect("static prefix"))
-    .collect()
+    bogons_v6_table().to_vec()
 }
 
 /// True if `ip` falls in bogon space.
 pub fn is_bogon(ip: IpAddr) -> bool {
     match ip {
-        IpAddr::V4(_) => bogons_v4().iter().any(|c| c.contains(ip)),
-        IpAddr::V6(_) => bogons_v6().iter().any(|c| c.contains(ip)),
+        IpAddr::V4(_) => bogons_v4_table().iter().any(|c| c.contains(ip)),
+        IpAddr::V6(_) => bogons_v6_table().iter().any(|c| c.contains(ip)),
     }
 }
 

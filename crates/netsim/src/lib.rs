@@ -26,6 +26,7 @@ mod capture;
 mod host;
 mod nat;
 mod packet;
+mod pool;
 mod route;
 mod router;
 mod sim;
@@ -41,6 +42,7 @@ pub use nat::{DnatRule, FlowTuple, Masquerade, NatEngine, NatVerdict, Proto};
 pub use packet::{
     FlowSummary, IcmpMessage, IpPacket, Transport, UdpDatagram, DEFAULT_TTL,
 };
+pub use pool::PayloadPool;
 pub use route::{Cidr, CidrParseError, RouteTable};
 pub use router::{LocalPolicy, Router};
 pub use sim::{

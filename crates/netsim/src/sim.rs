@@ -11,7 +11,9 @@ use crate::capture::{
     CaptureBuffer, CaptureEvent, CaptureKind, CaptureSink, FaultCause, NatPhase, NullCapture,
 };
 use crate::packet::{FlowSummary, IpPacket};
+use crate::pool::PayloadPool;
 use crate::time::{SimDuration, SimTime};
+use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
@@ -45,6 +47,7 @@ pub struct Ctx<'a> {
     node: NodeId,
     rng: &'a mut StdRng,
     actions: &'a mut Vec<Action>,
+    payloads: &'a mut PayloadPool,
     capture_on: bool,
     capture: &'a mut dyn CaptureSink,
 }
@@ -115,6 +118,14 @@ impl<'a> Ctx<'a> {
     /// Deterministic simulation RNG (seeded at simulator construction).
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
+    }
+
+    /// Copies `data` into the simulator's pooled payload slabs and returns
+    /// it as a [`Bytes`]. Devices building reply packets use this instead
+    /// of `Bytes::from(vec)` so payload storage is carved from recycled
+    /// slabs rather than allocated per packet.
+    pub fn alloc_payload(&mut self, data: &[u8]) -> Bytes {
+        self.payloads.alloc(data)
     }
 }
 
@@ -307,6 +318,7 @@ pub struct SimScratch {
     queue: Vec<Reverse<Event>>,
     trace: Vec<TraceEntry>,
     actions: Vec<Action>,
+    payloads: PayloadPool,
 }
 
 /// The simulator.
@@ -329,6 +341,8 @@ pub struct Simulator {
     packets_delayed: u64,
     /// Reused buffer for device side effects, drained after every dispatch.
     action_scratch: Vec<Action>,
+    /// Slab pool for reply-packet payloads, recycled via [`SimScratch`].
+    payloads: PayloadPool,
 }
 
 impl Simulator {
@@ -342,8 +356,15 @@ impl Simulator {
     /// result is indistinguishable from [`Simulator::new`] apart from the
     /// allocations it avoids.
     pub fn with_scratch(seed: u64, scratch: SimScratch) -> Simulator {
-        let SimScratch { mut devices, mut links, mut attachments, mut queue, mut trace, mut actions } =
-            scratch;
+        let SimScratch {
+            mut devices,
+            mut links,
+            mut attachments,
+            mut queue,
+            mut trace,
+            mut actions,
+            payloads,
+        } = scratch;
         devices.clear();
         links.clear();
         attachments.clear();
@@ -370,6 +391,10 @@ impl Simulator {
             packets_duplicated: 0,
             packets_delayed: 0,
             action_scratch: actions,
+            // The payload pool needs no clearing: frozen payloads from the
+            // previous run keep their own references, and the slab's spare
+            // capacity is exactly what we want to reuse.
+            payloads,
         }
     }
 
@@ -384,6 +409,7 @@ impl Simulator {
             queue,
             mut trace,
             action_scratch: mut actions,
+            payloads,
             ..
         } = self;
         devices.clear();
@@ -393,7 +419,7 @@ impl Simulator {
         actions.clear();
         let mut queue = queue.into_vec();
         queue.clear();
-        SimScratch { devices, links, attachments, queue, trace, actions }
+        SimScratch { devices, links, attachments, queue, trace, actions, payloads }
     }
 
     /// Adds a device, returning its id.
@@ -554,6 +580,13 @@ impl Simulator {
         self.transmit(Attachment { node, iface }, packet);
     }
 
+    /// Copies `data` into the simulator's recycled payload pool and returns
+    /// it as a packet payload. Lets external drivers (e.g. transports
+    /// injecting probe queries) reuse the same slabs the devices do.
+    pub fn alloc_payload(&mut self, data: &[u8]) -> Bytes {
+        self.payloads.alloc(data)
+    }
+
     /// Schedules a timer for a device from outside the event loop.
     pub fn inject_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
         let at = self.now + delay;
@@ -654,6 +687,7 @@ impl Simulator {
                     node,
                     rng: &mut self.rng,
                     actions: &mut actions,
+                    payloads: &mut self.payloads,
                     capture_on: self.capture_on,
                     capture: &mut *self.capture,
                 };
@@ -670,6 +704,7 @@ impl Simulator {
                     node,
                     rng: &mut self.rng,
                     actions: &mut actions,
+                    payloads: &mut self.payloads,
                     capture_on: self.capture_on,
                     capture: &mut *self.capture,
                 };

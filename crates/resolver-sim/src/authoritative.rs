@@ -5,10 +5,9 @@
 //! in-packet iterative path reveals exactly the egress the querying
 //! recursor used.
 
-use crate::server::reply_packet;
+use crate::server::send_reply;
 use crate::zone::{ResolveCtx, Zone, ZoneAnswer};
-use bytes::Bytes;
-use dns_wire::{Message, Name, RData, Rcode, Record};
+use dns_wire::{EncodeScratch, Message, Name, RData, Rcode, Record};
 use netsim::{Ctx, Device, IfaceId, IpPacket};
 use std::any::Any;
 use std::collections::HashSet;
@@ -25,6 +24,11 @@ pub struct Delegation {
 }
 
 /// One zone an authoritative server carries.
+///
+/// Cloning is cheap — the apex name and zone data are refcounted — so
+/// campaign templates pre-build the standard authoritative tree once and
+/// clone it into each probe's servers.
+#[derive(Clone)]
 pub struct ServedZone {
     /// Apex this server is authoritative for.
     pub apex: Name,
@@ -41,6 +45,7 @@ pub struct AuthoritativeServer {
     zones: Vec<ServedZone>,
     /// Queries handled.
     pub queries_handled: u64,
+    scratch: EncodeScratch,
 }
 
 impl AuthoritativeServer {
@@ -54,6 +59,7 @@ impl AuthoritativeServer {
             service_addrs: service_addrs.into_iter().collect(),
             zones: Vec::new(),
             queries_handled: 0,
+            scratch: EncodeScratch::new(),
         }
     }
 
@@ -139,11 +145,7 @@ impl Device for AuthoritativeServer {
         }
         self.queries_handled += 1;
         let resp = self.answer(&query, packet.src());
-        if let Ok(bytes) = resp.encode() {
-            if let Some(reply) = reply_packet(&packet, Bytes::from(bytes)) {
-                ctx.send(iface, reply);
-            }
-        }
+        send_reply(ctx, iface, &packet, &resp, &mut self.scratch);
     }
 
     fn name(&self) -> &str {
@@ -162,6 +164,7 @@ impl Device for AuthoritativeServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use crate::zone::StaticZone;
     use dns_wire::{Question, RType};
     use netsim::{Host, SimDuration, Simulator};

@@ -9,11 +9,10 @@
 //! hold on the true packet path).
 
 use crate::cache::DnsCache;
-use crate::server::{handle_server_id, reply_packet};
+use crate::server::{handle_server_id, send_reply};
 use crate::software::SoftwareProfile;
 use crate::zone::ResolveResult;
-use bytes::Bytes;
-use dns_wire::{Message, Name, Question, RClass, RData, RType, Rcode, Record};
+use dns_wire::{EncodeScratch, Message, Name, Question, RClass, RData, RType, Rcode, Record};
 use netsim::{Ctx, Device, IfaceId, IpPacket, SimDuration};
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
@@ -81,6 +80,7 @@ pub struct IterativeResolver {
     pub upstream_queries: u64,
     /// Resolutions that ended in SERVFAIL.
     pub servfails: u64,
+    scratch: EncodeScratch,
 }
 
 impl IterativeResolver {
@@ -104,6 +104,7 @@ impl IterativeResolver {
             queries_handled: 0,
             upstream_queries: 0,
             servfails: 0,
+            scratch: EncodeScratch::new(),
         }
     }
 
@@ -134,18 +135,15 @@ impl IterativeResolver {
         self.next_txid
     }
 
-    fn respond_client(&self, ctx: &mut Ctx<'_>, client: &ClientInfo, mut resp: Message) {
+    fn respond_client(&mut self, ctx: &mut Ctx<'_>, client: &ClientInfo, mut resp: Message) {
         resp.header.id = client.txid;
         resp.header.qr = true;
         resp.header.ra = true;
-        let Ok(bytes) = resp.encode() else { return };
-        if let Some(pkt) = IpPacket::udp(
-            client.queried,
-            client.src,
-            53,
-            client.sport,
-            Bytes::from(bytes),
-        ) {
+        let Ok(wire) = resp.encode_into(&mut self.scratch) else { return };
+        let payload = ctx.alloc_payload(wire);
+        if let Some(pkt) =
+            IpPacket::udp(client.queried, client.src, 53, client.sport, payload)
+        {
             ctx.send(client.iface, pkt);
         }
     }
@@ -174,10 +172,9 @@ impl IterativeResolver {
         let sends = iter.sends;
         let question = iter.current.clone();
         let msg = Message::query(txid, question);
-        let Ok(bytes) = msg.encode() else { return };
-        if let Some(pkt) =
-            IpPacket::udp(self.egress, server, UPSTREAM_SPORT, 53, Bytes::from(bytes))
-        {
+        let Ok(wire) = msg.encode_into(&mut self.scratch) else { return };
+        let payload = ctx.alloc_payload(wire);
+        if let Some(pkt) = IpPacket::udp(self.egress, server, UPSTREAM_SPORT, 53, payload) {
             self.upstream_queries += 1;
             ctx.send(iface, pkt);
             // Timer token: txid in the high bits, send counter low.
@@ -206,20 +203,13 @@ impl IterativeResolver {
         // CHAOS identity queries are answered locally.
         if let Some(maybe) = handle_server_id(&query, &self.profile) {
             if let Some(resp) = maybe {
-                if let Ok(bytes) = resp.encode() {
-                    if let Some(reply) = reply_packet(packet, Bytes::from(bytes)) {
-                        ctx.send(iface, reply);
-                    }
-                }
+                send_reply(ctx, iface, packet, &resp, &mut self.scratch);
             }
             return;
         }
         if q.qclass != RClass::In {
-            if let Ok(bytes) = Message::response_to(&query, Rcode::NotImp).encode() {
-                if let Some(reply) = reply_packet(packet, Bytes::from(bytes)) {
-                    ctx.send(iface, reply);
-                }
-            }
+            let resp = Message::response_to(&query, Rcode::NotImp);
+            send_reply(ctx, iface, packet, &resp, &mut self.scratch);
             return;
         }
 

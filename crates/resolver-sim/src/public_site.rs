@@ -1,11 +1,10 @@
 //! Anycast sites of the four public resolvers, with the location-query
 //! semantics of paper Table 1.
 
-use crate::server::reply_packet;
+use crate::server::send_reply;
 use crate::zone::{ResolveCtx, ZoneDb};
-use bytes::Bytes;
 use dns_wire::debug_queries::{self, ServerIdKind};
-use dns_wire::{Message, Name, RClass, RData, RType, Rcode, Record};
+use dns_wire::{EncodeScratch, Message, Name, RClass, RData, RType, Rcode, Record};
 use netsim::{Ctx, Device, IfaceId, IpPacket};
 use std::any::Any;
 use std::collections::HashSet;
@@ -50,6 +49,7 @@ pub struct PublicResolverSite {
     pub dnssec_validating: bool,
     /// Total queries handled.
     pub queries_handled: u64,
+    scratch: EncodeScratch,
 }
 
 impl PublicResolverSite {
@@ -74,6 +74,7 @@ impl PublicResolverSite {
             // not.
             dnssec_validating: brand != PublicBrand::OpenDns,
             queries_handled: 0,
+            scratch: EncodeScratch::new(),
         }
     }
 
@@ -184,11 +185,7 @@ impl Device for PublicResolverSite {
         } else {
             Message::response_to(&query, Rcode::NotImp)
         };
-        if let Ok(bytes) = resp.encode() {
-            if let Some(reply) = reply_packet(&packet, Bytes::from(bytes)) {
-                ctx.send(iface, reply);
-            }
-        }
+        send_reply(ctx, iface, &packet, &resp, &mut self.scratch);
     }
 
     fn name(&self) -> &str {
@@ -207,6 +204,7 @@ impl Device for PublicResolverSite {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use dns_wire::Question;
     use netsim::{Host, SimDuration, Simulator};
 

@@ -9,11 +9,10 @@
 //! blanket refusal (the "Status Modified" interceptors of Figure 3).
 
 use crate::cache::DnsCache;
-use crate::server::{handle_server_id, reply_packet};
+use crate::server::{encode_reply, handle_server_id, send_reply};
 use crate::software::SoftwareProfile;
 use crate::zone::{ResolveCtx, ResolveResult, ZoneDb};
-use bytes::Bytes;
-use dns_wire::{Message, RClass, RData, RType, Rcode, Record};
+use dns_wire::{EncodeScratch, Message, RClass, RData, RType, Rcode, Record};
 use netsim::{Ctx, Device, IfaceId, IpPacket, SimDuration};
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
@@ -43,6 +42,7 @@ pub struct RecursiveResolver {
     next_token: u64,
     /// Total queries handled.
     pub queries_handled: u64,
+    scratch: EncodeScratch,
 }
 
 impl RecursiveResolver {
@@ -68,6 +68,7 @@ impl RecursiveResolver {
             pending: HashMap::new(),
             next_token: 0,
             queries_handled: 0,
+            scratch: EncodeScratch::new(),
         }
     }
 
@@ -152,11 +153,7 @@ impl Device for RecursiveResolver {
         // CHAOS server-identification queries answer per software profile.
         if let Some(maybe_resp) = handle_server_id(&query, &self.profile) {
             if let Some(resp) = maybe_resp {
-                if let Ok(bytes) = resp.encode() {
-                    if let Some(reply) = reply_packet(&packet, Bytes::from(bytes)) {
-                        ctx.send(iface, reply);
-                    }
-                }
+                send_reply(ctx, iface, &packet, &resp, &mut self.scratch);
             }
             return;
         }
@@ -164,17 +161,12 @@ impl Device for RecursiveResolver {
         let q = query.question().expect("checked above");
         if q.qclass != RClass::In {
             let resp = Message::response_to(&query, Rcode::NotImp);
-            if let Ok(bytes) = resp.encode() {
-                if let Some(reply) = reply_packet(&packet, Bytes::from(bytes)) {
-                    ctx.send(iface, reply);
-                }
-            }
+            send_reply(ctx, iface, &packet, &resp, &mut self.scratch);
             return;
         }
 
         let (resp, was_miss) = self.answer_in_query(&query, ctx.now());
-        let Ok(bytes) = resp.encode() else { return };
-        let Some(reply) = reply_packet(&packet, Bytes::from(bytes)) else { return };
+        let Some(reply) = encode_reply(ctx, &packet, &resp, &mut self.scratch) else { return };
         if was_miss && self.resolve_latency > SimDuration::ZERO {
             // Cache miss: delay the reply by the recursion latency.
             let token = self.next_token;
@@ -208,6 +200,7 @@ impl Device for RecursiveResolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use dns_wire::debug_queries;
     use dns_wire::Question;
     use netsim::{Host, Simulator};

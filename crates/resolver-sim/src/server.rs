@@ -4,14 +4,44 @@
 use crate::software::{ChaosPolicy, SoftwareProfile};
 use bytes::Bytes;
 use dns_wire::debug_queries::{self, ServerIdKind};
-use dns_wire::{Message, Rcode, Record};
-use netsim::IpPacket;
+use dns_wire::{EncodeScratch, Message, Rcode, Record};
+use netsim::{Ctx, IfaceId, IpPacket};
 
 /// Builds the UDP reply packet for `request`: source/destination and ports
 /// swapped, carrying `payload`.
 pub fn reply_packet(request: &IpPacket, payload: Bytes) -> Option<IpPacket> {
     let udp = request.udp_payload()?;
     IpPacket::udp(request.dst(), request.src(), udp.dst_port, udp.src_port, payload)
+}
+
+/// Builds the reply packet for `request` carrying `resp`, encoding through
+/// the caller's scratch and the simulator's payload pool so the steady state
+/// allocates nothing per reply. Returns `None` if encoding fails or the
+/// request is not UDP.
+pub fn encode_reply(
+    ctx: &mut Ctx<'_>,
+    request: &IpPacket,
+    resp: &Message,
+    scratch: &mut EncodeScratch,
+) -> Option<IpPacket> {
+    let wire = resp.encode_into(scratch).ok()?;
+    let payload = ctx.alloc_payload(wire);
+    reply_packet(request, payload)
+}
+
+/// Encodes `resp` and sends it out `iface` as the reply to `request`.
+/// Encoding failures and non-UDP requests are silently dropped, matching
+/// the previous per-device behaviour.
+pub fn send_reply(
+    ctx: &mut Ctx<'_>,
+    iface: IfaceId,
+    request: &IpPacket,
+    resp: &Message,
+    scratch: &mut EncodeScratch,
+) {
+    if let Some(reply) = encode_reply(ctx, request, resp, scratch) {
+        ctx.send(iface, reply);
+    }
 }
 
 /// Applies one CHAOS policy to a query, producing a response message

@@ -14,9 +14,22 @@
 //!   resolver produces a foreign one (Table 2).
 
 use dns_wire::{Name, Question, RData, RType, Rcode, Record};
-use std::collections::HashMap;
+use std::cmp::Ordering;
 use std::net::{Ipv4Addr, Ipv6Addr};
 use std::sync::Arc;
+
+/// Total, case-insensitive ordering over canonical name wire forms.
+/// Consistent with `Name`'s `PartialEq`/`Hash`: equal names compare equal.
+fn cmp_names(a: &Name, b: &Name) -> Ordering {
+    let (aw, bw) = (a.as_wire(), b.as_wire());
+    for (x, y) in aw.iter().zip(bw.iter()) {
+        match x.to_ascii_lowercase().cmp(&y.to_ascii_lowercase()) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    aw.len().cmp(&bw.len())
+}
 
 /// Who is asking the authoritative layer.
 #[derive(Debug, Clone, Copy)]
@@ -51,11 +64,16 @@ pub trait Zone: Send + Sync {
     fn lookup(&self, q: &Question, ctx: &ResolveCtx) -> ZoneAnswer;
 }
 
-/// A static zone: a map from (name, type) to records.
+/// A static zone: a sorted table from (name, type) to records.
+///
+/// Kept sorted (case-insensitive name order, then type) at insertion time,
+/// so the per-query lookup is a binary search over borrowed keys — no
+/// `(Name, u16)` clone, no hashing. Zone contents are built once per
+/// campaign and queried millions of times; the table trades O(n) inserts
+/// for allocation-free lookups.
 #[derive(Debug, Default)]
 pub struct StaticZone {
-    records: HashMap<(Name, u16), Vec<Record>>,
-    names: std::collections::HashSet<Name>,
+    entries: Vec<(Name, u16, Vec<Record>)>,
 }
 
 impl StaticZone {
@@ -64,13 +82,34 @@ impl StaticZone {
         StaticZone::default()
     }
 
+    fn position(&self, name: &Name, rtype: u16) -> Result<usize, usize> {
+        self.entries
+            .binary_search_by(|(n, t, _)| cmp_names(n, name).then(t.cmp(&rtype)))
+    }
+
+    fn lookup_records(&self, name: &Name, rtype: u16) -> Option<&[Record]> {
+        self.position(name, rtype).ok().map(|i| self.entries[i].2.as_slice())
+    }
+
+    fn contains_name(&self, name: &Name) -> bool {
+        // Entries are sorted by name first: the partition point sits just
+        // past the last entry with this name, if any exists.
+        let i = self
+            .entries
+            .partition_point(|(n, _, _)| cmp_names(n, name) != Ordering::Greater);
+        i > 0 && self.entries[i - 1].0 == *name
+    }
+
     /// Adds a record.
     pub fn add(&mut self, record: Record) -> &mut Self {
-        self.names.insert(record.name.clone());
-        self.records
-            .entry((record.name.clone(), record.rdata.rtype().to_u16()))
-            .or_default()
-            .push(record);
+        let rtype = record.rdata.rtype().to_u16();
+        match self.position(&record.name, rtype) {
+            Ok(i) => self.entries[i].2.push(record),
+            Err(i) => {
+                let name = record.name.clone();
+                self.entries.insert(i, (name, rtype, vec![record]));
+            }
+        }
         self
     }
 
@@ -101,14 +140,14 @@ impl StaticZone {
 
 impl Zone for StaticZone {
     fn lookup(&self, q: &Question, _ctx: &ResolveCtx) -> ZoneAnswer {
-        if let Some(records) = self.records.get(&(q.qname.clone(), q.qtype.to_u16())) {
-            return ZoneAnswer::Records(records.clone());
+        if let Some(records) = self.lookup_records(&q.qname, q.qtype.to_u16()) {
+            return ZoneAnswer::Records(records.to_vec());
         }
         // CNAME at the name answers any type.
-        if let Some(records) = self.records.get(&(q.qname.clone(), RType::Cname.to_u16())) {
-            return ZoneAnswer::Records(records.clone());
+        if let Some(records) = self.lookup_records(&q.qname, RType::Cname.to_u16()) {
+            return ZoneAnswer::Records(records.to_vec());
         }
-        if self.names.contains(&q.qname) {
+        if self.contains_name(&q.qname) {
             ZoneAnswer::NoData
         } else {
             ZoneAnswer::NxDomain

@@ -23,6 +23,9 @@ pub struct Bytes {
 enum Repr {
     Static(&'static [u8]),
     Shared(Arc<[u8]>),
+    /// A sub-range view of a shared buffer (used by payload pools that
+    /// carve many small payloads out of recycled slabs).
+    Slice { buf: Arc<[u8]>, off: usize, len: usize },
 }
 
 impl Bytes {
@@ -41,6 +44,22 @@ impl Bytes {
         Bytes { repr: Repr::Shared(Arc::from(data)) }
     }
 
+    /// Creates a `Bytes` viewing `buf[off..off + len]` without copying.
+    /// The view holds a reference to the whole buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds.
+    pub fn from_arc_slice(buf: Arc<[u8]>, off: usize, len: usize) -> Bytes {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= buf.len()),
+            "range {off}..{} out of bounds of buffer length {}",
+            off + len,
+            buf.len(),
+        );
+        Bytes { repr: Repr::Slice { buf, off, len } }
+    }
+
     /// Length in bytes.
     pub fn len(&self) -> usize {
         self.as_slice().len()
@@ -56,6 +75,7 @@ impl Bytes {
         match &self.repr {
             Repr::Static(s) => s,
             Repr::Shared(s) => s,
+            Repr::Slice { buf, off, len } => &buf[*off..*off + *len],
         }
     }
 
@@ -233,5 +253,22 @@ mod tests {
     fn debug_escapes() {
         let s = Bytes::from_static(b"a\"\x01");
         assert_eq!(format!("{s:?}"), "b\"a\\\"\\x01\"");
+    }
+
+    #[test]
+    fn arc_slice_views_subrange_without_copying() {
+        let buf: Arc<[u8]> = Arc::from(&b"0123456789"[..]);
+        let view = Bytes::from_arc_slice(buf.clone(), 2, 5);
+        assert_eq!(&view[..], b"23456");
+        // The view keeps the buffer alive (no copy was made).
+        assert_eq!(Arc::strong_count(&buf), 2);
+        assert_eq!(view.as_ptr(), buf[2..].as_ptr());
+    }
+
+    #[test]
+    #[should_panic]
+    fn arc_slice_rejects_out_of_bounds() {
+        let buf: Arc<[u8]> = Arc::from(&b"abc"[..]);
+        let _ = Bytes::from_arc_slice(buf, 2, 2);
     }
 }
