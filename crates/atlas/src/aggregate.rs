@@ -672,7 +672,21 @@ impl AggregateReport {
             ),
             accuracy: self.accuracy,
             retry: self.retry,
+            timings: None,
         }
+    }
+
+    /// [`finish`](AggregateReport::finish) with a frozen timing snapshot
+    /// attached. Campaigns that ran without the latency observer keep
+    /// using `finish` and serialize `timings` as `null`.
+    pub fn finish_with_timings(
+        self,
+        top_n: usize,
+        timings: crate::timing::CampaignTimings,
+    ) -> CampaignSummary {
+        let mut summary = self.finish(top_n);
+        summary.timings = Some(timings);
+        summary
     }
 }
 
@@ -694,6 +708,9 @@ pub struct CampaignSummary {
     pub accuracy: AccuracyStats,
     /// Fleet-wide retry economics.
     pub retry: RetryStats,
+    /// Latency distributions, present when the campaign ran with the
+    /// timing observer attached; `null` for untimed campaigns.
+    pub timings: Option<crate::timing::CampaignTimings>,
 }
 
 impl fmt::Display for CampaignSummary {

@@ -30,12 +30,14 @@ use crate::aggregate::AggregateReport;
 use crate::fleet::{scenario_for, Fleet, ProbeSpec};
 use crate::metrics::MetricsRegistry;
 use crate::telemetry::CampaignTelemetry;
+use crate::timing::{TimingRegistry, WALL_PROBE_TOTAL, WALL_WORLD_BUILD};
 use crossbeam::thread;
 use dns_wire::QueryEncoder;
-use interception::{GroundTruth, QueryFlow, SimTransport, WorldTemplate};
+use interception::{GroundTruth, ProbeTimingLog, QueryFlow, SimTransport, WorldTemplate};
 use locator::{HijackLocator, MetricsFolder, ProbeReport, QueryTransport};
 use netsim::SimScratch;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use timing::Span;
 
 /// Scheduling knobs for one campaign run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,12 +76,20 @@ impl Default for CampaignOptions {
 pub struct WorkerArena {
     pub(crate) encoder: QueryEncoder,
     pub(crate) scratch: SimScratch,
+    /// The worker's recycled timing log (lazily created on the first timed
+    /// probe, cleared and reused for every probe after — so timed
+    /// steady-state recording allocates nothing).
+    pub(crate) timing_log: Option<Box<ProbeTimingLog>>,
 }
 
 impl WorkerArena {
     /// A cold arena; it warms up over the worker's first probe.
     pub fn new() -> WorkerArena {
-        WorkerArena { encoder: QueryEncoder::new(), scratch: SimScratch::default() }
+        WorkerArena {
+            encoder: QueryEncoder::new(),
+            scratch: SimScratch::default(),
+            timing_log: None,
+        }
     }
 }
 
@@ -147,10 +157,24 @@ pub fn run_campaign_configured<'a>(
     registry: Option<&MetricsRegistry>,
     telemetry: Option<&CampaignTelemetry>,
 ) -> Vec<ProbeResult<'a>> {
+    run_campaign_configured_timed(fleet, options, registry, telemetry, None)
+}
+
+/// [`run_campaign_configured`] with the latency observer attached (the
+/// collect-all counterpart of [`run_campaign_timed`]): per-probe results
+/// come back as usual while RTT and wall-phase samples fold into
+/// `timing`. With `timing` absent this *is* [`run_campaign_configured`].
+pub fn run_campaign_configured_timed<'a>(
+    fleet: &'a Fleet,
+    options: CampaignOptions,
+    registry: Option<&MetricsRegistry>,
+    telemetry: Option<&CampaignTelemetry>,
+    timing: Option<&TimingRegistry>,
+) -> Vec<ProbeResult<'a>> {
     let responding: Vec<&ProbeSpec> = fleet.responding().collect();
     let template = WorldTemplate::shared();
     let results = run_collected(&responding, options, telemetry, |probe, arena| {
-        measure_probe_with(fleet, probe, registry, &template, arena)
+        measure_probe_timed_with(fleet, probe, registry, &template, arena, timing)
     });
     record_schedule(registry, results.len());
     results
@@ -172,13 +196,29 @@ pub fn run_campaign_streaming(
     registry: Option<&MetricsRegistry>,
     telemetry: Option<&CampaignTelemetry>,
 ) -> AggregateReport {
+    run_campaign_timed(fleet, options, registry, telemetry, None)
+}
+
+/// [`run_campaign_streaming`] with the latency observer attached: every
+/// probe's virtual-clock RTTs and wall-clock phase durations fold into
+/// `timing` as workers finish. Virtual-clock histograms are commutative
+/// sums of per-query samples, so — like the aggregate itself — they are
+/// bitwise identical at every `(threads, batch_size)` pair. With `timing`
+/// absent this *is* [`run_campaign_streaming`]: no clock reads, no logs.
+pub fn run_campaign_timed(
+    fleet: &Fleet,
+    options: CampaignOptions,
+    registry: Option<&MetricsRegistry>,
+    telemetry: Option<&CampaignTelemetry>,
+    timing: Option<&TimingRegistry>,
+) -> AggregateReport {
     let responding: Vec<&ProbeSpec> = fleet.responding().collect();
     let template = WorldTemplate::shared();
     let partials = run_work_stealing(
         &responding,
         options,
         telemetry,
-        |probe, arena| measure_probe_with(fleet, probe, registry, &template, arena),
+        |probe, arena| measure_probe_timed_with(fleet, probe, registry, &template, arena, timing),
         AggregateReport::new,
         |acc, _idx, result| acc.fold(fleet, &result),
     );
@@ -265,7 +305,12 @@ where
                 t.note_batch(0, chunk.len() as u64);
             }
             for probe in chunk {
-                fold(&mut acc, idx, measure(probe, &mut arena));
+                let started = telemetry.map(|_| std::time::Instant::now());
+                let result = measure(probe, &mut arena);
+                if let (Some(t), Some(s)) = (telemetry, started) {
+                    t.note_probe_us(s.elapsed().as_micros() as u64);
+                }
+                fold(&mut acc, idx, result);
                 idx += 1;
                 if let Some(t) = telemetry {
                     t.note_complete();
@@ -298,7 +343,12 @@ where
                         for (idx, probe) in
                             responding.iter().enumerate().take(end).skip(start)
                         {
-                            fold(&mut acc, idx, measure(probe, &mut arena));
+                            let started = telemetry.map(|_| std::time::Instant::now());
+                            let result = measure(probe, &mut arena);
+                            if let (Some(t), Some(s)) = (telemetry, started) {
+                                t.note_probe_us(s.elapsed().as_micros() as u64);
+                            }
+                            fold(&mut acc, idx, result);
                             if let Some(t) = telemetry {
                                 t.note_complete();
                             }
@@ -425,13 +475,42 @@ fn measure_probe_with<'a>(
     template: &WorldTemplate,
     arena: &mut WorkerArena,
 ) -> ProbeResult<'a> {
-    let built = scenario_for(fleet, probe)
-        .build_with_scratch(template, std::mem::take(&mut arena.scratch));
+    measure_probe_timed_with(fleet, probe, registry, template, arena, None)
+}
+
+/// [`measure_probe_with`] with optional latency observation: the whole
+/// probe and its world build run under wall-clock [`Span`]s, the transport
+/// carries the arena's recycled [`ProbeTimingLog`], and the filled log is
+/// folded into the shared registry before the arena takes it back for the
+/// worker's next probe. With `timing` absent every span is disabled and no
+/// log is attached, so the hot path stays exactly the untimed one.
+fn measure_probe_timed_with<'a>(
+    fleet: &Fleet,
+    probe: &'a ProbeSpec,
+    registry: Option<&MetricsRegistry>,
+    template: &WorldTemplate,
+    arena: &mut WorkerArena,
+    timing: Option<&TimingRegistry>,
+) -> ProbeResult<'a> {
+    let _probe_span = Span::maybe(timing.map(|t| t.wall().histogram(WALL_PROBE_TOTAL)));
+    let built = {
+        let _build_span = Span::maybe(timing.map(|t| t.wall().histogram(WALL_WORLD_BUILD)));
+        scenario_for(fleet, probe).build_with_scratch(template, std::mem::take(&mut arena.scratch))
+    };
     let config = probe_config(fleet, &built);
     let expected = built.expected;
     let mut transport = SimTransport::with_encoder(built, std::mem::take(&mut arena.encoder));
+    if timing.is_some() {
+        let log = arena.timing_log.take().unwrap_or_else(|| Box::new(ProbeTimingLog::new()));
+        transport.attach_timing(log);
+    }
     let report = run_locator(config, &mut transport, registry, probe.org);
     arena.encoder = transport.take_encoder();
+    if let (Some(t), Some(mut log)) = (timing, transport.take_timing()) {
+        t.fold_probe(&report, &log);
+        log.clear();
+        arena.timing_log = Some(log);
+    }
     // Ground truth moves out of the consumed scenario — nothing is cloned —
     // and the spent simulator is torn back down into reusable capacity.
     let truth = transport.scenario.truth;

@@ -35,9 +35,11 @@
 
 use crate::campaign::{probe_config, run_collected, run_work_stealing, CampaignOptions, WorkerArena};
 use crate::fleet::{scenario_for, Fleet, ProbeSpec};
+use crate::timing::{TimingRegistry, WALL_PROBE_TOTAL, WALL_WORLD_BUILD};
 use dns_wire::{debug_queries, Question, RData, RType};
 use interception::{
-    FlowDirection, HomeScenario, OpenDnsClass, QueryFlow, SimTransport, Vantage, WorldTemplate,
+    flow_rtt_us, FlowDirection, HomeScenario, OpenDnsClass, ProbeTimingLog, QueryFlow,
+    SimTransport, Vantage, WorldTemplate,
 };
 use locator::{
     HijackLocator, InterceptorLocation, LocatorConfig, ProbeReport, QueryOptions, QueryOutcome,
@@ -46,6 +48,7 @@ use locator::{
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::{IpAddr, Ipv4Addr};
+use timing::Span;
 
 /// Transaction ID of the scanner's ordinary `A` probe. Far above the
 /// locator's sequence (0x1000–0x5fff) and the forwarder re-key pool
@@ -229,6 +232,9 @@ pub fn classify_with_transport(
     transport.enable_capture();
     let report = HijackLocator::new(config).run(transport);
 
+    // Everything from here on is the scanner's doing — RTT samples land
+    // in the "scan" phase slot instead of the last locator step's.
+    transport.begin_scan_phase();
     transport.vantage = Vantage::Scanner;
     let cpe_v4 = transport.scenario.addrs.cpe_public_v4;
     let target = IpAddr::V4(cpe_v4);
@@ -278,13 +284,49 @@ fn classify_probe_with<'a>(
     template: &WorldTemplate,
     arena: &mut WorkerArena,
 ) -> DeviceClassification<'a> {
+    classify_probe_timed_with(fleet, probe, template, arena, None)
+}
+
+/// [`classify_probe_with`] with the latency observer attached. Besides
+/// the per-phase folding the measurement path does, every completed flow
+/// in the device's capture contributes its flight-recorder RTT (first
+/// egress hop to the answer's return at the same node) to the histogram
+/// of the device's *classified* taxonomy class — the distribution that
+/// makes the paper's "local answers come back fast" signature visible:
+/// DNAT-intercepted devices answer from the CPE in microseconds of
+/// virtual time, clean paths pay the full upstream round trip.
+fn classify_probe_timed_with<'a>(
+    fleet: &Fleet,
+    probe: &'a ProbeSpec,
+    template: &WorldTemplate,
+    arena: &mut WorkerArena,
+    timing: Option<&TimingRegistry>,
+) -> DeviceClassification<'a> {
+    let _probe_span = Span::maybe(timing.map(|t| t.wall().histogram(WALL_PROBE_TOTAL)));
     let scenario = scenario_for(fleet, probe);
     let truth_class = scenario.open_dns_class();
-    let built = scenario.build_with_scratch(template, std::mem::take(&mut arena.scratch));
+    let built = {
+        let _build_span = Span::maybe(timing.map(|t| t.wall().histogram(WALL_WORLD_BUILD)));
+        scenario.build_with_scratch(template, std::mem::take(&mut arena.scratch))
+    };
     let config = probe_config(fleet, &built);
     let mut transport = SimTransport::with_encoder(built, std::mem::take(&mut arena.encoder));
+    if timing.is_some() {
+        let log = arena.timing_log.take().unwrap_or_else(|| Box::new(ProbeTimingLog::new()));
+        transport.attach_timing(log);
+    }
     let device = classify_with_transport(&mut transport, config);
     arena.encoder = transport.take_encoder();
+    if let (Some(t), Some(mut log)) = (timing, transport.take_timing()) {
+        t.fold_probe(&device.report, &log);
+        log.clear();
+        arena.timing_log = Some(log);
+        for flow in &device.flows {
+            if let Some(rtt) = flow_rtt_us(flow) {
+                t.record_class_rtt(device.class, rtt);
+            }
+        }
+    }
     arena.scratch = transport.scenario.sim.into_scratch();
     DeviceClassification { probe, truth_class, device }
 }
@@ -319,13 +361,27 @@ pub fn run_classification<'a>(
 /// identical to folding the collected output of [`run_classification`] —
 /// at any thread count or batch size.
 pub fn run_classification_streaming(fleet: &Fleet, options: CampaignOptions) -> ClassifySummary {
+    run_classification_timed(fleet, options, None)
+}
+
+/// [`run_classification_streaming`] with the latency observer attached:
+/// per-phase and per-verdict RTTs fold in exactly as in the measurement
+/// campaign, and every captured flow's RTT lands in its device's taxonomy
+/// class histogram. The summary — and, because every histogram update is
+/// a commutative sum of per-flow samples, the timing snapshot too — is
+/// bitwise identical at every `(threads, batch_size)` pair.
+pub fn run_classification_timed(
+    fleet: &Fleet,
+    options: CampaignOptions,
+    timing: Option<&TimingRegistry>,
+) -> ClassifySummary {
     let responding: Vec<&ProbeSpec> = fleet.responding().collect();
     let template = WorldTemplate::shared();
     let partials = run_work_stealing(
         &responding,
         options,
         None,
-        |probe, arena| classify_probe_with(fleet, probe, &template, arena),
+        |probe, arena| classify_probe_timed_with(fleet, probe, &template, arena, timing),
         ClassifySummary::default,
         |acc: &mut ClassifySummary, _idx, c| acc.fold(&c),
     );

@@ -21,6 +21,7 @@ mod metrics;
 mod orgs;
 mod raw;
 mod telemetry;
+mod timing;
 
 pub use aggregate::{
     accuracy, figure3, figure4, retry_stats, table4, table5, table5_pattern, AccuracyStats,
@@ -30,13 +31,15 @@ pub use aggregate::{
 pub use campaign::{
     measure_probe, measure_probe_archived, measure_probe_archived_metered,
     measure_probe_captured, measure_probe_metered, run_campaign, run_campaign_captured,
-    run_campaign_chunked, run_campaign_configured, run_campaign_metered, run_campaign_observed,
-    run_campaign_streaming, CampaignOptions, ProbeResult, WorkerArena,
+    run_campaign_chunked, run_campaign_configured, run_campaign_configured_timed,
+    run_campaign_metered, run_campaign_observed, run_campaign_streaming, run_campaign_timed,
+    CampaignOptions, ProbeResult, WorkerArena,
 };
 pub use chart::{figure3_chart, figure4_chart};
 pub use classify::{
     capture_consistent, classify_probe, classify_scenario, classify_with_transport,
-    run_classification, run_classification_streaming, ClassCounts, ClassifiedDevice,
+    run_classification, run_classification_streaming, run_classification_timed, ClassCounts,
+    ClassifiedDevice,
     ClassifySummary, DeviceClassification, SCAN_A_TXID, SCAN_QNAME, SCAN_WHOAMI_TXID,
 };
 pub use metrics::{AsVerdicts, CampaignMetrics, MetricsRegistry};
@@ -47,3 +50,7 @@ pub use fleet::{
 pub use orgs::{default_catalog, OrgSpec};
 pub use raw::{RawMeasurement, RawQueryRecord, RecordingTransport, ReplayTransport};
 pub use telemetry::{CampaignTelemetry, ProgressEvent};
+pub use timing::{
+    prometheus_exposition, CampaignTimings, NamedHistogram, TimingRegistry, VirtualTimings,
+    WallTimings, VERDICT_LABELS, WALL_ATTEMPT, WALL_ENCODE, WALL_PROBE_TOTAL, WALL_WORLD_BUILD,
+};

@@ -18,6 +18,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use timing::AtomicHistogram;
 
 /// Shared scheduler counters for one campaign run; see the module docs.
 #[derive(Debug)]
@@ -27,6 +28,7 @@ pub struct CampaignTelemetry {
     completed: AtomicU64,
     batches: AtomicU64,
     worker_claims: Vec<AtomicU64>,
+    probe_wall: AtomicHistogram,
 }
 
 impl CampaignTelemetry {
@@ -40,7 +42,14 @@ impl CampaignTelemetry {
             completed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             worker_claims: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            probe_wall: AtomicHistogram::new(),
         }
+    }
+
+    /// One probe's wall-clock measurement time, in microseconds. Feeds the
+    /// p50/p99 latency the progress ticker renders.
+    pub(crate) fn note_probe_us(&self, us: u64) {
+        self.probe_wall.record(us);
     }
 
     /// Announces how many probes the campaign will measure. Called by the
@@ -86,7 +95,10 @@ impl CampaignTelemetry {
         // the divisor so the rate is always finite — never NaN or inf.
         let probes_per_sec =
             if completed == 0 { 0.0 } else { completed as f64 * 1000.0 / elapsed_ms.max(1) as f64 };
+        let wall = self.probe_wall.snapshot();
         ProgressEvent {
+            probe_wall_p50_us: wall.value_at_quantile(0.50),
+            probe_wall_p99_us: wall.value_at_quantile(0.99),
             elapsed_ms,
             total: self.total.load(Ordering::Relaxed),
             claimed: self.claimed.load(Ordering::Relaxed),
@@ -120,6 +132,11 @@ pub struct ProgressEvent {
     pub probes_per_sec: f64,
     /// Claim counts per worker, in worker order — the steal balance.
     pub per_worker_claims: Vec<u64>,
+    /// Median per-probe measurement wall time so far, µs (0 until the
+    /// first probe completes).
+    pub probe_wall_p50_us: u64,
+    /// 99th-percentile per-probe measurement wall time so far, µs.
+    pub probe_wall_p99_us: u64,
     /// `true` on the final event of a run.
     pub done: bool,
 }
@@ -159,6 +176,9 @@ impl fmt::Display for ProgressEvent {
             write!(f, "{n}")?;
         }
         write!(f, "]")?;
+        if self.probe_wall_p99_us > 0 {
+            write!(f, "  p50 {}µs p99 {}µs", self.probe_wall_p50_us, self.probe_wall_p99_us)?;
+        }
         if self.done {
             write!(f, "  done")?;
         }
@@ -256,6 +276,21 @@ mod tests {
         t.note_complete();
         let instant = t.snapshot(1_500, true);
         assert!((instant.interval_probes_per_sec(&second) - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probe_wall_percentiles_surface_in_snapshots() {
+        let t = CampaignTelemetry::new(1);
+        let empty = t.snapshot(0, false);
+        assert_eq!(empty.probe_wall_p50_us, 0);
+        assert!(!empty.to_string().contains("p50"), "no latency shown before any probe");
+        for us in 1..=100 {
+            t.note_probe_us(us);
+        }
+        let ev = t.snapshot(10, false);
+        assert_eq!(ev.probe_wall_p50_us, 51);
+        assert_eq!(ev.probe_wall_p99_us, 99);
+        assert!(ev.to_string().contains("p50 51µs p99 99µs"), "{ev}");
     }
 
     #[test]

@@ -11,10 +11,11 @@
 //! ```
 
 use atlas_sim::{
-    accuracy, classification_fleet, figure3, figure4, generate, retry_stats,
-    run_campaign_chunked, run_campaign_configured, run_campaign_streaming,
-    run_classification_streaming, scenario_for, table4, table5, CampaignOptions,
-    CampaignTelemetry, Fleet, FleetConfig, MetricsRegistry, ProbeResult, ProgressEvent,
+    accuracy, classification_fleet, figure3, figure4, generate, prometheus_exposition,
+    retry_stats, run_campaign_chunked, run_campaign_configured, run_campaign_configured_timed,
+    run_campaign_streaming, run_classification_timed, scenario_for, table4, table5,
+    CampaignOptions, CampaignTelemetry, Fleet, FleetConfig, MetricsRegistry, ProbeResult,
+    ProgressEvent, TimingRegistry,
 };
 use interception::{
     render_flows, CpeModelKind, HomeScenario, MiddleboxSpec, QueryFlow, SimTransport,
@@ -75,14 +76,16 @@ struct Args {
     progress_json: Option<String>,
     classify: bool,
     classify_json: Option<String>,
+    metrics_prom: Option<String>,
+    timings_json: Option<String>,
 }
 
 const USAGE: &str = "usage: repro [--all] [--table N] [--figure N] [--case xb6] \
 [--appendix a] [--size N] [--seed N] [--threads N] [--batch N] [--attempts N] \
 [--retry-backoff MS] [--json PATH] [--archives PATH] [--metrics PATH] \
-[--bench-json PATH] [--bench-probes N] [--bench-mem-probes N] [--capture] \
-[--capture-json PATH] [--progress] [--progress-json PATH] [--classify] \
-[--classify-json PATH]";
+[--metrics-prom PATH] [--timings-json PATH] [--bench-json PATH] \
+[--bench-probes N] [--bench-mem-probes N] [--capture] [--capture-json PATH] \
+[--progress] [--progress-json PATH] [--classify] [--classify-json PATH]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("repro: {msg}");
@@ -131,6 +134,8 @@ fn parse_args() -> Args {
         progress_json: None,
         classify: false,
         classify_json: None,
+        metrics_prom: None,
+        timings_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -177,6 +182,12 @@ fn parse_args() -> Args {
             "--classify" => args.classify = true,
             "--classify-json" => {
                 args.classify_json = Some(path_value("--classify-json", take(&mut i)))
+            }
+            "--metrics-prom" => {
+                args.metrics_prom = Some(path_value("--metrics-prom", take(&mut i)))
+            }
+            "--timings-json" => {
+                args.timings_json = Some(path_value("--timings-json", take(&mut i)))
             }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
@@ -225,12 +236,17 @@ fn main() {
         run_bench_json(&args);
         return;
     }
+    let classify_mode = args.classify || args.classify_json.is_some();
+    // In classify mode the observability outputs come from the taxonomy
+    // scan; otherwise they ride on (and force) the measurement campaign.
+    let observing = args.metrics_prom.is_some() || args.timings_json.is_some();
     let needs_campaign = args.all
         || matches!(args.table, Some(4) | Some(5))
         || args.figure.is_some()
         || args.json.is_some()
         || args.archives.is_some()
-        || args.metrics.is_some();
+        || args.metrics.is_some()
+        || (observing && !classify_mode);
 
     if args.all || args.table == Some(1) {
         print_table1();
@@ -261,15 +277,31 @@ fn main() {
         })
     });
     let campaign = fleet.as_ref().map(|fleet| {
-        let registry =
-            args.metrics.as_ref().map(|_| MetricsRegistry::new(fleet.config.orgs.len()));
+        let registry = (args.metrics.is_some() || args.metrics_prom.is_some())
+            .then(|| MetricsRegistry::new(fleet.config.orgs.len()));
+        let timing = observing.then(TimingRegistry::new);
         let options = CampaignOptions { threads: args.threads, batch_size: args.batch };
         let started = std::time::Instant::now();
         let progress_on = args.progress || args.progress_json.is_some();
         let (results, events) = if progress_on {
-            run_campaign_with_progress(fleet, options, registry.as_ref(), args.progress)
+            run_campaign_with_progress(
+                fleet,
+                options,
+                registry.as_ref(),
+                timing.as_ref(),
+                args.progress,
+            )
         } else {
-            (run_campaign_configured(fleet, options, registry.as_ref(), None), Vec::new())
+            (
+                run_campaign_configured_timed(
+                    fleet,
+                    options,
+                    registry.as_ref(),
+                    None,
+                    timing.as_ref(),
+                ),
+                Vec::new(),
+            )
         };
         eprintln!(
             "campaign done: {} probes measured in {:.1}s",
@@ -279,10 +311,10 @@ fn main() {
         if let Some(path) = &args.progress_json {
             write_progress(path, &events);
         }
-        (fleet, results, registry)
+        (fleet, results, registry, timing)
     });
 
-    if let Some((fleet, results, registry)) = &campaign {
+    if let Some((fleet, results, registry, timing)) = &campaign {
         if args.all || args.table == Some(4) {
             println!("{}", table4(results));
         }
@@ -313,6 +345,13 @@ fn main() {
         }
         if let (Some(path), Some(registry)) = (&args.metrics, registry) {
             write_metrics(path, fleet, registry);
+        }
+        if let Some(path) = &args.metrics_prom {
+            let snapshot = registry.as_ref().map(|r| r.snapshot(&fleet.config.orgs));
+            write_prom(path, prometheus_exposition(snapshot.as_ref(), timing.as_ref()));
+        }
+        if let (Some(path), Some(timing)) = (&args.timings_json, timing) {
+            write_timings(path, timing);
         }
     }
 
@@ -379,7 +418,10 @@ fn batched_makespan(costs: &[f64], threads: usize, batch: usize) -> f64 {
 /// 3. `world_build` — shared-template vs fresh-template build cost;
 /// 4. `memory` — RSS growth of the streaming aggregator vs collect-all
 ///    over a `--bench-mem-probes` fleet (default 4× the sweep size):
-///    streaming must stay flat while collect-all grows with the fleet.
+///    streaming must stay flat while collect-all grows with the fleet;
+/// 5. `latency` — per-phase p50/p99 from the timing observer riding the
+///    warm-up pass: virtual-clock query RTTs (thread-invariant) and
+///    wall-clock phase durations (host-specific).
 ///
 /// Timings vary run to run; the *schema* is stable, so CI diffs keys
 /// against the committed `BENCH_campaign.json`, never numbers — except
@@ -454,6 +496,18 @@ fn run_bench_json(args: &Args) {
         steady_state_wire_path_allocs: u64,
     }
     #[derive(serde::Serialize)]
+    struct PhaseLatency {
+        phase: String,
+        samples: u64,
+        p50_us: u64,
+        p99_us: u64,
+    }
+    #[derive(serde::Serialize)]
+    struct Latency {
+        virtual_per_phase: Vec<PhaseLatency>,
+        wall_per_phase: Vec<PhaseLatency>,
+    }
+    #[derive(serde::Serialize)]
     struct BenchReport {
         schema_version: u32,
         config: BenchConfig,
@@ -464,6 +518,7 @@ fn run_bench_json(args: &Args) {
         speedup_vs_single_at_16: f64,
         world_build: WorldBuild,
         memory: Memory,
+        latency: Latency,
     }
 
     const SWEEP_THREADS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -493,9 +548,30 @@ fn run_bench_json(args: &Args) {
     );
 
     // Warm the shared template and the allocator before any timed run.
+    // The warm pass carries the latency observer: its virtual-clock
+    // percentiles are thread-invariant (so they are the exact per-phase
+    // RTTs every later run would see), and keeping the observer off the
+    // timed runs keeps their wall clocks comparable to older reports.
     let _ = WorldTemplate::shared();
     let warm_options = CampaignOptions { threads, batch_size: batch };
-    let _ = run_campaign_configured(&fleet, warm_options, None, None);
+    let warm_timing = TimingRegistry::new();
+    let _ = run_campaign_configured_timed(&fleet, warm_options, None, None, Some(&warm_timing));
+    let timing_snapshot = warm_timing.snapshot();
+    let phase_latency = |named: &[atlas_sim::NamedHistogram]| -> Vec<PhaseLatency> {
+        named
+            .iter()
+            .map(|n| PhaseLatency {
+                phase: n.name.clone(),
+                samples: n.histogram.count,
+                p50_us: n.histogram.p50,
+                p99_us: n.histogram.p99,
+            })
+            .collect()
+    };
+    let latency = Latency {
+        virtual_per_phase: phase_latency(&timing_snapshot.virtual_clock.per_phase),
+        wall_per_phase: phase_latency(&timing_snapshot.wall_clock.per_phase),
+    };
 
     // Measured scheduler shoot-out at the requested thread count.
     let timed = |results: &[ProbeResult], seconds: f64| Timing {
@@ -682,7 +758,7 @@ fn run_bench_json(args: &Args) {
     eprintln!("bench: streaming_is_flat = {streaming_is_flat}");
 
     let report = BenchReport {
-        schema_version: 3,
+        schema_version: 4,
         config: BenchConfig {
             size,
             responding,
@@ -715,6 +791,7 @@ fn run_bench_json(args: &Args) {
             template_speedup: fresh_us / shared_us,
         },
         memory: Memory { streaming, collect_all, streaming_is_flat },
+        latency,
     };
     let mut json = serde_json::to_string_pretty(&report).expect("serializable");
     json.push('\n');
@@ -745,14 +822,24 @@ fn run_classify(args: &Args) {
     );
     let fleet = classification_fleet(size, args.seed);
     let options = CampaignOptions { threads: args.threads, batch_size: args.batch };
+    let timing =
+        (args.timings_json.is_some() || args.metrics_prom.is_some()).then(TimingRegistry::new);
     let started = std::time::Instant::now();
-    let summary = run_classification_streaming(&fleet, options);
+    let summary = run_classification_timed(&fleet, options, timing.as_ref());
     eprintln!(
         "classification done: {} devices in {:.1}s",
         summary.probes,
         started.elapsed().as_secs_f64()
     );
     println!("{summary}");
+    if let Some(timing) = &timing {
+        if let Some(path) = &args.timings_json {
+            write_timings(path, timing);
+        }
+        if let Some(path) = &args.metrics_prom {
+            write_prom(path, prometheus_exposition(None, Some(timing)));
+        }
+    }
     if let Some(path) = &args.classify_json {
         let mut json = serde_json::to_string_pretty(&summary).expect("serializable");
         json.push('\n');
@@ -823,6 +910,7 @@ fn run_campaign_with_progress<'a>(
     fleet: &'a Fleet,
     options: CampaignOptions,
     registry: Option<&MetricsRegistry>,
+    timing: Option<&TimingRegistry>,
     live: bool,
 ) -> (Vec<ProbeResult<'a>>, Vec<ProgressEvent>) {
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -864,7 +952,8 @@ fn run_campaign_with_progress<'a>(
             events
         })
     };
-    let results = run_campaign_configured(fleet, options, registry, Some(&telemetry));
+    let results =
+        run_campaign_configured_timed(fleet, options, registry, Some(&telemetry), timing);
     stop.store(true, Ordering::Release);
     let events = monitor.join().expect("progress monitor panicked");
     (results, events)
@@ -1076,6 +1165,36 @@ fn write_metrics(path: &str, fleet: &Fleet, registry: &MetricsRegistry) {
     match std::fs::write(path, json) {
         Ok(()) => eprintln!("wrote campaign metrics to {path}"),
         Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+/// Writes the frozen latency distributions (`--timings-json`): exact
+/// per-bucket counts plus p50/p90/p99/p999 for every phase, verdict, and
+/// taxonomy-class histogram. The `virtual_clock` sections are bit-for-bit
+/// reproducible for a given fleet configuration at any thread count or
+/// batch size; the `wall_clock` sections measure this host.
+fn write_timings(path: &str, timing: &TimingRegistry) {
+    let mut json = serde_json::to_string_pretty(&timing.snapshot()).expect("serializable");
+    json.push('\n');
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote latency histograms to {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Writes the Prometheus text exposition (`--metrics-prom`): every
+/// campaign counter the metrics registry tracks plus the latency
+/// histograms, in the 0.0.4 text format a Prometheus scrape expects.
+fn write_prom(path: &str, text: String) {
+    match std::fs::write(path, text) {
+        Ok(()) => eprintln!("wrote Prometheus exposition to {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

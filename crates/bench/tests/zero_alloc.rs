@@ -13,9 +13,10 @@
 //! global; parallel test threads would bleed into each other's deltas.
 
 use dns_wire::{Message, MessageView, Name, QueryEncoder, Question, RType};
-use interception::{HomeScenario, SimTransport, Vantage};
+use interception::{HomeScenario, ProbeTimingLog, SimTransport, Vantage};
 use locator::{QueryOptions, QueryTransport};
 use netsim::PayloadPool;
+use timing::{AtomicHistogram, Span};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::net::IpAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -116,4 +117,47 @@ fn steady_state_probe_path_allocates_nothing() {
         }
     });
     assert_eq!(allocs, 0, "Name comparison/suffix ops allocated");
+
+    // --- Timing disabled (the default): the exact same warm query path
+    // with no observer attached must still be allocation-free — the
+    // disabled configuration adds exactly zero allocations on top of the
+    // baseline pinned above.
+    assert!(transport.take_timing().is_none(), "no observer was attached");
+    let (allocs, out) = allocations_in(|| transport.query(server, &question, 0x6200, opts));
+    assert!(out.is_timeout());
+    assert_eq!(allocs, 0, "disabled timing path added {allocs} allocations");
+
+    // --- Timing enabled: attaching the per-probe log is the one-time
+    // cost (a boxed pair of pre-sized sample vectors). Once attached and
+    // warm, recording RTT and wall samples on every query must not
+    // allocate: pushes land in reserved capacity, timestamps are stack
+    // values.
+    transport.attach_timing(Box::new(ProbeTimingLog::new()));
+    for i in 0..4 {
+        let out = transport.query(server, &question, 0x6300 + i, opts);
+        assert!(out.is_timeout());
+    }
+    let (allocs, out) = allocations_in(|| transport.query(server, &question, 0x6400, opts));
+    assert!(out.is_timeout());
+    assert_eq!(
+        allocs, 0,
+        "enabled timing record path allocated {allocs} times after warmup"
+    );
+    assert!(transport.take_timing().is_some(), "observer log survives the probe");
+
+    // --- Component: the histogram record path is a pair of atomic adds
+    // into a fixed bucket array, and spans — enabled or disabled — live
+    // entirely on the stack.
+    let hist = AtomicHistogram::new();
+    let (allocs, _) = allocations_in(|| {
+        for v in 0..200u64 {
+            hist.record(v * 37);
+        }
+        for _ in 0..50 {
+            Span::enabled(&hist).finish();
+            Span::disabled().finish();
+            Span::maybe(None).finish();
+        }
+    });
+    assert_eq!(allocs, 0, "histogram record / span path allocated");
 }

@@ -530,6 +530,7 @@ impl HijackLocator {
     ) -> Sent {
         let seq = self.queries_sent;
         self.queries_sent += 1;
+        transport.note_step(step);
         if sink.enabled() {
             sink.record(TraceEvent::QueryIssued {
                 seq,

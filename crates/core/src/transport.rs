@@ -122,6 +122,11 @@ pub trait QueryTransport {
     fn now_us(&self) -> Option<u64> {
         None
     }
+
+    /// Tells the transport which pipeline step the next queries belong
+    /// to, so per-step latency histograms can attribute them. The default
+    /// is a no-op: transports that don't collect timing ignore it.
+    fn note_step(&mut self, _step: Step) {}
 }
 
 /// Blanket implementation so `&mut T` works wherever `T` does.
@@ -142,6 +147,10 @@ impl<T: QueryTransport + ?Sized> QueryTransport for &mut T {
 
     fn now_us(&self) -> Option<u64> {
         (**self).now_us()
+    }
+
+    fn note_step(&mut self, step: Step) {
+        (**self).note_step(step)
     }
 }
 

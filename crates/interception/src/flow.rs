@@ -182,6 +182,24 @@ pub fn reconstruct_flows(sim: &Simulator, events: &[CaptureEvent]) -> Vec<QueryF
     order.into_iter().filter_map(|txid| flows.remove(&txid)).collect()
 }
 
+/// The query's round trip as observed at its origin: microseconds from
+/// the first hop (the probe's egress) to the first response-direction
+/// ingress back at the same node. `None` when the query was never
+/// answered at the origin — a timeout, a drop, or an answer that only
+/// reached an intermediate device.
+///
+/// This is pure virtual-clock arithmetic over the flight recorder's hop
+/// timeline, so per-class RTT distributions built from it are bitwise
+/// reproducible — the paper's "local answers come back fast" signature
+/// measured against ground truth.
+pub fn flow_rtt_us(flow: &QueryFlow) -> Option<u64> {
+    let first = flow.hops.first()?;
+    let back = flow.hops.iter().find(|h| {
+        h.direction == FlowDirection::Response && h.node == first.node && h.action == "ingress"
+    })?;
+    Some(back.at_us.saturating_sub(first.at_us))
+}
+
 /// Renders flows as a human-readable hop timeline (the `--capture` view).
 pub fn render_flows(flows: &[QueryFlow]) -> String {
     let mut out = String::new();
@@ -282,6 +300,45 @@ mod tests {
             !flow.hops.iter().any(|h| h.node.contains("isp") && h.dst.starts_with("8.8.8.8")),
             "query leaked upstream: {flow:?}"
         );
+    }
+
+    #[test]
+    fn flow_rtt_spans_egress_to_response_ingress() {
+        // Clean path: the round trip crosses the home and the ISP twice,
+        // so the RTT is positive but far below the 5s timeout window.
+        let mut t = SimTransport::new(HomeScenario::clean().build());
+        t.enable_capture();
+        let q = Question::new("example.com".parse().unwrap(), RType::A);
+        assert!(t
+            .query("8.8.8.8".parse().unwrap(), &q, 0x3c3c, QueryOptions::default())
+            .response()
+            .is_some());
+        let flows = t.take_flows();
+        let clean_rtt = flow_rtt_us(&flows[0]).expect("answered query has an RTT");
+        assert!(clean_rtt > 0 && clean_rtt < 5_000_000, "clean RTT {clean_rtt}µs");
+
+        // Intercepted path: the CPE mints the answer locally, so the round
+        // trip is strictly faster than the real resolver's.
+        let mut t = SimTransport::new(HomeScenario::xb6_case_study().build());
+        t.enable_capture();
+        assert!(t
+            .query("8.8.8.8".parse().unwrap(), &q, 0x3d3d, QueryOptions::default())
+            .response()
+            .is_some());
+        let flows = t.take_flows();
+        let flow = flows.iter().find(|f| f.txid == 0x3d3d).expect("probe flow");
+        let local_rtt = flow_rtt_us(flow).expect("minted answer has an RTT");
+        assert!(local_rtt < clean_rtt, "local {local_rtt}µs !< clean {clean_rtt}µs");
+
+        // A query that dies at the border never comes back: no RTT.
+        let mut t = SimTransport::new(HomeScenario::clean().build());
+        t.enable_capture();
+        let bq = Question::new("probe.dns-hijack-study.example".parse().unwrap(), RType::A);
+        assert!(t
+            .query("198.51.100.53".parse().unwrap(), &bq, 0x3e3e, QueryOptions::default())
+            .is_timeout());
+        let flows = t.take_flows();
+        assert_eq!(flow_rtt_us(&flows[0]), None);
     }
 
     #[test]

@@ -21,9 +21,13 @@ mod flow;
 mod isp;
 mod replicate;
 mod scenario;
+mod timing;
 mod transport;
 
-pub use flow::{flows_to_json, reconstruct_flows, render_flows, FlowDirection, FlowHop, QueryFlow};
+pub use flow::{
+    flow_rtt_us, flows_to_json, reconstruct_flows, render_flows, FlowDirection, FlowHop, QueryFlow,
+};
+pub use timing::{phase_label, ProbeTimingLog, RttSample, PHASE_COUNT, SCAN_PHASE};
 pub use isp::{IspProfile, MiddleboxSpec, RedirectTarget, ResolverMode};
 pub use scenario::{
     BuiltScenario, CpeModelKind, GroundTruth, HomeScenario, OpenDnsClass, Region, ScenarioAddrs,

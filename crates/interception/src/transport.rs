@@ -16,10 +16,12 @@
 //! timeout — never as an accepted answer.
 
 use crate::scenario::BuiltScenario;
+use crate::timing::{ProbeTimingLog, SCAN_PHASE};
 use dns_wire::{Message, MessageView, QueryEncoder, Question};
-use locator::{QueryOptions, QueryOutcome, QueryTransport};
-use netsim::{Host, IfaceId, IpPacket, SimDuration};
+use locator::{QueryOptions, QueryOutcome, QueryTransport, Step};
+use netsim::{Host, IfaceId, IpPacket, SimDuration, SimTime};
 use std::net::IpAddr;
+use std::time::Instant;
 
 /// Which host in the scenario issues the queries.
 ///
@@ -55,6 +57,13 @@ pub struct SimTransport {
     /// questions thousands of times per campaign; the encoder caches their
     /// wire bytes and re-stamps only the transaction ID.
     encoder: QueryEncoder,
+    /// Per-probe timing samples, when attached. `None` (the default)
+    /// disables every clock read in the hot path — the same zero-cost-off
+    /// discipline as `CaptureSink`.
+    timing: Option<Box<ProbeTimingLog>>,
+    /// Phase slot the next queries are attributed to (set by the locator
+    /// through `note_step`, or to the scan slot by `begin_scan_phase`).
+    timed_phase: u8,
 }
 
 impl SimTransport {
@@ -74,7 +83,27 @@ impl SimTransport {
             queries_injected: 0,
             corrupt_response_txid_xor: 0,
             encoder,
+            timing: None,
+            timed_phase: 0,
         }
+    }
+
+    /// Attaches a timing log; subsequent queries record virtual RTTs and
+    /// wall-clock encode/attempt durations into it.
+    pub fn attach_timing(&mut self, log: Box<ProbeTimingLog>) {
+        self.timing = Some(log);
+    }
+
+    /// Detaches and returns the timing log, disabling timing capture.
+    pub fn take_timing(&mut self) -> Option<Box<ProbeTimingLog>> {
+        self.timing.take()
+    }
+
+    /// Attributes subsequent queries to the taxonomy-scan phase slot
+    /// (the scanner-vantage queries run outside the locator, which is
+    /// what normally drives phase attribution via `note_step`).
+    pub fn begin_scan_phase(&mut self) {
+        self.timed_phase = SCAN_PHASE;
     }
 
     /// Takes the encoder back out, leaving a fresh one behind. Used by
@@ -103,8 +132,8 @@ impl SimTransport {
     }
 }
 
-impl QueryTransport for SimTransport {
-    fn query(
+impl SimTransport {
+    fn query_inner(
         &mut self,
         server: IpAddr,
         question: &Question,
@@ -126,9 +155,13 @@ impl QueryTransport for SimTransport {
                 _ => return QueryOutcome::Timeout,
             }
         };
+        let encode_started = self.timing.as_ref().map(|_| Instant::now());
         let Ok(wire) = self.encoder.encode_query(txid, question) else {
             return QueryOutcome::Timeout;
         };
+        if let (Some(started), Some(log)) = (encode_started, self.timing.as_mut()) {
+            log.push_encode(started.elapsed().as_micros() as u64);
+        }
         // One copy, straight from the encoder's cache slot into a recycled
         // pool slab — no intermediate Vec.
         let payload = self.scenario.sim.alloc_payload(wire);
@@ -141,6 +174,7 @@ impl QueryTransport for SimTransport {
 
         self.queries_injected += 1;
         let sim = &mut self.scenario.sim;
+        let inject_at = sim.now();
         sim.inject(node, IfaceId(0), pkt);
         let deadline = sim.now() + SimDuration::from_millis(opts.timeout_ms);
         sim.run_until(deadline);
@@ -150,7 +184,7 @@ impl QueryTransport for SimTransport {
         // First right-txid reply from an address other than the queried
         // server; kept so a properly sourced answer later in the inbox
         // still wins, as it would on a real unconnected socket.
-        let mut mismatch: Option<(Message, IpAddr)> = None;
+        let mut mismatch: Option<(Message, IpAddr, SimTime)> = None;
         for d in deliveries {
             let Some(udp) = d.packet.udp_payload() else { continue };
             if udp.dst_port != sport || udp.src_port != 53 {
@@ -171,18 +205,53 @@ impl QueryTransport for SimTransport {
             if d.packet.src() == server {
                 let mut resp = view.to_message();
                 resp.header.id = id;
+                self.record_rtt(inject_at, d.at);
                 return QueryOutcome::Response(resp);
             }
             if mismatch.is_none() {
                 let mut resp = view.to_message();
                 resp.header.id = id;
-                mismatch = Some((resp, d.packet.src()));
+                mismatch = Some((resp, d.packet.src(), d.at));
             }
         }
         match mismatch {
-            Some((message, from)) => QueryOutcome::WrongSource { message, from },
+            Some((message, from, at)) => {
+                self.record_rtt(inject_at, at);
+                QueryOutcome::WrongSource { message, from }
+            }
             None => QueryOutcome::Timeout,
         }
+    }
+
+    /// Records one answered query's virtual-clock round trip: simulated
+    /// inject time to simulated inbox-arrival time. Arrival stamps come
+    /// from `Delivery::at`, not from `sim.now()` — by the time the
+    /// receive loop runs, the clock already sits at the timeout deadline.
+    fn record_rtt(&mut self, inject_at: SimTime, delivered_at: SimTime) {
+        if let Some(log) = self.timing.as_mut() {
+            log.push_rtt(self.timed_phase, delivered_at.duration_since(inject_at).as_micros());
+        }
+    }
+}
+
+impl QueryTransport for SimTransport {
+    fn query(
+        &mut self,
+        server: IpAddr,
+        question: &Question,
+        txid: u16,
+        opts: QueryOptions,
+    ) -> QueryOutcome {
+        let started = self.timing.as_ref().map(|_| Instant::now());
+        let outcome = self.query_inner(server, question, txid, opts);
+        if let (Some(started), Some(log)) = (started, self.timing.as_mut()) {
+            log.push_attempt(started.elapsed().as_micros() as u64);
+        }
+        outcome
+    }
+
+    fn note_step(&mut self, step: Step) {
+        self.timed_phase = step.index() as u8;
     }
 
     fn backoff(&mut self, ms: u64) {

@@ -95,6 +95,12 @@ impl SimDuration {
         self.0
     }
 
+    /// Whole microseconds, truncating. Virtual-clock RTT histograms
+    /// record at this resolution.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
     /// Whole milliseconds, truncating.
     pub const fn as_millis(self) -> u64 {
         self.0 / 1_000_000
@@ -145,6 +151,7 @@ mod tests {
         assert_eq!(SimDuration::from_secs(2).as_millis(), 2000);
         assert_eq!(SimTime::from_nanos(2_500_999).as_micros(), 2_500);
         assert_eq!(SimDuration::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimDuration::from_nanos(2_500_999).as_micros(), 2_500);
         assert_eq!(SimDuration::from_millis(7).mul(3).as_millis(), 21);
     }
 

@@ -1,0 +1,78 @@
+//! Property tests for histogram aggregation: `merge` must be commutative
+//! and associative, and merging per-shard histograms must equal recording
+//! the whole value stream into one histogram — the algebra that makes
+//! per-worker timing folds thread- and batch-invariant.
+
+use proptest::prelude::*;
+use timing::Histogram;
+
+fn build(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(a in proptest::collection::vec(any::<u64>(), 0..64),
+                            b in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let (ha, hb) = (build(&a), build(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in proptest::collection::vec(any::<u64>(), 0..48),
+                            b in proptest::collection::vec(any::<u64>(), 0..48),
+                            c in proptest::collection::vec(any::<u64>(), 0..48)) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn sharded_recording_equals_sequential(values in proptest::collection::vec(any::<u64>(), 0..128),
+                                           shards in 1usize..8) {
+        // Deal the stream round-robin across shards, merge the shards in
+        // order: must equal one histogram fed the whole stream.
+        let mut parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % shards].record(v);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged, build(&values));
+    }
+
+    #[test]
+    fn snapshot_percentiles_bound_the_data(values in proptest::collection::vec(any::<u64>(), 1..128)) {
+        let h = build(&values);
+        let s = h.snapshot();
+        let max = *values.iter().max().unwrap();
+        let min = *values.iter().min().unwrap();
+        prop_assert_eq!(s.min, min);
+        prop_assert_eq!(s.max, max);
+        prop_assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999);
+        prop_assert!(s.p999 <= max);
+        prop_assert!(s.p50 >= min);
+        let total: u64 = s.buckets.iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, values.len() as u64);
+    }
+}
